@@ -1,0 +1,39 @@
+# SAIs reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all build vet test bench experiments figures cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Record the canonical outputs the repository ships with.
+test-output:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+bench-output:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Regenerate every figure of the paper (tables to stdout).
+experiments:
+	$(GO) run ./cmd/experiments
+
+figures:
+	$(GO) run ./cmd/experiments -plot
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,515 @@
+// Package cluster is the public API of the SAIs reproduction: it
+// assembles a complete simulated parallel-I/O cluster — client nodes
+// (multi-core CPU, private caches, NIC, APICs, interrupt-scheduling
+// policy), a PVFS-style metadata server and I/O servers, and a switched
+// fabric — runs an IOR-like read workload over it, and reports the
+// paper's four metrics: bandwidth, L2 cache miss rate, CPU utilization,
+// and CPU_CLK_UNHALTED.
+//
+// A minimal comparison of the paper's two main policies:
+//
+//	cfg := cluster.DefaultConfig()
+//	cfg.Servers = 16
+//	base, _ := cluster.Run(cfg.WithPolicy(irqsched.PolicyIrqbalance))
+//	sais, _ := cluster.Run(cfg.WithPolicy(irqsched.PolicySourceAware))
+//	fmt.Println(metrics.Speedup(float64(sais.Bandwidth), float64(base.Bandwidth)))
+package cluster
+
+import (
+	"fmt"
+
+	"sais/internal/client"
+	"sais/internal/cpu"
+	"sais/internal/disk"
+	"sais/internal/irqsched"
+	"sais/internal/metrics"
+	"sais/internal/netsim"
+	"sais/internal/pfs"
+	"sais/internal/rng"
+	"sais/internal/sim"
+	"sais/internal/trace"
+	"sais/internal/units"
+	"sais/internal/workload"
+)
+
+// Node-id layout of the simulated cluster.
+const (
+	mdsNode         netsim.NodeID = 90
+	firstClientNode netsim.NodeID = 1
+	firstServerNode netsim.NodeID = 100
+)
+
+// Config describes one experiment run. DefaultConfig returns the
+// paper's testbed shape; the evaluation harness varies the fields each
+// figure sweeps.
+type Config struct {
+	// Scheduling policy under test on every client.
+	Policy irqsched.PolicyKind
+
+	// Cluster shape.
+	Clients        int
+	Servers        int
+	CoresPerClient int
+
+	// Hardware rates. ClientNICRate is the aggregate client rate; with
+	// ClientNICPorts > 1 it is split over that many bonded ports (the
+	// testbed's "3-Gigabit NIC" is three bonded 1-Gigabit BCM5715C
+	// ports) using ClientBondMode.
+	ClientNICRate  units.Rate
+	ClientNICPorts int
+	ClientBondMode netsim.BondMode
+	ServerNICRate  units.Rate
+	ClientFreq     units.Hertz
+	CachePerCore   units.Bytes
+	LineSize       units.Bytes
+	FabricLatency  units.Time
+
+	// File system.
+	StripSize units.Bytes
+
+	// Workload (per client).
+	ProcsPerClient int
+	TransferSize   units.Bytes
+	BytesPerProc   units.Bytes
+	// SharedFiles makes every client read the same files (IOR's
+	// shared-file mode) so the servers' buffer caches serve re-reads —
+	// the multi-client regime of Figure 12. Default: file per process.
+	SharedFiles bool
+	// RandomAccess permutes transfer order per process (IOR's random
+	// option) — an ablation that defeats server readahead.
+	RandomAccess bool
+	// Segmented selects IOR's shared-file segmented layout within each
+	// client: all of a client's processes interleave through one file.
+	Segmented bool
+	// ThinkTime inserts a fixed delay between each process's transfers
+	// (IOR's -d inter-test delay).
+	ThinkTime units.Time
+	// Aggregators > 0 runs MPI-IO-style two-phase collective reads with
+	// that many aggregator processes per client (0 = independent I/O).
+	Aggregators int
+	// WriteWorkload runs parallel writes instead of reads — the case
+	// the paper's §I excludes because returned packets (small acks)
+	// carry no data to any particular core. Useful to verify that the
+	// policies tie on writes.
+	WriteWorkload bool
+
+	// Knobs for ablations.
+	Costs              client.CostModel
+	Disk               disk.Config
+	MigrateDuringBlock float64
+	CoalesceFrames     int
+	CoalesceDelay      units.Time
+	IrqbalancePeriod   units.Time
+	DedicatedCore      int
+	CurrentCoreHint    bool // the paper's policy (ii): steer to the process's current core
+	FragmentWire       bool // per-MTU frames instead of per-strip
+	LossRate           float64
+	CorruptRate        float64    // fraction of frames with damaged headers
+	ServerStall        units.Time // injected per-request server delay
+	ServerStallRate    float64    // fraction of requests stalled
+	// TimesliceQuantum enables round-robin timeslicing of process work
+	// on client cores (0 = run to completion).
+	TimesliceQuantum units.Time
+	// L3PerSocket attaches a shared per-socket victim L3 of this size to
+	// each client (0 = disabled, the calibrated baseline).
+	L3PerSocket units.Bytes
+	// RSSQueues enables hardware receive-side scaling on the clients:
+	// MSI-X queues statically pinned to cores, overriding Policy for
+	// data interrupts (0 = disabled).
+	RSSQueues int
+	// BackgroundLoad runs OS-daemon-style busywork on every client core
+	// at this utilization fraction (0..1) while the workload is active.
+	// It raises absolute CPU utilization toward testbed levels and
+	// feeds irqbalance's load statistics.
+	BackgroundLoad float64
+	// Crash injection: server index CrashServer (-1 = none) drops all
+	// traffic during [CrashAt, ReviveAt). Combine with RetryTimeout to
+	// observe recovery.
+	CrashServer int
+	CrashAt     units.Time
+	ReviveAt    units.Time
+	// RetryTimeout enables the client's lost-frame recovery: transfers
+	// not complete after this long re-issue their missing parts, up to
+	// MaxRetries times. Zero disables (lossless fabric by default).
+	RetryTimeout units.Time
+	MaxRetries   int
+
+	Seed uint64
+}
+
+// DefaultConfig is the paper's single-client testbed: 8 cores at
+// 2.7 GHz with 512 KiB private L2, a 3-Gigabit client NIC, 3-Gigabit
+// server NICs (three bonded 1-Gigabit ports), 64 KiB strips, and two
+// IOR processes each reading 32 MiB in 1 MiB transfers. The per-proc
+// byte budget is scaled down from the paper's 10 GB — rates converge
+// long before that, and the simulator reports rates, not totals.
+func DefaultConfig() Config {
+	return Config{
+		Policy:           irqsched.PolicyIrqbalance,
+		CrashServer:      -1,
+		Clients:          1,
+		Servers:          16,
+		CoresPerClient:   8,
+		ClientNICRate:    3 * units.Gigabit,
+		ServerNICRate:    3 * units.Gigabit,
+		ClientFreq:       2700 * units.MHz,
+		CachePerCore:     512 * units.KiB,
+		LineSize:         64,
+		FabricLatency:    20 * units.Microsecond,
+		StripSize:        64 * units.KiB,
+		ProcsPerClient:   2,
+		TransferSize:     units.MiB,
+		BytesPerProc:     32 * units.MiB,
+		Costs:            client.DefaultCosts(),
+		Disk:             disk.DefaultConfig(),
+		CoalesceFrames:   1,
+		IrqbalancePeriod: 10 * units.Millisecond,
+		Seed:             1,
+	}
+}
+
+// WithPolicy returns a copy of c under a different policy — the usual
+// A/B pattern of the experiments.
+func (c Config) WithPolicy(p irqsched.PolicyKind) Config {
+	c.Policy = p
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Clients <= 0:
+		return fmt.Errorf("cluster: clients %d must be positive", c.Clients)
+	case c.Servers <= 0:
+		return fmt.Errorf("cluster: servers %d must be positive", c.Servers)
+	case c.CoresPerClient <= 0:
+		return fmt.Errorf("cluster: cores %d must be positive", c.CoresPerClient)
+	case c.ClientNICRate <= 0 || c.ServerNICRate <= 0:
+		return fmt.Errorf("cluster: NIC rates must be positive")
+	case c.StripSize <= 0:
+		return fmt.Errorf("cluster: strip size must be positive")
+	case c.ProcsPerClient <= 0:
+		return fmt.Errorf("cluster: procs %d must be positive", c.ProcsPerClient)
+	case c.TransferSize < c.StripSize:
+		return fmt.Errorf("cluster: transfer %v below strip %v", c.TransferSize, c.StripSize)
+	case c.BytesPerProc < c.TransferSize:
+		return fmt.Errorf("cluster: per-proc bytes %v below one transfer", c.BytesPerProc)
+	case c.LossRate < 0 || c.LossRate >= 1:
+		return fmt.Errorf("cluster: loss rate %v outside [0,1)", c.LossRate)
+	case c.CorruptRate < 0 || c.CorruptRate >= 1:
+		return fmt.Errorf("cluster: corrupt rate %v outside [0,1)", c.CorruptRate)
+	case c.ServerStallRate < 0 || c.ServerStallRate > 1:
+		return fmt.Errorf("cluster: stall rate %v outside [0,1]", c.ServerStallRate)
+	case c.RetryTimeout < 0:
+		return fmt.Errorf("cluster: negative retry timeout")
+	case c.MaxRetries < 0:
+		return fmt.Errorf("cluster: negative max retries")
+	case c.CrashServer >= c.Servers:
+		return fmt.Errorf("cluster: crash server %d out of range", c.CrashServer)
+	case c.BackgroundLoad < 0 || c.BackgroundLoad >= 1:
+		return fmt.Errorf("cluster: background load %v outside [0,1)", c.BackgroundLoad)
+	}
+	return nil
+}
+
+// Result is the roll-up of one run.
+type Result struct {
+	Policy   string
+	Duration units.Time
+
+	// Bandwidth (the Figure 5/12/14 metric): aggregate consumed bytes
+	// over the makespan.
+	TotalBytes units.Bytes
+	Bandwidth  units.Rate
+	PerClient  []units.Rate
+
+	// Cache behaviour (Figures 6/7).
+	CacheMissRate float64
+	LineAccesses  uint64
+	LineMisses    uint64
+	RemoteLines   uint64 // cache-to-cache migrations (cost M path)
+	MemoryLines   uint64
+
+	// CPU behaviour (Figures 8-11), aggregated over client cores.
+	CPUUtilization float64
+	UnhaltedCycles units.Cycles
+	BusyByCategory map[string]units.Time
+
+	// Interrupt path.
+	Interrupts  uint64
+	HintedIRQs  uint64
+	RingDrops   uint64
+	NetDrops    uint64 // frames lost in the fabric (loss injection)
+	HeaderDrops uint64 // frames rejected by IPv4 validation (corruption)
+
+	// Recovery path (loss injection with retries enabled).
+	Retries         uint64
+	FailedTransfers uint64
+
+	// Read-transfer latency percentiles across all clients (zero for
+	// write workloads), and the write-path equivalents.
+	LatencyP50      units.Time
+	LatencyP99      units.Time
+	WriteLatencyP50 units.Time
+	WriteLatencyP99 units.Time
+
+	// ServerBytes is the payload each I/O server returned — striping
+	// balance means these should be near-equal for aligned workloads.
+	ServerBytes []units.Bytes
+
+	// Gauges locate the bottleneck: busy fractions of the main shared
+	// resources over the run (the §III regime question — NIC-bound,
+	// disk-bound, or client-bound).
+	ClientNICBusy float64 // mean client NIC ingress busy fraction
+	DiskBusy      float64 // mean server disk busy fraction
+	ServerCPUBusy float64 // mean server CPU busy fraction
+}
+
+// Run executes one experiment and returns its metrics. Runs are
+// deterministic functions of (Config, Seed).
+func Run(cfg Config) (*Result, error) {
+	return run(cfg, nil)
+}
+
+// run is the shared body of Run and RunTraced; instrument (optional)
+// sees the client nodes after construction, before the workload starts.
+func run(cfg Config, instrument func([]*client.Node)) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	fab := netsim.NewFabric(eng, cfg.FabricLatency)
+	root := rng.New(cfg.Seed)
+
+	if cfg.LossRate > 0 {
+		lossRnd := root.Split("loss")
+		rate := cfg.LossRate
+		fab.SetLoss(func() bool { return lossRnd.Bool(rate) })
+	}
+	if cfg.CorruptRate > 0 {
+		corruptRnd := root.Split("corrupt")
+		rate := cfg.CorruptRate
+		fab.SetCorruption(func(*netsim.Frame) bool { return corruptRnd.Bool(rate) })
+	}
+
+	// File system: one layout over all servers, shared by every file.
+	servers := make([]netsim.NodeID, cfg.Servers)
+	for i := range servers {
+		servers[i] = firstServerNode + netsim.NodeID(i)
+	}
+	layout := pfs.Layout{StripSize: cfg.StripSize, Servers: servers, Size: cfg.BytesPerProc}
+	pfs.NewMetadataServer(eng, fab, mdsNode, pfs.DefaultMetadataConfig(units.Gigabit),
+		func(pfs.FileID) pfs.Layout { return layout })
+
+	srvs := make([]*pfs.Server, cfg.Servers)
+	for i := range srvs {
+		scfg := pfs.DefaultServerConfig(cfg.ServerNICRate)
+		scfg.Disk = cfg.Disk
+		scfg.EchoHints = true // harmless for baselines: their requests carry no hint
+		scfg.NIC.Fragment = cfg.FragmentWire
+		srvs[i] = pfs.NewServer(eng, fab, servers[i], scfg, root)
+		if i == cfg.CrashServer && cfg.ReviveAt > cfg.CrashAt {
+			srv := srvs[i]
+			eng.At(cfg.CrashAt, func(units.Time) { srv.SetDown(true) })
+			eng.At(cfg.ReviveAt, func(units.Time) { srv.SetDown(false) })
+		}
+		if cfg.ServerStall > 0 && cfg.ServerStallRate > 0 {
+			stallRnd := root.Split(fmt.Sprintf("stall%d", i))
+			stall, rate := cfg.ServerStall, cfg.ServerStallRate
+			srvs[i].SetStall(func() units.Time {
+				if stallRnd.Bool(rate) {
+					return stall
+				}
+				return 0
+			})
+		}
+	}
+
+	// Clients with their workloads. Background busywork (if configured)
+	// stops once every workload has finished, so the run still drains.
+	nodes := make([]*client.Node, cfg.Clients)
+	loads := make([]*workload.IOR, cfg.Clients)
+	activeLoads := cfg.Clients
+	var onLoadDone sim.Event = func(units.Time) { activeLoads-- }
+	for i := 0; i < cfg.Clients; i++ {
+		ccfg := client.DefaultConfig(firstClientNode+netsim.NodeID(i), cfg.ClientNICRate, cfg.Policy)
+		ccfg.Cores = cfg.CoresPerClient
+		ccfg.Freq = cfg.ClientFreq
+		ccfg.CachePerCore = cfg.CachePerCore
+		ccfg.LineSize = cfg.LineSize
+		ccfg.Costs = cfg.Costs
+		ccfg.MigrateDuringBlock = cfg.MigrateDuringBlock
+		ccfg.CurrentCoreHint = cfg.CurrentCoreHint
+		ccfg.RetryTimeout = cfg.RetryTimeout
+		ccfg.MaxRetries = cfg.MaxRetries
+		ccfg.TimesliceQuantum = cfg.TimesliceQuantum
+		ccfg.L3PerSocket = cfg.L3PerSocket
+		ccfg.RSSQueues = cfg.RSSQueues
+		ccfg.IrqbalancePeriod = cfg.IrqbalancePeriod
+		ccfg.DedicatedCore = cfg.DedicatedCore
+		ccfg.MDS = mdsNode
+		ccfg.Seed = cfg.Seed + uint64(i)
+		if cfg.ClientNICPorts > 1 {
+			ccfg.NIC.Ports = cfg.ClientNICPorts
+			ccfg.NIC.Rate = cfg.ClientNICRate / units.Rate(cfg.ClientNICPorts)
+			ccfg.NIC.Bond = cfg.ClientBondMode
+		}
+		ccfg.NIC.CoalesceFrames = cfg.CoalesceFrames
+		if ccfg.NIC.CoalesceFrames < 1 {
+			ccfg.NIC.CoalesceFrames = 1
+		}
+		ccfg.NIC.CoalesceDelay = cfg.CoalesceDelay
+		ccfg.NIC.Fragment = cfg.FragmentWire
+		node, err := client.New(eng, fab, ccfg)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = node
+
+		firstFile := pfs.FileID(1 + i*cfg.ProcsPerClient)
+		if cfg.SharedFiles {
+			firstFile = 1
+		}
+		wcfg := workload.IORConfig{
+			Procs:        cfg.ProcsPerClient,
+			TransferSize: cfg.TransferSize,
+			BytesPerProc: cfg.BytesPerProc,
+			FirstFile:    firstFile,
+			Stagger:      50 * units.Microsecond,
+			Write:        cfg.WriteWorkload,
+			RandomAccess: cfg.RandomAccess,
+			Segmented:    cfg.Segmented,
+			ThinkTime:    cfg.ThinkTime,
+			Aggregators:  cfg.Aggregators,
+			Seed:         cfg.Seed,
+		}
+		w, err := workload.NewIOR(node, wcfg, onLoadDone)
+		if err != nil {
+			return nil, err
+		}
+		loads[i] = w
+		w.Start(eng)
+	}
+
+	if cfg.BackgroundLoad > 0 {
+		const period = units.Millisecond
+		work := units.Time(float64(period) * cfg.BackgroundLoad)
+		for _, node := range nodes {
+			for core := 0; core < cfg.CoresPerClient; core++ {
+				c := node.CPU().Core(core)
+				var tick func(units.Time)
+				tick = func(units.Time) {
+					if activeLoads == 0 {
+						return
+					}
+					c.Submit(cpu.PrioProcess, cpu.CatOther, work, nil)
+					eng.After(period, tick)
+				}
+				eng.At(0, tick)
+			}
+		}
+	}
+	if instrument != nil {
+		instrument(nodes)
+	}
+	eng.RunUntilIdle()
+	res := collect(cfg, eng, nodes, loads, srvs)
+	res.NetDrops = fab.Dropped()
+	return res, nil
+}
+
+// collect assembles the Result from the finished simulation.
+func collect(cfg Config, eng *sim.Engine, nodes []*client.Node, loads []*workload.IOR, srvs []*pfs.Server) *Result {
+	res := &Result{
+		Policy:         cfg.Policy.String(),
+		Duration:       eng.Now(),
+		BusyByCategory: make(map[string]units.Time),
+	}
+	catNames := []cpu.Category{cpu.CatIRQ, cpu.CatSoftirq, cpu.CatMigration,
+		cpu.CatMemStall, cpu.CatCompute, cpu.CatSyscall, cpu.CatOther}
+
+	var busy units.Time
+	for i, n := range nodes {
+		st := n.Stats()
+		res.TotalBytes += st.BytesRead + st.BytesWritten
+		res.HintedIRQs += st.HintedIRQs
+		res.Interrupts += st.Interrupts
+		res.Retries += st.Retries
+		res.FailedTransfers += st.FailedTransfers
+		res.HeaderDrops += st.HeaderDrops
+		res.RingDrops += n.NIC().Stats().RingDrops
+
+		agg := n.Caches().Aggregate()
+		res.LineAccesses += agg.Accesses
+		res.LineMisses += agg.Misses
+		res.RemoteLines += agg.RemoteTransfers
+		res.MemoryLines += agg.MemoryFills
+
+		total := n.CPU().TotalStats()
+		busy += total.Busy
+		for _, c := range catNames {
+			res.BusyByCategory[c.String()] += total.ByCategory[c]
+		}
+		res.UnhaltedCycles += n.CPU().UnhaltedCycles()
+
+		dur := loads[i].Finished()
+		if dur <= 0 {
+			dur = eng.Now()
+		}
+		res.PerClient = append(res.PerClient, units.Over(st.BytesRead+st.BytesWritten, dur))
+	}
+	if res.Duration > 0 {
+		res.Bandwidth = units.Over(res.TotalBytes, res.Duration)
+		coreNS := float64(res.Duration) * float64(cfg.Clients*cfg.CoresPerClient)
+		res.CPUUtilization = float64(busy) / coreNS
+	}
+	if res.LineAccesses > 0 {
+		res.CacheMissRate = float64(res.LineMisses) / float64(res.LineAccesses)
+	}
+	var lats, wlats []float64
+	for _, n := range nodes {
+		lats = append(lats, n.Latencies()...)
+		wlats = append(wlats, n.WriteLatencies()...)
+	}
+	if len(lats) > 0 {
+		res.LatencyP50 = units.Time(metrics.Percentile(lats, 50))
+		res.LatencyP99 = units.Time(metrics.Percentile(lats, 99))
+	}
+	if len(wlats) > 0 {
+		res.WriteLatencyP50 = units.Time(metrics.Percentile(wlats, 50))
+		res.WriteLatencyP99 = units.Time(metrics.Percentile(wlats, 99))
+	}
+	for _, s := range srvs {
+		res.ServerBytes = append(res.ServerBytes, s.Stats().BytesSent+s.Stats().BytesWritten)
+	}
+	if dur := float64(res.Duration); dur > 0 {
+		var nicBusy float64
+		for _, n := range nodes {
+			nicBusy += float64(n.NICIngressBusy()) / dur
+		}
+		res.ClientNICBusy = nicBusy / float64(len(nodes))
+		var diskBusy, cpuBusy float64
+		for _, s := range srvs {
+			diskBusy += float64(s.Disk().Stats().BusyTime) / dur
+			cpuBusy += float64(s.CPUBusy()) / dur
+		}
+		res.DiskBusy = diskBusy / float64(len(srvs))
+		res.ServerCPUBusy = cpuBusy / float64(len(srvs))
+	}
+	return res
+}
+
+// RunTraced is Run with a bounded event trace attached to the first
+// client node; it returns the trace ring alongside the result. Useful
+// for understanding a configuration's interrupt routing decisions
+// (cmd/saisim -trace).
+func RunTraced(cfg Config, traceCap int) (*Result, *trace.Ring, error) {
+	if traceCap <= 0 {
+		traceCap = 64
+	}
+	ring := trace.NewRing(traceCap)
+	res, err := run(cfg, func(nodes []*client.Node) {
+		nodes[0].SetTracer(ring)
+	})
+	return res, ring, err
+}

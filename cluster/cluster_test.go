@@ -1,0 +1,891 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"sais/internal/analytic"
+	"sais/internal/irqsched"
+	"sais/internal/netsim"
+	"sais/internal/units"
+)
+
+// quickCfg returns a small, fast configuration for unit tests.
+func quickCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Servers = 8
+	cfg.BytesPerProc = 8 * units.MiB
+	return cfg
+}
+
+func TestRunProducesConsistentResult(t *testing.T) {
+	res, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBytes != 16*units.MiB {
+		t.Errorf("total bytes = %v, want 16MiB (2 procs x 8MiB)", res.TotalBytes)
+	}
+	if res.Duration <= 0 || res.Bandwidth <= 0 {
+		t.Errorf("duration=%v bandwidth=%v", res.Duration, res.Bandwidth)
+	}
+	if res.CacheMissRate <= 0 || res.CacheMissRate >= 1 {
+		t.Errorf("miss rate = %v", res.CacheMissRate)
+	}
+	if res.CPUUtilization <= 0 || res.CPUUtilization >= 1 {
+		t.Errorf("utilization = %v", res.CPUUtilization)
+	}
+	if res.UnhaltedCycles <= 0 {
+		t.Error("no unhalted cycles")
+	}
+	if res.Interrupts == 0 {
+		t.Error("no interrupts counted")
+	}
+	if res.RingDrops != 0 {
+		t.Errorf("ring drops = %d in a healthy run", res.RingDrops)
+	}
+	if len(res.PerClient) != 1 {
+		t.Errorf("per-client entries = %d", len(res.PerClient))
+	}
+	if res.LineMisses != res.RemoteLines+res.MemoryLines {
+		t.Errorf("misses %d != remote %d + memory %d", res.LineMisses, res.RemoteLines, res.MemoryLines)
+	}
+}
+
+func TestHeadlineResultSAIsBeatsIrqbalance(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Servers = 16
+	base, err := Run(cfg.WithPolicy(irqsched.PolicyIrqbalance))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sais, err := Run(cfg.WithPolicy(irqsched.PolicySourceAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sais.Bandwidth <= base.Bandwidth {
+		t.Errorf("SAIs %v not faster than irqbalance %v", sais.Bandwidth, base.Bandwidth)
+	}
+	if sais.CacheMissRate >= base.CacheMissRate {
+		t.Errorf("SAIs miss rate %.3f not below irqbalance %.3f", sais.CacheMissRate, base.CacheMissRate)
+	}
+	if sais.UnhaltedCycles >= base.UnhaltedCycles {
+		t.Errorf("SAIs unhalted %d not below irqbalance %d", sais.UnhaltedCycles, base.UnhaltedCycles)
+	}
+	if sais.RemoteLines != 0 {
+		t.Errorf("SAIs produced %d migrated lines", sais.RemoteLines)
+	}
+	if base.RemoteLines == 0 {
+		t.Error("irqbalance produced no migrated lines")
+	}
+	if sais.HintedIRQs == 0 {
+		t.Error("SAIs recorded no hinted interrupts")
+	}
+	if base.HintedIRQs != 0 {
+		t.Errorf("irqbalance recorded %d hinted interrupts", base.HintedIRQs)
+	}
+}
+
+func TestOneGigabitNICBottleneckCompressesGain(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Servers = 16
+	g3 := cfg
+	g1 := cfg
+	g1.ClientNICRate = units.Gigabit
+
+	gain := func(c Config) float64 {
+		base, err := Run(c.WithPolicy(irqsched.PolicyIrqbalance))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sais, err := Run(c.WithPolicy(irqsched.PolicySourceAware))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(sais.Bandwidth)/float64(base.Bandwidth) - 1
+	}
+	gain1, gain3 := gain(g1), gain(g3)
+	if gain1 >= gain3 {
+		t.Errorf("1-Gbit gain %.3f not below 3-Gbit gain %.3f (NIC bottleneck must compress it)", gain1, gain3)
+	}
+	if gain1 > 0.10 {
+		t.Errorf("1-Gbit gain %.3f implausibly large", gain1)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Duration != b.Duration || a.UnhaltedCycles != b.UnhaltedCycles ||
+		a.LineAccesses != b.LineAccesses || a.Interrupts != b.Interrupts {
+		t.Errorf("identical configs diverged: %+v vs %+v", a, b)
+	}
+	// A different seed changes the microdynamics but not the totals.
+	c := quickCfg()
+	c.Seed = 99
+	r2, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.TotalBytes != a.TotalBytes {
+		t.Errorf("seed changed conservation: %v vs %v", r2.TotalBytes, a.TotalBytes)
+	}
+}
+
+func TestAllPoliciesRun(t *testing.T) {
+	for _, p := range []irqsched.PolicyKind{
+		irqsched.PolicyRoundRobin, irqsched.PolicyDedicated,
+		irqsched.PolicyIrqbalance, irqsched.PolicySourceAware,
+		irqsched.PolicyFlowHash, irqsched.PolicyHybrid,
+		irqsched.PolicySocketAware, irqsched.PolicyHardwareRSS,
+	} {
+		res, err := Run(quickCfg().WithPolicy(p))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.TotalBytes != 16*units.MiB {
+			t.Errorf("%v: bytes = %v", p, res.TotalBytes)
+		}
+	}
+}
+
+func TestMultiClientSharedFiles(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Clients = 4
+	cfg.Servers = 8
+	cfg.SharedFiles = true
+	cfg.BytesPerProc = 4 * units.MiB
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := units.Bytes(4*2) * 4 * units.MiB
+	if res.TotalBytes != want {
+		t.Errorf("total bytes = %v, want %v", res.TotalBytes, want)
+	}
+	if len(res.PerClient) != 4 {
+		t.Errorf("per-client = %d", len(res.PerClient))
+	}
+	// Shared files must outperform private files on the same cluster:
+	// the servers' buffer caches absorb the re-reads.
+	cfg2 := cfg
+	cfg2.SharedFiles = false
+	priv, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bandwidth <= priv.Bandwidth {
+		t.Errorf("shared %v not above private %v", res.Bandwidth, priv.Bandwidth)
+	}
+}
+
+func TestFailureInjectionLoss(t *testing.T) {
+	cfg := quickCfg()
+	cfg.LossRate = 0.001
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lost strips mean some transfers never complete; the run must
+	// still terminate and deliver whatever arrived.
+	if res.TotalBytes > 16*units.MiB {
+		t.Errorf("delivered more than requested: %v", res.TotalBytes)
+	}
+	if res.Duration <= 0 {
+		t.Error("run did not progress")
+	}
+}
+
+func TestFailureInjectionServerStall(t *testing.T) {
+	base, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg()
+	cfg.ServerStall = 20 * units.Millisecond
+	cfg.ServerStallRate = 0.2
+	slow, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Bandwidth >= base.Bandwidth {
+		t.Errorf("stalled cluster %v not slower than healthy %v", slow.Bandwidth, base.Bandwidth)
+	}
+	if slow.TotalBytes != base.TotalBytes {
+		t.Errorf("stalls lost data: %v vs %v", slow.TotalBytes, base.TotalBytes)
+	}
+}
+
+func TestFragmentWireMode(t *testing.T) {
+	cfg := quickCfg()
+	cfg.BytesPerProc = 2 * units.MiB
+	cfg.FragmentWire = true
+	cfg.CoalesceFrames = 16
+	cfg.CoalesceDelay = 100 * units.Microsecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBytes != 4*units.MiB {
+		t.Errorf("fragmented run bytes = %v", res.TotalBytes)
+	}
+}
+
+func TestMigrateDuringBlockHurtsSAIs(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Servers = 16
+	sais, err := Run(cfg.WithPolicy(irqsched.PolicySourceAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.MigrateDuringBlock = 1
+	migr, err := Run(cfg.WithPolicy(irqsched.PolicySourceAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if migr.RemoteLines == 0 {
+		t.Error("forced migration produced no cache-to-cache traffic")
+	}
+	if migr.Bandwidth >= sais.Bandwidth {
+		t.Errorf("migrating SAIs %v not below pinned SAIs %v", migr.Bandwidth, sais.Bandwidth)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mods := []func(*Config){
+		func(c *Config) { c.Clients = 0 },
+		func(c *Config) { c.Servers = 0 },
+		func(c *Config) { c.CoresPerClient = 0 },
+		func(c *Config) { c.ClientNICRate = 0 },
+		func(c *Config) { c.StripSize = 0 },
+		func(c *Config) { c.ProcsPerClient = 0 },
+		func(c *Config) { c.TransferSize = units.KiB },
+		func(c *Config) { c.BytesPerProc = units.KiB },
+		func(c *Config) { c.LossRate = 1 },
+		func(c *Config) { c.ServerStallRate = 2 },
+	}
+	for i, mod := range mods {
+		cfg := DefaultConfig()
+		mod(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestWriteWorkloadPoliciesTie(t *testing.T) {
+	// The paper studies reads because writes have no interrupt-locality
+	// issue; under the write workload the policies must land within a
+	// few percent of each other.
+	cfg := quickCfg()
+	cfg.WriteWorkload = true
+	base, err := Run(cfg.WithPolicy(irqsched.PolicyIrqbalance))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sais, err := Run(cfg.WithPolicy(irqsched.PolicySourceAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.TotalBytes != 16*units.MiB || sais.TotalBytes != 16*units.MiB {
+		t.Fatalf("bytes: %v vs %v", base.TotalBytes, sais.TotalBytes)
+	}
+	gap := float64(sais.Bandwidth)/float64(base.Bandwidth) - 1
+	if gap > 0.05 || gap < -0.05 {
+		t.Errorf("write-path gap %.2f%%; policies should tie", gap*100)
+	}
+	if sais.RemoteLines != 0 || base.RemoteLines != 0 {
+		t.Errorf("write workload migrated lines: %d / %d", sais.RemoteLines, base.RemoteLines)
+	}
+}
+
+func TestLossWithRetriesDeliversEverything(t *testing.T) {
+	cfg := quickCfg()
+	cfg.LossRate = 0.01
+	cfg.RetryTimeout = 150 * units.Millisecond
+	cfg.MaxRetries = 10
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBytes != 16*units.MiB {
+		t.Errorf("delivered %v with retries enabled, want all 16MiB", res.TotalBytes)
+	}
+	if res.Retries == 0 {
+		t.Error("1% loss should have triggered retries")
+	}
+	if res.FailedTransfers != 0 {
+		t.Errorf("%d transfers failed despite generous retry budget", res.FailedTransfers)
+	}
+}
+
+func TestHeavyLossAbandonsTransfers(t *testing.T) {
+	cfg := quickCfg()
+	cfg.BytesPerProc = 2 * units.MiB
+	cfg.LossRate = 0.5
+	cfg.RetryTimeout = 50 * units.Millisecond
+	cfg.MaxRetries = 1
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedTransfers == 0 {
+		t.Error("50% loss with one retry should abandon some transfers")
+	}
+	if res.TotalBytes >= 4*units.MiB {
+		t.Errorf("delivered %v under 50%% loss", res.TotalBytes)
+	}
+}
+
+func TestWriteLossWithRetries(t *testing.T) {
+	cfg := quickCfg()
+	cfg.WriteWorkload = true
+	cfg.LossRate = 0.01
+	cfg.RetryTimeout = 150 * units.Millisecond
+	cfg.MaxRetries = 10
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBytes != 16*units.MiB {
+		t.Errorf("acked %v with retries enabled, want all 16MiB", res.TotalBytes)
+	}
+}
+
+func TestAnalyticOrderingHoldsInSimulation(t *testing.T) {
+	// Cross-check the §III model against the simulator: with the
+	// default cost model (M >> P), the analytic prediction is that
+	// source-aware beats balanced; the simulator must agree, and the
+	// simulated migration stall must be of the order the model's M
+	// accounts for.
+	cfg := quickCfg()
+	cfg.Servers = 16
+	base, err := Run(cfg.WithPolicy(irqsched.PolicyIrqbalance))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sais, err := Run(cfg.WithPolicy(irqsched.PolicySourceAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := analytic.Params{
+		P:  20 * units.Microsecond,
+		M:  200 * units.Microsecond,
+		TR: 5 * units.Millisecond,
+		NC: cfg.CoresPerClient,
+		NS: cfg.Servers,
+		NR: int(cfg.BytesPerProc / cfg.TransferSize),
+		NP: cfg.ProcsPerClient,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.SourceAwareWins() {
+		t.Fatal("model misconfigured: M <= P")
+	}
+	if sais.Duration >= base.Duration {
+		t.Errorf("simulator contradicts the model: sais %v vs balanced %v", sais.Duration, base.Duration)
+	}
+	// The simulated per-strip migration stall is lines × RemoteLine =
+	// 1024 × 200ns ≈ 205µs — the model's M. Check the books agree.
+	strips := base.RemoteLines / 1024
+	if strips == 0 {
+		t.Fatal("no migrated strips under the balanced policy")
+	}
+	perStrip := base.BusyByCategory["migration"] / units.Time(strips)
+	if perStrip < 150*units.Microsecond || perStrip > 250*units.Microsecond {
+		t.Errorf("measured per-strip migration cost %v outside the model's M ≈ 200µs", perStrip)
+	}
+}
+
+func TestBondedClientNIC(t *testing.T) {
+	// The testbed's 3-Gigabit NIC is three bonded 1-Gbit ports. A
+	// round-robin bond should behave close to the single 3-Gbit model;
+	// a flow-hashed bond may do slightly worse (per-flow 1-Gbit cap).
+	single := quickCfg()
+	single.Servers = 16
+	bonded := single
+	bonded.ClientNICPorts = 3
+	a, err := Run(single.WithPolicy(irqsched.PolicySourceAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(bonded.WithPolicy(irqsched.PolicySourceAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(b.Bandwidth) / float64(a.Bandwidth)
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Errorf("bonded/single bandwidth ratio %.2f out of range (%v vs %v)", ratio, b.Bandwidth, a.Bandwidth)
+	}
+	flow := bonded
+	flow.ClientBondMode = netsim.BondFlowHash
+	c, err := Run(flow.WithPolicy(irqsched.PolicySourceAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalBytes != a.TotalBytes {
+		t.Errorf("flow-hash bond lost data: %v", c.TotalBytes)
+	}
+}
+
+func TestRandomAccessSlowerThanSequential(t *testing.T) {
+	// Random transfer order defeats server readahead, so the same byte
+	// budget takes longer — and the SAIs gain survives, since it lives
+	// on the client side.
+	seq := quickCfg()
+	rnd := seq
+	rnd.RandomAccess = true
+	a, err := Run(seq.WithPolicy(irqsched.PolicySourceAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(rnd.WithPolicy(irqsched.PolicySourceAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TotalBytes != a.TotalBytes {
+		t.Fatalf("random mode lost data: %v vs %v", b.TotalBytes, a.TotalBytes)
+	}
+	if b.Bandwidth >= a.Bandwidth {
+		t.Errorf("random %v not slower than sequential %v", b.Bandwidth, a.Bandwidth)
+	}
+	base, err := Run(rnd.WithPolicy(irqsched.PolicyIrqbalance))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Bandwidth <= base.Bandwidth {
+		t.Errorf("SAIs gain vanished under random access: %v vs %v", b.Bandwidth, base.Bandwidth)
+	}
+}
+
+func TestSocketAwarePolicyBetweenBaselines(t *testing.T) {
+	// The hint-precision ablation: socket-granular hints keep strips on
+	// the consumer's socket (cheap intra-socket migrations only), so
+	// sais-socket should land between irqbalance and exact sais.
+	cfg := quickCfg()
+	cfg.Servers = 16
+	irqb, err := Run(cfg.WithPolicy(irqsched.PolicyIrqbalance))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sock, err := Run(cfg.WithPolicy(irqsched.PolicySocketAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sais, err := Run(cfg.WithPolicy(irqsched.PolicySourceAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sock.Bandwidth <= irqb.Bandwidth {
+		t.Errorf("sais-socket %v not above irqbalance %v", sock.Bandwidth, irqb.Bandwidth)
+	}
+	if sock.Bandwidth > sais.Bandwidth {
+		t.Errorf("sais-socket %v above exact sais %v", sock.Bandwidth, sais.Bandwidth)
+	}
+	// All its migrations must be intra-socket: under the NUMA price
+	// model, its per-line migration cost equals the near cost.
+	if sock.RemoteLines == 0 {
+		t.Error("sais-socket should still migrate within the socket")
+	}
+	perLine := float64(sock.BusyByCategory["migration"]) / float64(sock.RemoteLines)
+	if perLine > 150 {
+		t.Errorf("per-line migration %.0f ns suggests cross-socket traffic (near=140)", perLine)
+	}
+}
+
+func TestServerCrashAndRecovery(t *testing.T) {
+	healthy := quickCfg()
+	healthy.RetryTimeout = 100 * units.Millisecond
+	healthy.MaxRetries = 20
+	base, err := Run(healthy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	crash := healthy
+	crash.CrashServer = 2
+	crash.CrashAt = 20 * units.Millisecond
+	crash.ReviveAt = 250 * units.Millisecond
+	res, err := Run(crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBytes != base.TotalBytes {
+		t.Errorf("crash lost data despite retries: %v vs %v", res.TotalBytes, base.TotalBytes)
+	}
+	if res.Duration <= base.Duration {
+		t.Errorf("outage did not slow the run: %v vs %v", res.Duration, base.Duration)
+	}
+	if res.Retries == 0 {
+		t.Error("no retries recorded around the outage")
+	}
+}
+
+func TestPermanentCrashFailsTransfers(t *testing.T) {
+	cfg := quickCfg()
+	cfg.BytesPerProc = 2 * units.MiB
+	cfg.RetryTimeout = 50 * units.Millisecond
+	cfg.MaxRetries = 2
+	cfg.CrashServer = 0
+	cfg.CrashAt = 0
+	cfg.ReviveAt = units.Forever
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedTransfers == 0 {
+		t.Error("a permanently dead server should fail transfers")
+	}
+}
+
+func TestBottleneckGauges(t *testing.T) {
+	// At 8 servers the disks work hard; at a 1-Gbit NIC the client link
+	// saturates. The gauges must point at the right resource.
+	diskBound := quickCfg()
+	diskBound.Servers = 8
+	a, err := Run(diskBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DiskBusy <= 0.3 {
+		t.Errorf("8-server run disk busy = %.2f; expected substantial disk pressure", a.DiskBusy)
+	}
+	nicBound := quickCfg()
+	nicBound.Servers = 32
+	nicBound.ClientNICRate = units.Gigabit
+	b, err := Run(nicBound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ClientNICBusy <= 0.7 {
+		t.Errorf("1-Gbit run NIC busy = %.2f; expected a saturated link", b.ClientNICBusy)
+	}
+	if b.DiskBusy >= a.DiskBusy {
+		t.Errorf("32-server disks (%.2f) busier than 8-server disks (%.2f)", b.DiskBusy, a.DiskBusy)
+	}
+	for _, g := range []float64{a.ClientNICBusy, a.DiskBusy, a.ServerCPUBusy} {
+		if g < 0 || g > 1.01 {
+			t.Errorf("gauge %v outside [0,1]", g)
+		}
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Servers = 16
+	base, err := Run(cfg.WithPolicy(irqsched.PolicyIrqbalance))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sais, err := Run(cfg.WithPolicy(irqsched.PolicySourceAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.LatencyP50 <= 0 || base.LatencyP99 < base.LatencyP50 {
+		t.Errorf("percentiles inconsistent: p50=%v p99=%v", base.LatencyP50, base.LatencyP99)
+	}
+	if sais.LatencyP50 >= base.LatencyP50 {
+		t.Errorf("SAIs median latency %v not below irqbalance %v", sais.LatencyP50, base.LatencyP50)
+	}
+	// Writes report no read latencies.
+	w := cfg
+	w.WriteWorkload = true
+	wres, err := Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wres.LatencyP50 != 0 {
+		t.Errorf("write workload reported read latency %v", wres.LatencyP50)
+	}
+}
+
+func TestBackgroundLoadRaisesUtilization(t *testing.T) {
+	quiet := quickCfg()
+	a, err := Run(quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := quiet
+	noisy.BackgroundLoad = 0.10
+	b, err := Run(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.CPUUtilization <= a.CPUUtilization+0.05 {
+		t.Errorf("background load did not show: %.3f vs %.3f", b.CPUUtilization, a.CPUUtilization)
+	}
+	if b.TotalBytes != a.TotalBytes {
+		t.Errorf("background load lost data: %v vs %v", b.TotalBytes, a.TotalBytes)
+	}
+	// The run must still terminate (the daemon work stops with the
+	// workload) — RunUntilIdle returning at all proves it, but the
+	// makespan must stay within reason.
+	if b.Duration > 3*a.Duration {
+		t.Errorf("background load tripled the makespan: %v vs %v", b.Duration, a.Duration)
+	}
+	// SAIs still wins under noise.
+	sais, err := Run(noisy.WithPolicy(irqsched.PolicySourceAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sais.Bandwidth <= b.Bandwidth {
+		t.Errorf("SAIs %v not above irqbalance %v under background load", sais.Bandwidth, b.Bandwidth)
+	}
+	bad := quiet
+	bad.BackgroundLoad = 1
+	if _, err := Run(bad); err == nil {
+		t.Error("background load 1.0 accepted")
+	}
+}
+
+func TestL3SoftensEvictionCost(t *testing.T) {
+	// With the Opteron's shared L3 enabled, strips evicted from a
+	// private L2 before consumption come back from the L3 instead of
+	// DRAM — SAIs (whose large transfers self-evict) gains most.
+	base := quickCfg()
+	base.Servers = 16
+	noL3, err := Run(base.WithPolicy(irqsched.PolicySourceAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withL3 := base
+	withL3.L3PerSocket = 6 * units.MiB
+	l3, err := Run(withL3.WithPolicy(irqsched.PolicySourceAware))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l3.Bandwidth <= noL3.Bandwidth {
+		t.Errorf("L3 did not help SAIs: %v vs %v", l3.Bandwidth, noL3.Bandwidth)
+	}
+	if l3.MemoryLines >= noL3.MemoryLines {
+		t.Errorf("memory lines %d not reduced from %d", l3.MemoryLines, noL3.MemoryLines)
+	}
+	if l3.TotalBytes != noL3.TotalBytes {
+		t.Errorf("L3 changed delivered bytes: %v vs %v", l3.TotalBytes, noL3.TotalBytes)
+	}
+}
+
+func TestLongRunSoak(t *testing.T) {
+	// A longer steady-state run: rates must stabilize (the second half
+	// is no slower than 70% of the full-run average) and every counter
+	// must stay self-consistent at scale.
+	if testing.Short() {
+		t.Skip("soak")
+	}
+	cfg := DefaultConfig()
+	cfg.Servers = 16
+	cfg.BytesPerProc = 128 * units.MiB
+	cfg.Policy = irqsched.PolicySourceAware
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBytes != 256*units.MiB {
+		t.Fatalf("bytes = %v", res.TotalBytes)
+	}
+	if res.LineMisses != res.RemoteLines+res.MemoryLines {
+		t.Error("miss books do not balance at scale")
+	}
+	if res.RingDrops != 0 || res.FailedTransfers != 0 {
+		t.Errorf("drops=%d failed=%d in a clean soak", res.RingDrops, res.FailedTransfers)
+	}
+	rate := float64(res.Bandwidth) / 1e6
+	if rate < 150 || rate > 400 {
+		t.Errorf("steady-state rate %.1f MB/s outside the calibrated band", rate)
+	}
+	if res.LatencyP99 > 20*res.LatencyP50 {
+		t.Errorf("latency tail blew up: p50=%v p99=%v", res.LatencyP50, res.LatencyP99)
+	}
+}
+
+func TestSegmentedLayoutRuns(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Segmented = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBytes != 16*units.MiB {
+		t.Errorf("bytes = %v", res.TotalBytes)
+	}
+	// Two processes interleaving one shared file are *globally*
+	// sequential, so shared readahead serves both: segmented should be
+	// at least as fast as private files here, and within 2x of them.
+	priv, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(res.Bandwidth) / float64(priv.Bandwidth)
+	if ratio < 0.9 || ratio > 2 {
+		t.Errorf("segmented/private ratio %.2f outside [0.9, 2] (%v vs %v)",
+			ratio, res.Bandwidth, priv.Bandwidth)
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Servers = 48
+	cfg.Policy = irqsched.PolicySourceAware
+	cfg.TransferSize = 2 * units.MiB
+	cfg.SharedFiles = true
+	cfg.Costs.RemoteLine = 250
+	path := t.TempDir() + "/cfg.json"
+	if err := SaveConfig(path, cfg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Servers != 48 || got.Policy != irqsched.PolicySourceAware ||
+		got.TransferSize != 2*units.MiB || !got.SharedFiles ||
+		got.Costs.RemoteLine != 250 {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	// The loaded config runs identically to the original.
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Duration != b.Duration || a.UnhaltedCycles != b.UnhaltedCycles {
+		t.Error("loaded config diverged from original")
+	}
+}
+
+func TestReadConfigRejectsGarbage(t *testing.T) {
+	if _, err := ReadConfig(strings.NewReader(`{"Servers": 0}`)); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := ReadConfig(strings.NewReader(`{"NoSuchField": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ReadConfig(strings.NewReader(`not json`)); err == nil {
+		t.Error("non-JSON accepted")
+	}
+	// Partial configs inherit defaults.
+	got, err := ReadConfig(strings.NewReader(`{"Servers": 32}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Servers != 32 || got.CoresPerClient != 8 {
+		t.Errorf("partial config = %+v", got)
+	}
+}
+
+func TestCollectiveWorkloadMode(t *testing.T) {
+	cfg := quickCfg()
+	cfg.BytesPerProc = 4 * units.MiB
+	cfg.Aggregators = 1 // one aggregator serves both processes
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBytes != 8*units.MiB {
+		t.Errorf("collective bytes = %v, want 8MiB", res.TotalBytes)
+	}
+	// Phase-2 redistribution appears as cache-to-cache traffic even
+	// under irqbalance: the non-aggregator's half moves every round.
+	if res.RemoteLines == 0 {
+		t.Error("collective mode produced no redistribution traffic")
+	}
+	// With every process its own aggregator, no bytes move in phase 2
+	// and throughput improves (reads of one shared file are globally
+	// sequential).
+	all := cfg
+	all.Aggregators = 2
+	res2, err := Run(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Bandwidth <= res.Bandwidth {
+		t.Errorf("self-aggregating collective %v not above single-aggregator %v",
+			res2.Bandwidth, res.Bandwidth)
+	}
+	if res2.TotalBytes != 8*units.MiB {
+		t.Errorf("bytes = %v", res2.TotalBytes)
+	}
+}
+
+func TestStripingBalance(t *testing.T) {
+	// Round-robin striping with aligned transfers must load every
+	// server identically.
+	cfg := quickCfg()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ServerBytes) != cfg.Servers {
+		t.Fatalf("server bytes entries = %d", len(res.ServerBytes))
+	}
+	first := res.ServerBytes[0]
+	if first == 0 {
+		t.Fatal("server 0 served nothing")
+	}
+	for i, b := range res.ServerBytes {
+		if b != first {
+			t.Errorf("server %d served %v, server 0 served %v — striping imbalance", i, b, first)
+		}
+	}
+}
+
+func TestWriteLatencyPercentiles(t *testing.T) {
+	cfg := quickCfg()
+	cfg.WriteWorkload = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WriteLatencyP50 <= 0 || res.WriteLatencyP99 < res.WriteLatencyP50 {
+		t.Errorf("write percentiles: p50=%v p99=%v", res.WriteLatencyP50, res.WriteLatencyP99)
+	}
+	if res.LatencyP50 != 0 {
+		t.Errorf("read latency %v reported for a write workload", res.LatencyP50)
+	}
+}
+
+func TestCorruptionWithRetries(t *testing.T) {
+	cfg := quickCfg()
+	cfg.CorruptRate = 0.01
+	cfg.RetryTimeout = 150 * units.Millisecond
+	cfg.MaxRetries = 10
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HeaderDrops == 0 {
+		t.Error("1% corruption produced no header drops")
+	}
+	if res.TotalBytes != 16*units.MiB {
+		t.Errorf("delivered %v with retries, want all 16MiB", res.TotalBytes)
+	}
+	bad := cfg
+	bad.CorruptRate = 1
+	if _, err := Run(bad); err == nil {
+		t.Error("corrupt rate 1.0 accepted")
+	}
+}
+
+func TestNetDropsReported(t *testing.T) {
+	cfg := quickCfg()
+	cfg.LossRate = 0.02
+	cfg.RetryTimeout = 150 * units.Millisecond
+	cfg.MaxRetries = 10
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NetDrops == 0 {
+		t.Error("fabric drops not surfaced in the result")
+	}
+}

@@ -1,0 +1,66 @@
+// Command analytic prints the §III model's predictions for a cluster
+// shape: the balanced-scheduling lower bound, the source-aware time,
+// the guaranteed advantage (inequality 9), and the speed-up bound as TR
+// varies — the closed-form companion to the simulator.
+//
+// Example:
+//
+//	analytic -cores 8 -servers 48 -requests 100 -P 20us -M 200us
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sais/internal/analytic"
+	"sais/internal/units"
+)
+
+func main() {
+	var (
+		cores    = flag.Int("cores", 8, "client cores (NC)")
+		servers  = flag.Int("servers", 16, "I/O servers (NS, multiple of NC)")
+		requests = flag.Int("requests", 100, "I/O requests (NR)")
+		programs = flag.Int("programs", 2, "programs on the client (NP)")
+		pUS      = flag.Float64("P", 20, "strip processing time in µs")
+		mUS      = flag.Float64("M", 200, "strip migration time in µs")
+		trMS     = flag.Float64("TR", 5, "network+server time in ms")
+	)
+	flag.Parse()
+
+	p := analytic.Params{
+		P:  units.Time(*pUS * float64(units.Microsecond)),
+		M:  units.Time(*mUS * float64(units.Microsecond)),
+		TR: units.Time(*trMS * float64(units.Millisecond)),
+		NC: *cores,
+		NS: *servers,
+		NR: *requests,
+		NP: *programs,
+	}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "analytic:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("model inputs: NC=%d NS=%d (α=%d) NR=%d NP=%d  P=%v M=%v TR=%v\n",
+		p.NC, p.NS, p.Alpha(), p.NR, p.NP, p.P, p.M, p.TR)
+	if !p.MDominatesP() {
+		fmt.Println("warning: M is not >> P; the paper's assumption is weak here")
+	}
+	fmt.Printf("T_balanced lower bound (eq 3/6): %v\n", p.TBalancedLower())
+	fmt.Printf("T_source-aware (eq 4/5):         %v\n", p.TSourceAware())
+	lo, hi := p.TSourceAwareMulti()
+	fmt.Printf("T_source-aware, NP programs (8): [%v, %v]\n", lo, hi)
+	fmt.Printf("guaranteed advantage (eq 9):     %v\n", p.AdvantageLower())
+	fmt.Printf("speed-up bound:                  %.2f%%\n", p.SpeedupBound()*100)
+	fmt.Printf("source-aware wins:               %v\n", p.SourceAwareWins())
+
+	fmt.Println("\nspeed-up bound vs TR (the 1-Gbit compression effect):")
+	for _, tr := range []units.Time{0, units.Millisecond, 10 * units.Millisecond,
+		100 * units.Millisecond, units.Second} {
+		q := p
+		q.TR = tr
+		fmt.Printf("  TR=%-8v -> %.2f%%\n", tr, q.SpeedupBound()*100)
+	}
+}

@@ -1,0 +1,101 @@
+// Command experiments regenerates the paper's evaluation: every table
+// and figure (5-12, 14, and the §V.C 1-Gigabit result) as a text table
+// of baseline vs SAIs with the relative change per cell.
+//
+// Usage:
+//
+//	experiments            # run everything, in paper order
+//	experiments -fig 5     # one figure ("5", "figure5", "5-1g", "12", ...)
+//	experiments -list      # list experiment ids
+//	experiments -seeds 5   # more repetitions per cell
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sais/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "run a single figure by id or number")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+		seeds = flag.Int("seeds", 0, "override repetitions per cell (default: per-experiment, ≥3)")
+		plot  = flag.Bool("plot", false, "render each figure as an ASCII bar chart too")
+		csv   = flag.Bool("csv", false, "emit CSV rows instead of tables")
+		html  = flag.String("html", "", "also write a self-contained HTML report to this file")
+		par   = flag.Int("parallel", 1, "run up to N cells of each experiment concurrently")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var toRun []experiments.Experiment
+	if *fig != "" {
+		id := *fig
+		// Bare numbers ("5", "12") are shorthand for figure ids; named
+		// experiments (writes, hybrid, ...) pass through.
+		if _, err := experiments.ByID(id); err != nil && !strings.HasPrefix(id, "figure") {
+			id = "figure" + id
+		}
+		e, err := experiments.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		toRun = []experiments.Experiment{e}
+	} else {
+		toRun = experiments.All()
+	}
+
+	var reports []*experiments.Report
+	for _, e := range toRun {
+		if *seeds > 0 {
+			e.Seeds = *seeds
+		}
+		e.Parallel = *par
+		start := time.Now()
+		rep, err := e.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		reports = append(reports, rep)
+		if *csv {
+			fmt.Print(rep.CSV())
+			continue
+		}
+		fmt.Println(rep.Table())
+		if *plot {
+			chart, err := rep.Chart()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Println(chart)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *html != "" {
+		f, err := os.Create(*html)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := experiments.WriteHTML(f, reports); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("HTML report written to %s\n", *html)
+	}
+}

@@ -1,0 +1,141 @@
+// Command saisim runs a single simulated cluster under one interrupt
+// scheduling policy and prints the paper's four metrics. It is the
+// exploratory front-end to the library; cmd/experiments regenerates the
+// paper's figures.
+//
+// Example:
+//
+//	saisim -policy sais -servers 48 -transfer 1MiB -nic 3
+//	saisim -policy irqbalance -servers 16 -procs 4 -trace
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"sais/cluster"
+	"sais/internal/irqsched"
+	"sais/internal/units"
+)
+
+func main() {
+	var (
+		policyName = flag.String("policy", "sais", "scheduling policy: roundrobin|dedicated|irqbalance|sais")
+		servers    = flag.Int("servers", 16, "number of PVFS I/O server nodes")
+		clients    = flag.Int("clients", 1, "number of client nodes")
+		procs      = flag.Int("procs", 2, "IOR processes per client")
+		cores      = flag.Int("cores", 8, "cores per client")
+		nicGbit    = flag.Float64("nic", 3, "client NIC rate in Gbit/s")
+		transfer   = flag.String("transfer", "1MiB", "transfer size (e.g. 128KiB, 1MiB, 2MiB)")
+		perProc    = flag.String("bytes", "32MiB", "bytes each process reads")
+		shared     = flag.Bool("shared", false, "clients read shared files (Figure-12 mode)")
+		migrate    = flag.Float64("migrate", 0, "probability a process migrates while blocked on I/O")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		verbose    = flag.Bool("v", false, "print the busy-time breakdown")
+		traceN     = flag.Int("trace", 0, "print the last N client trace events")
+		asJSON     = flag.Bool("json", false, "emit the result as JSON")
+		configPath = flag.String("config", "", "load the cluster configuration from a JSON file (flags below still override)")
+		saveConfig = flag.String("save-config", "", "write the effective configuration to a JSON file")
+	)
+	flag.Parse()
+
+	policy, err := irqsched.ParsePolicy(*policyName)
+	if err != nil {
+		fatal(err)
+	}
+	xfer, err := units.ParseBytes(*transfer)
+	if err != nil {
+		fatal(err)
+	}
+	budget, err := units.ParseBytes(*perProc)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := cluster.DefaultConfig()
+	if *configPath != "" {
+		loaded, err := cluster.LoadConfig(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = loaded
+	}
+	cfg.Policy = policy
+	cfg.Servers = *servers
+	cfg.Clients = *clients
+	cfg.ProcsPerClient = *procs
+	cfg.CoresPerClient = *cores
+	cfg.ClientNICRate = units.Rate(*nicGbit) * units.Gigabit
+	cfg.TransferSize = xfer
+	cfg.BytesPerProc = budget
+	cfg.SharedFiles = *shared
+	cfg.MigrateDuringBlock = *migrate
+	cfg.Seed = *seed
+
+	if *saveConfig != "" {
+		if err := cluster.SaveConfig(*saveConfig, cfg); err != nil {
+			fatal(err)
+		}
+	}
+	if *traceN > 0 {
+		printTraced(cfg, *traceN)
+		return
+	}
+	res, err := cluster.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("policy          %s\n", res.Policy)
+	fmt.Printf("duration        %v\n", res.Duration)
+	fmt.Printf("bytes read      %v\n", res.TotalBytes)
+	fmt.Printf("bandwidth       %.1f MB/s\n", float64(res.Bandwidth)/1e6)
+	fmt.Printf("L2 miss rate    %.4f (%d misses / %d accesses)\n",
+		res.CacheMissRate, res.LineMisses, res.LineAccesses)
+	fmt.Printf("  migrated lines %d, memory lines %d\n", res.RemoteLines, res.MemoryLines)
+	fmt.Printf("CPU utilization %.2f%%\n", res.CPUUtilization*100)
+	fmt.Printf("CLK_UNHALTED    %d cycles\n", res.UnhaltedCycles)
+	fmt.Printf("interrupts      %d (%d hinted), ring drops %d\n",
+		res.Interrupts, res.HintedIRQs, res.RingDrops)
+	fmt.Printf("bottlenecks     client NIC %.0f%%, server disks %.0f%%, server CPUs %.0f%%\n",
+		res.ClientNICBusy*100, res.DiskBusy*100, res.ServerCPUBusy*100)
+	if *verbose {
+		fmt.Println("busy time by category:")
+		keys := make([]string, 0, len(res.BusyByCategory))
+		for k := range res.BusyByCategory {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-10s %v\n", k, res.BusyByCategory[k])
+		}
+	}
+}
+
+// printTraced runs a single-client configuration with an event trace
+// attached and prints the last N records.
+func printTraced(cfg cluster.Config, n int) {
+	res, ring, err := cluster.RunTraced(cfg, n)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("bandwidth %.1f MB/s under %s; last %d trace events:\n",
+		float64(res.Bandwidth)/1e6, res.Policy, ring.Len())
+	fmt.Println(ring.Render())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "saisim:", err)
+	os.Exit(1)
+}

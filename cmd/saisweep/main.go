@@ -1,0 +1,72 @@
+// Command saisweep runs the Cartesian product of user-specified
+// dimensions over the default cluster configuration and emits one CSV
+// row per point — the free-form companion to cmd/experiments' fixed
+// figures.
+//
+// Examples:
+//
+//	saisweep servers=8,16,32,48 policy=irqbalance,sais
+//	saisweep transfer=128KiB,1MiB nic=1,3 policy=sais
+//	saisweep -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sais/cluster"
+	"sais/internal/sweep"
+	"sais/internal/units"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list sweepable dimensions and exit")
+		bytes = flag.String("bytes", "16MiB", "per-process byte budget for every point")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(sweep.Names(), "\n"))
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "saisweep: no dimensions given (try 'saisweep servers=8,16 policy=irqbalance,sais')")
+		os.Exit(1)
+	}
+
+	var dims []sweep.Dim
+	for _, spec := range flag.Args() {
+		d, err := sweep.ParseDim(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "saisweep:", err)
+			os.Exit(1)
+		}
+		dims = append(dims, d)
+	}
+
+	base := cluster.DefaultConfig()
+	if b, err := units.ParseBytes(*bytes); err == nil {
+		base.BytesPerProc = b
+	} else {
+		fmt.Fprintln(os.Stderr, "saisweep:", err)
+		os.Exit(1)
+	}
+
+	points, err := sweep.Product(base, dims)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saisweep:", err)
+		os.Exit(1)
+	}
+	fmt.Println(sweep.CSVHeader(dims))
+	for _, p := range points {
+		row, err := sweep.CSVRow(dims, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "saisweep:", err)
+			os.Exit(1)
+		}
+		fmt.Println(row)
+	}
+}

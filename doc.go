@@ -1,0 +1,17 @@
+// Package sais is a Go reproduction of "A Source-aware Interrupt
+// Scheduling for Modern Parallel I/O Systems" (Zou, Sun, Ma, Duan —
+// IPPS 2012): a deterministic discrete-event simulation of a PVFS-style
+// parallel I/O cluster whose client-side interrupt scheduling can be
+// switched between the paper's policies (round-robin, dedicated-core,
+// irqbalance, and the source-aware SAIs) plus several extensions.
+//
+// The public entry points are the cluster package (assemble and run a
+// simulated cluster) and the experiments package (regenerate each of
+// the paper's figures). The root package holds the benchmark harness:
+// one testing.B benchmark per paper figure and a set of ablation
+// benchmarks over the design's load-bearing parameters.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results.
+package sais

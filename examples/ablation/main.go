@@ -1,0 +1,75 @@
+// Ablation: probe the design space around SAIs with the knobs the
+// paper's analysis calls out —
+//
+//  1. the M/P ratio (migration vs processing cost): the paper's whole
+//     argument rests on M >> P, so shrink M until balanced scheduling
+//     catches up;
+//  2. wake-time process migration: the paper's policy (i) vs (ii)
+//     distinction — how much does SAIs lose when the process no longer
+//     sits where its hint pointed?
+//  3. interrupt coalescing: batch interrupts and see that source-aware
+//     placement, not interrupt count, carries the benefit.
+//
+// Run with:
+//
+//	go run ./examples/ablation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sais/cluster"
+	"sais/internal/irqsched"
+	"sais/internal/metrics"
+	"sais/internal/units"
+)
+
+func speedup(cfg cluster.Config) float64 {
+	base, err := cluster.Run(cfg.WithPolicy(irqsched.PolicyIrqbalance))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sais, err := cluster.Run(cfg.WithPolicy(irqsched.PolicySourceAware))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return metrics.Speedup(float64(sais.Bandwidth), float64(base.Bandwidth))
+}
+
+func main() {
+	base := cluster.DefaultConfig()
+	base.Servers = 32
+	base.BytesPerProc = 16 * units.MiB
+
+	fmt.Println("1) M/P ratio sweep (remote-line stall vs softirq processing)")
+	fmt.Printf("   %-24s %10s\n", "remote line cost", "speed-up")
+	for _, remote := range []units.Time{10, 50, 110, 200, 400} {
+		cfg := base
+		cfg.Costs.RemoteLine = remote
+		fmt.Printf("   %-24v %10s\n", remote, metrics.Percent(speedup(cfg)))
+	}
+	fmt.Println("   With cheap migration (M ≈ P) the policies tie — the paper's")
+	fmt.Println("   M >> P assumption is what creates the win.")
+
+	fmt.Println("\n2) wake-time process migration (policy (i) vs (ii))")
+	fmt.Printf("   %-24s %10s\n", "P(migrate on wake)", "speed-up")
+	for _, p := range []float64{0, 0.05, 0.25, 1} {
+		cfg := base
+		cfg.MigrateDuringBlock = p
+		fmt.Printf("   %-24.2f %10s\n", p, metrics.Percent(speedup(cfg)))
+	}
+	fmt.Println("   Migration during an I/O block is rare in practice, which is why")
+	fmt.Println("   the paper implements policy (i) and calls the difference trivial.")
+
+	fmt.Println("\n3) interrupt coalescing (frames per interrupt)")
+	fmt.Printf("   %-24s %10s\n", "coalesce frames", "speed-up")
+	for _, frames := range []int{1, 4, 16} {
+		cfg := base
+		cfg.CoalesceFrames = frames
+		cfg.CoalesceDelay = 100 * units.Microsecond
+		fmt.Printf("   %-24d %10s\n", frames, metrics.Percent(speedup(cfg)))
+	}
+	fmt.Println("   Coalescing cuts interrupt count, not data placement; the SAIs")
+	fmt.Println("   gain survives because it comes from cache locality.")
+}

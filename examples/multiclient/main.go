@@ -1,0 +1,52 @@
+// Multiclient: the paper's scalability scenario (Figure 12) in
+// miniature — a fixed pool of 8 I/O servers serving a growing number
+// of client nodes that read a shared file. The SAIs advantage peaks
+// when clients ≈ servers and fades once the servers saturate, because
+// the number of in-flight requests per client (NR in the §III model)
+// collapses.
+//
+// Run with:
+//
+//	go run ./examples/multiclient
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sais/cluster"
+	"sais/internal/irqsched"
+	"sais/internal/metrics"
+	"sais/internal/units"
+)
+
+func main() {
+	fmt.Printf("%-10s %14s %14s %10s %12s\n",
+		"clients", "irqbalance", "sais", "speed-up", "per-client")
+	for _, clients := range []int{2, 4, 8, 16, 32} {
+		cfg := cluster.DefaultConfig()
+		cfg.Clients = clients
+		cfg.Servers = 8
+		cfg.SharedFiles = true
+		cfg.BytesPerProc = 8 * units.MiB
+
+		base, err := cluster.Run(cfg.WithPolicy(irqsched.PolicyIrqbalance))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sais, err := cluster.Run(cfg.WithPolicy(irqsched.PolicySourceAware))
+		if err != nil {
+			log.Fatal(err)
+		}
+		perClient := float64(sais.Bandwidth) / 1e6 / float64(clients)
+		fmt.Printf("%-10d %9.1f MB/s %9.1f MB/s %10s %7.1f MB/s\n",
+			clients,
+			float64(base.Bandwidth)/1e6,
+			float64(sais.Bandwidth)/1e6,
+			metrics.Percent(metrics.Speedup(float64(sais.Bandwidth), float64(base.Bandwidth))),
+			perClient)
+	}
+	fmt.Println("\nAggregate bandwidth grows until the 8 servers saturate; past that,")
+	fmt.Println("per-client request rate (NR) drops and the SAIs gain compresses —")
+	fmt.Println("the paper measured +20.46% at 8 clients falling to +1.39% at 56.")
+}

@@ -1,0 +1,51 @@
+// Tracing: observe the simulator's interrupt routing decisions — run a
+// short SAIs configuration with the event trace attached, print the
+// last events, and export the whole trace in Chrome's trace-event JSON
+// (open chrome://tracing or https://ui.perfetto.dev and load the file).
+//
+// Run with:
+//
+//	go run ./examples/tracing
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sais/cluster"
+	"sais/internal/irqsched"
+	"sais/internal/units"
+)
+
+func main() {
+	cfg := cluster.DefaultConfig()
+	cfg.Policy = irqsched.PolicySourceAware
+	cfg.Servers = 4
+	cfg.BytesPerProc = 2 * units.MiB
+
+	res, ring, err := cluster.RunTraced(cfg, 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run: %.1f MB/s under %s; %d trace events captured\n\n",
+		float64(res.Bandwidth)/1e6, res.Policy, ring.Len())
+
+	recs := ring.Records()
+	if len(recs) > 10 {
+		recs = recs[len(recs)-10:]
+	}
+	for _, r := range recs {
+		fmt.Println(r)
+	}
+
+	out, err := os.CreateTemp("", "sais-trace-*.json")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer out.Close()
+	if err := ring.ExportChromeTrace(out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nChrome trace written to %s (load in chrome://tracing)\n", out.Name())
+}

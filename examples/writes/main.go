@@ -1,0 +1,60 @@
+// Writes: demonstrate the paper's §I scoping decision — parallel I/O
+// *writes* have no interrupt-locality problem, so source-aware
+// scheduling neither helps nor hurts them.
+//
+// On the read path, every returned strip is data some specific core
+// will consume, so the interrupt's destination decides whether the
+// strip must migrate between caches. On the write path, the data leaves
+// from the producing core's cache and the only return traffic is tiny
+// acknowledgements; there is nothing to keep local.
+//
+// Run with:
+//
+//	go run ./examples/writes
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sais/cluster"
+	"sais/internal/irqsched"
+	"sais/internal/metrics"
+	"sais/internal/units"
+)
+
+func run(cfg cluster.Config, p irqsched.PolicyKind) *cluster.Result {
+	res, err := cluster.Run(cfg.WithPolicy(p))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	cfg := cluster.DefaultConfig()
+	cfg.Servers = 16
+	cfg.BytesPerProc = 16 * units.MiB
+
+	fmt.Printf("%-10s %14s %14s %10s %14s\n",
+		"workload", "irqbalance", "sais", "speed-up", "migrated lines")
+	for _, mode := range []struct {
+		name  string
+		write bool
+	}{{"read", false}, {"write", true}} {
+		c := cfg
+		c.WriteWorkload = mode.write
+		base := run(c, irqsched.PolicyIrqbalance)
+		sais := run(c, irqsched.PolicySourceAware)
+		fmt.Printf("%-10s %9.1f MB/s %9.1f MB/s %10s %14d\n",
+			mode.name,
+			float64(base.Bandwidth)/1e6,
+			float64(sais.Bandwidth)/1e6,
+			metrics.Percent(metrics.Speedup(float64(sais.Bandwidth), float64(base.Bandwidth))),
+			base.RemoteLines)
+	}
+	fmt.Println("\nReads: irqbalance migrates every strip to the consuming core, so")
+	fmt.Println("SAIs wins. Writes: no strip ever returns, both policies handle only")
+	fmt.Println("acknowledgements, and the difference collapses to noise — which is")
+	fmt.Println("why the paper evaluates parallel reads only.")
+}

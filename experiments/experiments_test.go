@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"sais/internal/units"
+)
+
+func TestAllFiguresDefined(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("defined %d experiments, want 15 (10 paper + 5 extensions)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.PaperNote == "" {
+			t.Errorf("experiment %+v missing identity fields", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if len(e.Cells) == 0 {
+			t.Errorf("%s has no cells", e.ID)
+		}
+		if e.Seeds < 3 {
+			t.Errorf("%s averages %d seeds; the paper used at least 3", e.ID, e.Seeds)
+		}
+		for _, c := range e.Cells {
+			if err := c.Config.Validate(); err != nil {
+				t.Errorf("%s/%s: invalid config: %v", e.ID, c.Label, err)
+			}
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("figure12")
+	if err != nil || e.ID != "figure12" {
+		t.Errorf("ByID(figure12) = %v, %v", e.ID, err)
+	}
+	if _, err := ByID("figure99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	e := Figure5()
+	if len(e.Cells) != 16 {
+		t.Fatalf("figure5 cells = %d, want 16 (4 transfers × 4 server counts)", len(e.Cells))
+	}
+	// Each transfer size appears with each server count.
+	labels := map[string]bool{}
+	for _, c := range e.Cells {
+		labels[c.Label] = true
+	}
+	for _, want := range []string{"128KiB/8 nodes", "2MiB/48 nodes", "1MiB/32 nodes"} {
+		if !labels[want] {
+			t.Errorf("missing cell %q", want)
+		}
+	}
+}
+
+func TestMetricDirections(t *testing.T) {
+	if !MetricBandwidth.HigherIsBetter() {
+		t.Error("bandwidth direction")
+	}
+	for _, m := range []MetricKind{MetricMissRate, MetricUtilization, MetricUnhalted} {
+		if m.HigherIsBetter() {
+			t.Errorf("%v should be lower-is-better", m)
+		}
+	}
+}
+
+// runSlice runs a reduced version of an experiment (one seed, the 1MiB
+// transfer row) — full figures run in the benchmark harness.
+func runSlice(t *testing.T, e Experiment, lo, hi int) *Report {
+	t.Helper()
+	e.Seeds = 1
+	if hi > len(e.Cells) {
+		hi = len(e.Cells)
+	}
+	e.Cells = e.Cells[lo:hi]
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestFigure5SAIsWinsEverywhere(t *testing.T) {
+	rep := runSlice(t, Figure5(), 8, 12) // the 1MiB row
+	for _, c := range rep.Cells {
+		if c.Change <= 0 {
+			t.Errorf("%s: SAIs did not win (%.2f%%)", c.Label, c.Change*100)
+		}
+		if c.Change > 0.6 {
+			t.Errorf("%s: speed-up %.2f%% implausibly large", c.Label, c.Change*100)
+		}
+	}
+	best, _ := rep.BestChange()
+	if best < 0.10 {
+		t.Errorf("peak 3-Gbit speed-up %.2f%% too small (paper: 23.57%%)", best*100)
+	}
+}
+
+func TestOneGigCompressesGain(t *testing.T) {
+	g3 := runSlice(t, Figure5(), 8, 12)
+	g1 := runSlice(t, Figure5OneGig(), 8, 12)
+	best3, _ := g3.BestChange()
+	best1, _ := g1.BestChange()
+	if best1 >= best3 {
+		t.Errorf("1-Gbit peak %.2f%% not below 3-Gbit peak %.2f%%", best1*100, best3*100)
+	}
+	if best1 > 0.08 {
+		t.Errorf("1-Gbit peak %.2f%% exceeds the NIC-bound regime (paper: 6.05%%)", best1*100)
+	}
+}
+
+func TestFigure7MissRateReduction(t *testing.T) {
+	rep := runSlice(t, Figure7(), 8, 12)
+	for _, c := range rep.Cells {
+		if c.Change < 0.2 || c.Change > 0.7 {
+			t.Errorf("%s: miss-rate reduction %.1f%% outside the paper's ≈40%% band", c.Label, c.Change*100)
+		}
+	}
+}
+
+func TestFigure11UnhaltedReduction(t *testing.T) {
+	rep := runSlice(t, Figure11(), 8, 12)
+	for _, c := range rep.Cells {
+		if c.Change <= 0.15 {
+			t.Errorf("%s: unhalted reduction %.1f%% too small (paper: up to 48.57%%)", c.Label, c.Change*100)
+		}
+	}
+}
+
+func TestFigure12PeaksThenDecays(t *testing.T) {
+	e := Figure12()
+	e.Seeds = 1
+	e.Cells = []Cell{e.Cells[1], e.Cells[5]} // 8 clients vs 48 clients
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	at8, at48 := rep.Cells[0].Change, rep.Cells[1].Change
+	if at8 <= at48 {
+		t.Errorf("speed-up at 8 clients (%.2f%%) not above 48 clients (%.2f%%)", at8*100, at48*100)
+	}
+	if at8 <= 0 {
+		t.Errorf("no gain at the paper's peak point: %.2f%%", at8*100)
+	}
+}
+
+func TestFigure14NoBottleneckGain(t *testing.T) {
+	e := Figure14()
+	e.Seeds = 1
+	e.Cells = []Cell{e.Cells[2]} // 4 apps
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Cells[0].Change
+	if got < 0.3 || got > 0.9 {
+		t.Errorf("no-bottleneck speed-up %.2f%% outside the paper's ≈53%% region", got*100)
+	}
+	// Bandwidth must far exceed the 3-Gbit figures.
+	if rep.Cells[0].Treatment.Mean() < 800 {
+		t.Errorf("treatment bandwidth %.0f MB/s too low for the memory-rate configuration",
+			rep.Cells[0].Treatment.Mean())
+	}
+}
+
+func TestReportTable(t *testing.T) {
+	e := Figure5()
+	e.Seeds = 1
+	e.Cells = e.Cells[:1]
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := rep.Table()
+	for _, want := range []string{"figure5", "irqbalance", "sais", "peak change", "128KiB/8 nodes"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestEmptyExperimentRejected(t *testing.T) {
+	e := Experiment{ID: "empty"}
+	if _, err := e.Run(); err == nil {
+		t.Error("empty experiment ran")
+	}
+}
+
+func TestEvalConfigScale(t *testing.T) {
+	cfg := evalConfig(rate3G)
+	if cfg.BytesPerProc < 16*units.MiB {
+		t.Errorf("per-proc budget %v too small for steady state", cfg.BytesPerProc)
+	}
+}
+
+func TestWritesControlTies(t *testing.T) {
+	e := WritesControl()
+	e.Seeds = 1
+	e.Cells = e.Cells[1:2] // 16 nodes
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rep.Cells[0]
+	if c.Change > 0.05 || c.Change < -0.05 {
+		t.Errorf("write-path change %.2f%%; policies should tie", c.Change*100)
+	}
+}
+
+func TestHybridRetainsGain(t *testing.T) {
+	e := HybridComparison()
+	e.Seeds = 1
+	e.Cells = e.Cells[1:2] // 16 nodes
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Cells[0].Change; got < 0.08 {
+		t.Errorf("hybrid gain %.2f%% too small; should retain most of SAIs' gain", got*100)
+	}
+}
+
+func TestFlowHashLosesToSAIs(t *testing.T) {
+	e := FlowHashComparison()
+	e.Seeds = 1
+	e.Cells = e.Cells[1:2]
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Cells[0].Change; got <= 0 {
+		t.Errorf("SAIs did not beat flow-affinity: %.2f%%", got*100)
+	}
+}
+
+func TestReportChart(t *testing.T) {
+	e := Figure5()
+	e.Seeds = 1
+	e.Cells = e.Cells[:2]
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart, err := rep.Chart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"figure5", "irqbalance", "sais", "128KiB/8 nodes"} {
+		if !strings.Contains(chart, want) {
+			t.Errorf("chart missing %q:\n%s", want, chart)
+		}
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	e := Figure5()
+	e.Seeds = 2
+	e.Cells = e.Cells[:1]
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := rep.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d, want header + 1 row:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[1], "figure5,") {
+		t.Errorf("row = %q", lines[1])
+	}
+	if got := strings.Count(lines[1], ","); got != 7 {
+		t.Errorf("row has %d commas, want 7", got)
+	}
+}
+
+func TestWriteHTML(t *testing.T) {
+	e := Figure5()
+	e.Seeds = 1
+	e.Cells = e.Cells[:2]
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteHTML(&buf, []*Report{rep}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<!DOCTYPE html>", "figure5", "irqbalance", "sais", "128KiB/8 nodes", "peak change"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("html missing %q", want)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	e := Figure5()
+	e.Seeds = 1
+	e.Cells = e.Cells[:4]
+	seq, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Parallel = 4
+	par, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Cells {
+		if seq.Cells[i].Label != par.Cells[i].Label ||
+			seq.Cells[i].Baseline.Mean() != par.Cells[i].Baseline.Mean() ||
+			seq.Cells[i].Treatment.Mean() != par.Cells[i].Treatment.Mean() {
+			t.Errorf("cell %d differs: %+v vs %+v", i, seq.Cells[i], par.Cells[i])
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module sais
+
+go 1.22

@@ -1,0 +1,39 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"sais/internal/analytic"
+	"sais/internal/units"
+)
+
+// Example reproduces the §III comparison for a mid-sized cluster: with
+// M an order of magnitude above P, the balanced lower bound dwarfs the
+// source-aware completion time.
+func Example() {
+	p := analytic.Params{
+		P:  20 * units.Microsecond,  // strip processing
+		M:  200 * units.Microsecond, // strip migration (M >> P)
+		TR: 5 * units.Millisecond,   // network + server time
+		NC: 8,                       // client cores
+		NS: 16,                      // I/O servers
+		NR: 100,                     // requests
+		NP: 2,                       // programs
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("alpha:             %d\n", p.Alpha())
+	fmt.Printf("M >> P:            %v\n", p.MDominatesP())
+	fmt.Printf("T_balanced  >=     %v\n", p.TBalancedLower())
+	fmt.Printf("T_sais       =     %v\n", p.TSourceAware())
+	fmt.Printf("advantage   >=     %v\n", p.AdvantageLower())
+	fmt.Printf("sais wins:         %v\n", p.SourceAwareWins())
+	// Output:
+	// alpha:             2
+	// M >> P:            true
+	// T_balanced  >=     285ms
+	// T_sais       =     37ms
+	// advantage   >=     252ms
+	// sais wins:         true
+}

@@ -1,0 +1,191 @@
+// Package apic models the x86 interrupt-delivery hardware the paper
+// programs: one I/O APIC (shared by the node's devices) routing
+// interrupt messages to per-core Local APICs. The I/O APIC consults a
+// redirection table to learn which cores may handle a vector and asks
+// an installed Router (the scheduling policy — irqbalance, round-robin,
+// dedicated, or SAIs' source-aware IMComposer) to choose among them.
+package apic
+
+import (
+	"fmt"
+
+	"sais/internal/sim"
+	"sais/internal/units"
+)
+
+// Vector is an interrupt vector number.
+type Vector uint8
+
+// NoHint is the hint value meaning "no affinity information" — a packet
+// without an aff_core_id option.
+const NoHint = -1
+
+// Message is a composed interrupt message headed for a Local APIC.
+type Message struct {
+	Vector Vector
+	Dest   int // destination core
+}
+
+// Router chooses the destination core for an interrupt. hint carries
+// the parsed aff_core_id (or NoHint); flow identifies the traffic
+// source (the sending node — what RSS-style policies hash); allowed is
+// the redirection-table candidate set, never empty. Implementations
+// must return one of the allowed cores.
+type Router interface {
+	Route(vec Vector, hint int, flow uint64, allowed []int, now units.Time) int
+	Name() string
+}
+
+// Handler receives delivered interrupts on a core.
+type Handler func(vec Vector, now units.Time)
+
+// LocalAPIC is one core's interrupt acceptance unit.
+type LocalAPIC struct {
+	core     int
+	eng      *sim.Engine
+	latency  units.Time
+	handler  Handler
+	masked   bool
+	pending  []Vector
+	accepted uint64
+}
+
+// NewLocalAPIC builds the local APIC for a core; latency is the
+// message-delivery delay before the handler runs.
+func NewLocalAPIC(eng *sim.Engine, core int, latency units.Time) *LocalAPIC {
+	if latency < 0 {
+		panic("apic: negative delivery latency")
+	}
+	return &LocalAPIC{core: core, eng: eng, latency: latency}
+}
+
+// Core returns the core this local APIC belongs to.
+func (l *LocalAPIC) Core() int { return l.core }
+
+// Accepted returns the number of interrupts delivered to the handler.
+func (l *LocalAPIC) Accepted() uint64 { return l.accepted }
+
+// SetHandler installs the interrupt handler (the kernel's do_IRQ).
+func (l *LocalAPIC) SetHandler(h Handler) { l.handler = h }
+
+// Mask stops delivery; incoming vectors queue as pending.
+func (l *LocalAPIC) Mask() { l.masked = true }
+
+// Unmask resumes delivery, flushing pending vectors in arrival order.
+func (l *LocalAPIC) Unmask() {
+	if !l.masked {
+		return
+	}
+	l.masked = false
+	pend := l.pending
+	l.pending = nil
+	for _, v := range pend {
+		l.Accept(v)
+	}
+}
+
+// Masked reports the mask state.
+func (l *LocalAPIC) Masked() bool { return l.masked }
+
+// PendingCount returns the number of vectors queued behind a mask.
+func (l *LocalAPIC) PendingCount() int { return len(l.pending) }
+
+// Accept takes an interrupt message destined for this core.
+func (l *LocalAPIC) Accept(vec Vector) {
+	if l.masked {
+		l.pending = append(l.pending, vec)
+		return
+	}
+	l.eng.After(l.latency, func(now units.Time) {
+		l.accepted++
+		if l.handler != nil {
+			l.handler(vec, now)
+		}
+	})
+}
+
+// RedirEntry is one redirection-table row: the cores allowed to handle
+// a vector.
+type RedirEntry struct {
+	Allowed []int
+}
+
+// IOAPICStats counts routing activity.
+type IOAPICStats struct {
+	Raised    uint64
+	Misroutes uint64 // router returned a core outside the allowed set
+}
+
+// IOAPIC routes raised vectors to local APICs.
+type IOAPIC struct {
+	eng    *sim.Engine
+	locals []*LocalAPIC
+	redir  map[Vector]RedirEntry
+	router Router
+	stats  IOAPICStats
+}
+
+// NewIOAPIC builds an I/O APIC over the given local APICs.
+func NewIOAPIC(eng *sim.Engine, locals []*LocalAPIC) *IOAPIC {
+	if len(locals) == 0 {
+		panic("apic: IOAPIC needs at least one local APIC")
+	}
+	return &IOAPIC{eng: eng, locals: locals, redir: make(map[Vector]RedirEntry)}
+}
+
+// SetRouter installs the scheduling policy.
+func (io *IOAPIC) SetRouter(r Router) { io.router = r }
+
+// Router returns the installed policy.
+func (io *IOAPIC) Router() Router { return io.router }
+
+// Stats returns a copy of the counters.
+func (io *IOAPIC) Stats() IOAPICStats { return io.stats }
+
+// Program writes a redirection-table entry for vec. An empty allowed
+// set means "any core".
+func (io *IOAPIC) Program(vec Vector, allowed []int) {
+	for _, c := range allowed {
+		if c < 0 || c >= len(io.locals) {
+			panic(fmt.Sprintf("apic: core %d out of range in redirection entry", c))
+		}
+	}
+	io.redir[vec] = RedirEntry{Allowed: append([]int(nil), allowed...)}
+}
+
+// allowedFor resolves the candidate set for a vector.
+func (io *IOAPIC) allowedFor(vec Vector) []int {
+	if e, ok := io.redir[vec]; ok && len(e.Allowed) > 0 {
+		return e.Allowed
+	}
+	all := make([]int, len(io.locals))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// Raise routes an interrupt with the given affinity hint (NoHint if the
+// packet carried none) and flow identity, and delivers it to the chosen
+// core's local APIC. It returns the destination core.
+func (io *IOAPIC) Raise(vec Vector, hint int, flow uint64) int {
+	if io.router == nil {
+		panic("apic: Raise with no router installed")
+	}
+	allowed := io.allowedFor(vec)
+	dest := io.router.Route(vec, hint, flow, allowed, io.eng.Now())
+	ok := false
+	for _, c := range allowed {
+		if c == dest {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		io.stats.Misroutes++
+		dest = allowed[0]
+	}
+	io.stats.Raised++
+	io.locals[dest].Accept(vec)
+	return dest
+}

@@ -1,0 +1,358 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sais/internal/rng"
+	"sais/internal/units"
+)
+
+func newSys() *System { return NewSystem(4, 512*units.KiB, 64) }
+
+func TestFillThenLocalConsume(t *testing.T) {
+	s := newSys()
+	s.Fill(2, 1, 64*units.KiB)
+	if got := s.Resident(1); got != 2 {
+		t.Fatalf("Resident = %d, want 2", got)
+	}
+	if k := s.Consume(2, 1); k != HitLocal {
+		t.Errorf("consume on filling core = %v, want local-hit", k)
+	}
+	st := s.Stats(2)
+	wantLines := uint64(64 * 1024 / 64)
+	if st.Accesses != wantLines || st.Hits != wantLines || st.Misses != 0 {
+		t.Errorf("stats = %+v, want %d hits", st, wantLines)
+	}
+}
+
+func TestRemoteConsumeMigrates(t *testing.T) {
+	s := newSys()
+	s.Fill(1, 7, 64*units.KiB)
+	if k := s.Consume(3, 7); k != HitRemote {
+		t.Errorf("cross-core consume = %v, want remote-hit", k)
+	}
+	if got := s.Resident(7); got != 3 {
+		t.Errorf("after consume block resident on %d, want 3", got)
+	}
+	st := s.Stats(3)
+	wantLines := uint64(1024)
+	if st.RemoteTransfers != wantLines || st.Misses != wantLines {
+		t.Errorf("stats = %+v", st)
+	}
+	if s.Stats(1).Accesses != 0 {
+		t.Error("filling core should not be charged consumer accesses")
+	}
+}
+
+func TestConsumeFromMemory(t *testing.T) {
+	s := newSys()
+	s.Fill(0, 9, 64*units.KiB)
+	// Evict it by filling core 0 beyond capacity.
+	for i := BlockID(100); i < 110; i++ {
+		s.Fill(0, i, 64*units.KiB)
+	}
+	if s.Resident(9) != -1 {
+		t.Fatal("block 9 should have been evicted")
+	}
+	if k := s.Consume(0, 9); k != MissMemory {
+		t.Errorf("consume of evicted block = %v, want memory-miss", k)
+	}
+	if s.Stats(0).MemoryFills != 1024 {
+		t.Errorf("memory fills = %d, want 1024", s.Stats(0).MemoryFills)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	s := newSys() // 512 KiB per core = 8 strips of 64 KiB
+	for i := BlockID(0); i < 9; i++ {
+		s.Fill(0, i, 64*units.KiB)
+	}
+	if s.Resident(0) != -1 {
+		t.Error("LRU block 0 should be evicted by ninth fill")
+	}
+	if s.Resident(8) != 0 {
+		t.Error("newest block must be resident")
+	}
+	if s.Used(0) != 512*units.KiB {
+		t.Errorf("used = %v, want full", s.Used(0))
+	}
+	if s.Stats(0).EvictedBlocks != 1 {
+		t.Errorf("evictions = %d, want 1", s.Stats(0).EvictedBlocks)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOversizedBlockBypasses(t *testing.T) {
+	s := newSys()
+	s.Fill(0, 1, units.MiB) // larger than 512 KiB cache
+	if s.Resident(1) != -1 {
+		t.Error("oversized block should bypass the cache")
+	}
+	if k := s.Consume(0, 1); k != MissMemory {
+		t.Errorf("consume of bypassed block = %v, want memory-miss", k)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefillMovesBlock(t *testing.T) {
+	s := newSys()
+	s.Fill(0, 5, 64*units.KiB)
+	s.Fill(2, 5, 64*units.KiB) // fresh deposit elsewhere
+	if got := s.Resident(5); got != 2 {
+		t.Errorf("Resident = %d, want 2", got)
+	}
+	if s.Used(0) != 0 {
+		t.Errorf("core 0 still accounts %v", s.Used(0))
+	}
+}
+
+func TestRelease(t *testing.T) {
+	s := newSys()
+	s.Fill(1, 3, 64*units.KiB)
+	s.Release(3)
+	if s.Resident(3) != -1 {
+		t.Error("released block still resident")
+	}
+	if s.Used(1) != 0 {
+		t.Errorf("used = %v after release", s.Used(1))
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTouchRefreshesLRU(t *testing.T) {
+	s := newSys()
+	for i := BlockID(0); i < 8; i++ {
+		s.Fill(0, i, 64*units.KiB)
+	}
+	s.Touch(0) // block 0 becomes MRU; next eviction should take block 1
+	s.Fill(0, 99, 64*units.KiB)
+	if s.Resident(0) != 0 {
+		t.Error("touched block was evicted")
+	}
+	if s.Resident(1) != -1 {
+		t.Error("expected block 1 to be the victim")
+	}
+}
+
+func TestConsumeUnknownPanics(t *testing.T) {
+	s := newSys()
+	defer func() {
+		if recover() == nil {
+			t.Error("Consume of unknown block did not panic")
+		}
+	}()
+	s.Consume(0, 12345)
+}
+
+func TestAggregateMatchesSum(t *testing.T) {
+	s := newSys()
+	s.Fill(0, 1, 64*units.KiB)
+	s.Fill(1, 2, 64*units.KiB)
+	s.Consume(0, 1)
+	s.Consume(0, 2)
+	var sum BlockStats
+	for c := 0; c < s.Cores(); c++ {
+		sum.add(s.Stats(c))
+	}
+	if sum != s.Aggregate() {
+		t.Errorf("aggregate %+v != sum %+v", s.Aggregate(), sum)
+	}
+}
+
+// Property: invariants hold and hits+misses==accesses under random use.
+func TestSystemInvariantsProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		s := NewSystem(3, 256*units.KiB, 64)
+		live := []BlockID{}
+		next := BlockID(1)
+		for i := 0; i < 400; i++ {
+			switch {
+			case len(live) == 0 || r.Bool(0.4):
+				size := units.Bytes(r.Intn(4)+1) * 32 * units.KiB
+				s.Fill(r.Intn(3), next, size)
+				live = append(live, next)
+				next++
+			case r.Bool(0.7):
+				s.Consume(r.Intn(3), live[r.Intn(len(live))])
+			default:
+				k := r.Intn(len(live))
+				s.Release(live[k])
+				live = append(live[:k], live[k+1:]...)
+			}
+			if s.CheckInvariants() != nil {
+				return false
+			}
+		}
+		a := s.Aggregate()
+		return a.Hits+a.Misses == a.Accesses &&
+			a.Misses == a.RemoteTransfers+a.MemoryFills
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockMissRate(t *testing.T) {
+	var st BlockStats
+	if st.MissRate() != 0 {
+		t.Error("empty MissRate should be 0")
+	}
+	st = BlockStats{Accesses: 200, Misses: 50}
+	if st.MissRate() != 0.25 {
+		t.Errorf("MissRate = %v", st.MissRate())
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSystem(0, units.KiB, 64) },
+		func() { NewSystem(2, 0, 64) },
+		func() { NewSystem(2, units.KiB, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic from invalid NewSystem")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestChargeAccounting(t *testing.T) {
+	s := newSys()
+	s.ChargeHits(1, 100)
+	s.ChargeRemote(1, 40)
+	s.ChargeBackground(1, 30, 10)
+	st := s.Stats(1)
+	if st.Accesses != 180 {
+		t.Errorf("accesses = %d, want 180", st.Accesses)
+	}
+	if st.Hits != 130 {
+		t.Errorf("hits = %d, want 130", st.Hits)
+	}
+	if st.RemoteTransfers != 40 || st.MemoryFills != 10 {
+		t.Errorf("remote=%d mem=%d", st.RemoteTransfers, st.MemoryFills)
+	}
+	if st.Hits+st.Misses != st.Accesses {
+		t.Error("hit+miss != accesses after explicit charges")
+	}
+	if got := s.Aggregate(); got != st {
+		t.Errorf("aggregate %+v != core stats %+v", got, st)
+	}
+	if s.LineSize() != 64 {
+		t.Errorf("line size = %v", s.LineSize())
+	}
+}
+
+func TestConsumeFromReportsSupplier(t *testing.T) {
+	s := newSys()
+	s.Fill(2, 11, 64*units.KiB)
+	kind, supplier := s.ConsumeFrom(0, 11)
+	if kind != HitRemote || supplier != 2 {
+		t.Errorf("ConsumeFrom = %v, %d; want remote from core 2", kind, supplier)
+	}
+	// Local and memory outcomes report no supplier.
+	kind, supplier = s.ConsumeFrom(0, 11)
+	if kind != HitLocal || supplier != -1 {
+		t.Errorf("local = %v, %d", kind, supplier)
+	}
+	s.Release(11)
+	s.Fill(1, 12, units.MiB) // bypasses (oversized)
+	kind, supplier = s.ConsumeFrom(0, 12)
+	if kind != MissMemory || supplier != -1 {
+		t.Errorf("memory = %v, %d", kind, supplier)
+	}
+}
+
+func TestL3VictimCache(t *testing.T) {
+	s := newSys() // 4 cores, 512 KiB each
+	s.ConfigureL3(2, units.MiB)
+	// Fill 16 strips into core 0: the first 8 evict to socket 0's L3.
+	for i := BlockID(1); i <= 16; i++ {
+		s.Fill(0, i, 64*units.KiB)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Consuming an evicted block hits the socket L3, not memory.
+	kind, supplier := s.ConsumeFrom(0, 1)
+	if kind != HitL3 {
+		t.Fatalf("evicted block came from %v, want l3-hit", kind)
+	}
+	if supplier != 0 {
+		t.Errorf("supplier = %d, want socket-0 core", supplier)
+	}
+	st := s.Stats(0)
+	if st.L3Transfers != 1024 {
+		t.Errorf("L3 transfers = %d, want 1024", st.L3Transfers)
+	}
+	// A resident block still hits locally.
+	if kind, _ := s.ConsumeFrom(0, 16); kind != HitLocal {
+		t.Errorf("resident block = %v", kind)
+	}
+	// Consuming from the other socket is still an L3 hit, with the
+	// supplier identifying socket 0.
+	kind, supplier = s.ConsumeFrom(3, 2)
+	if kind != HitL3 || supplier != 0 {
+		t.Errorf("cross-socket L3 = %v from %d", kind, supplier)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestL3CapacityDisplacement(t *testing.T) {
+	s := NewSystem(2, 128*units.KiB, 64) // 2 strips per private cache
+	s.ConfigureL3(2, 128*units.KiB)      // 2 strips of L3
+	for i := BlockID(1); i <= 6; i++ {
+		s.Fill(0, i, 64*units.KiB)
+	}
+	// Private holds {5,6}; L3 holds the last two victims {3,4}; 1 and 2
+	// were displaced from the L3 to memory.
+	if k, _ := s.ConsumeFrom(0, 1); k != MissMemory {
+		t.Errorf("block 1 = %v, want memory-miss", k)
+	}
+	if k, _ := s.ConsumeFrom(1, 4); k != HitL3 {
+		t.Errorf("block 4 = %v, want l3-hit", k)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestL3ConfigValidation(t *testing.T) {
+	s := newSys()
+	for _, f := range []func(){
+		func() { s.ConfigureL3(0, units.MiB) },
+		func() { s.ConfigureL3(2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad L3 config accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkSystemFillConsume(b *testing.B) {
+	s := NewSystem(8, 512*units.KiB, 64)
+	for i := 0; i < b.N; i++ {
+		id := BlockID(i + 1)
+		s.Fill(i%8, id, 64*units.KiB)
+		s.Consume((i+1)%8, id)
+		s.Release(id)
+	}
+}

@@ -1,0 +1,182 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sais/internal/rng"
+)
+
+func newDir(n int) *Directory { return NewDirectory(n, smallCfg()) }
+
+func TestDirectoryReadClassification(t *testing.T) {
+	d := newDir(4)
+	addr := LineAddr(0x1000)
+	if k := d.Read(0, addr); k != MissMemory {
+		t.Errorf("cold read = %v, want memory-miss", k)
+	}
+	if k := d.Read(0, addr); k != HitLocal {
+		t.Errorf("warm read = %v, want local-hit", k)
+	}
+	if k := d.Read(1, addr); k != HitRemote {
+		t.Errorf("cross-core read = %v, want remote-hit", k)
+	}
+	// Now both cores hold it Shared.
+	if k := d.Read(1, addr); k != HitLocal {
+		t.Errorf("re-read on core 1 = %v, want local-hit", k)
+	}
+	s := d.Stats()
+	if s.RemoteTransfers != 1 || s.MemoryFills != 1 || s.LocalHits != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestDirectoryWriteInvalidates(t *testing.T) {
+	d := newDir(3)
+	addr := LineAddr(0x40)
+	d.Read(0, addr)
+	d.Read(1, addr)
+	d.Read(2, addr)
+	if k := d.Write(1, addr); k != HitLocal {
+		t.Errorf("write on sharer = %v, want local-hit", k)
+	}
+	owners := d.Owners(addr)
+	if len(owners) != 1 || owners[0] != 1 {
+		t.Errorf("owners after write = %v, want [1]", owners)
+	}
+	if err := d.CheckCoherence(addr); err != nil {
+		t.Error(err)
+	}
+	if d.Stats().Invalidations != 2 {
+		t.Errorf("invalidations = %d, want 2", d.Stats().Invalidations)
+	}
+}
+
+func TestWriteMissRemote(t *testing.T) {
+	d := newDir(2)
+	addr := LineAddr(0x80)
+	d.Write(0, addr)
+	if k := d.Write(1, addr); k != HitRemote {
+		t.Errorf("write hitting remote Modified = %v, want remote-hit", k)
+	}
+	if err := d.CheckCoherence(addr); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFillModifiedDisplacesPeers(t *testing.T) {
+	d := newDir(2)
+	addr := LineAddr(0x100)
+	d.Read(0, addr)
+	d.FillModified(1, addr)
+	owners := d.Owners(addr)
+	if len(owners) != 1 || owners[0] != 1 {
+		t.Errorf("owners = %v, want [1]", owners)
+	}
+	if err := d.CheckCoherence(addr); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadDowngradesModifiedOwner(t *testing.T) {
+	d := newDir(2)
+	addr := LineAddr(0x140)
+	d.Write(0, addr) // core 0 holds Modified
+	if k := d.Read(1, addr); k != HitRemote {
+		t.Errorf("read of remote Modified = %v, want remote-hit", k)
+	}
+	if err := d.CheckCoherence(addr); err != nil {
+		t.Error(err)
+	}
+	if d.Stats().WriteBacks == 0 {
+		t.Error("downgrade of Modified should count a write-back")
+	}
+}
+
+func TestDirectoryPanicsOnZeroCores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewDirectory(0) did not panic")
+		}
+	}()
+	NewDirectory(0, smallCfg())
+}
+
+// Property: after any random sequence of reads/writes/fills, every
+// touched line obeys the MESI single-writer invariant.
+func TestCoherencePropertyUnderRandomTraffic(t *testing.T) {
+	cfg := smallCfg()
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		d := NewDirectory(4, cfg)
+		touched := map[LineAddr]bool{}
+		for i := 0; i < 500; i++ {
+			core := r.Intn(4)
+			addr := LineAddr(uint64(r.Intn(64)) * 64)
+			touched[addr] = true
+			switch r.Intn(3) {
+			case 0:
+				d.Read(core, addr)
+			case 1:
+				d.Write(core, addr)
+			default:
+				d.FillModified(core, addr)
+			}
+		}
+		for a := range touched {
+			if d.CheckCoherence(a) != nil {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// The SAIs scenario in miniature: strip deposited on the consuming core
+// is a local hit; deposited elsewhere it costs a remote transfer.
+func TestSourceAwareVersusBalancedMicro(t *testing.T) {
+	// Source-aware: fill and consume on core 0.
+	d1 := newDir(4)
+	for i := 0; i < 32; i++ {
+		addr := LineAddr(uint64(i) * 64)
+		d1.FillModified(0, addr)
+		if k := d1.Read(0, addr); k != HitLocal {
+			t.Fatalf("source-aware read %d = %v", i, k)
+		}
+	}
+	if d1.Stats().RemoteTransfers != 0 {
+		t.Errorf("source-aware remote transfers = %d, want 0", d1.Stats().RemoteTransfers)
+	}
+
+	// Balanced: fills round-robin across cores 1..3, consumed on core 0.
+	d2 := newDir(4)
+	remote := 0
+	for i := 0; i < 32; i++ {
+		addr := LineAddr(uint64(i) * 64)
+		d2.FillModified(1+i%3, addr)
+		if d2.Read(0, addr) == HitRemote {
+			remote++
+		}
+	}
+	if remote != 32 {
+		t.Errorf("balanced scheduling produced %d remote transfers, want 32", remote)
+	}
+}
+
+func TestDirectoryAccessors(t *testing.T) {
+	d := newDir(3)
+	if d.Cores() != 3 {
+		t.Errorf("Cores = %d", d.Cores())
+	}
+	if d.Cache(1) == nil {
+		t.Error("nil cache")
+	}
+	for _, k := range []AccessKind{HitLocal, HitRemote, MissMemory, AccessKind(9)} {
+		if k.String() == "" {
+			t.Errorf("empty string for %d", k)
+		}
+	}
+}

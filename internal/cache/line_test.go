@@ -1,0 +1,225 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sais/internal/rng"
+	"sais/internal/units"
+)
+
+func smallCfg() LineCacheConfig {
+	return LineCacheConfig{Capacity: 4 * units.KiB, LineSize: 64, Ways: 4}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []LineCacheConfig{
+		{Capacity: 1024, LineSize: 60, Ways: 4},  // line size not power of two
+		{Capacity: 1024, LineSize: 64, Ways: 0},  // zero ways
+		{Capacity: 32, LineSize: 64, Ways: 1},    // capacity below one line
+		{Capacity: 1024, LineSize: 64, Ways: 5},  // lines not divisible by ways
+		{Capacity: 1024, LineSize: -64, Ways: 4}, // negative line
+	}
+	for i, cfg := range bad {
+		if err := cfg.validate(); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, cfg)
+		}
+	}
+	if err := DefaultL2().validate(); err != nil {
+		t.Errorf("DefaultL2 invalid: %v", err)
+	}
+	if got := DefaultL2().Sets(); got != 512 {
+		t.Errorf("DefaultL2 sets = %d, want 512", got)
+	}
+}
+
+func TestNewLineCachePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewLineCache with bad config did not panic")
+		}
+	}()
+	NewLineCache(0, LineCacheConfig{Capacity: 1, LineSize: 3, Ways: 1})
+}
+
+func TestAlign(t *testing.T) {
+	c := NewLineCache(0, smallCfg())
+	if got := c.Align(130); got != 128 {
+		t.Errorf("Align(130) = %d, want 128", got)
+	}
+	if got := c.Align(64); got != 64 {
+		t.Errorf("Align(64) = %d, want 64", got)
+	}
+}
+
+func TestMissThenHit(t *testing.T) {
+	c := NewLineCache(0, smallCfg())
+	addr := LineAddr(0x1000)
+	if st := c.Lookup(addr); st != Invalid {
+		t.Errorf("first lookup = %v, want Invalid", st)
+	}
+	c.Insert(addr, Shared)
+	if st := c.Lookup(addr); st != Shared {
+		t.Errorf("second lookup = %v, want Shared", st)
+	}
+	s := c.Stats()
+	if s.Accesses != 2 || s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestInsertUpgradesInPlace(t *testing.T) {
+	c := NewLineCache(0, smallCfg())
+	addr := LineAddr(0x40)
+	c.Insert(addr, Shared)
+	if _, ev := c.Insert(addr, Modified); ev {
+		t.Error("upgrade caused eviction")
+	}
+	if st := c.Lookup(addr); st != Modified {
+		t.Errorf("state = %v, want Modified", st)
+	}
+	if c.Occupancy() != 1 {
+		t.Errorf("occupancy = %d, want 1", c.Occupancy())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	cfg := smallCfg() // 4 ways, 16 sets, 64B lines
+	c := NewLineCache(0, cfg)
+	sets := uint64(cfg.Sets())
+	line := uint64(cfg.LineSize)
+	// Fill one set (same index, different tags).
+	addrs := make([]LineAddr, 5)
+	for i := range addrs {
+		addrs[i] = LineAddr(uint64(i) * sets * line)
+	}
+	for _, a := range addrs[:4] {
+		c.Insert(a, Shared)
+	}
+	// Touch addr[0] so addr[1] becomes LRU.
+	c.Lookup(addrs[0])
+	victim, evicted := c.Insert(addrs[4], Shared)
+	if !evicted {
+		t.Fatal("expected eviction from full set")
+	}
+	if victim != addrs[1] {
+		t.Errorf("victim = %#x, want %#x (LRU)", uint64(victim), uint64(addrs[1]))
+	}
+	if c.Contains(addrs[1]) {
+		t.Error("evicted line still present")
+	}
+	if !c.Contains(addrs[0]) || !c.Contains(addrs[4]) {
+		t.Error("wrong lines evicted")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := NewLineCache(0, smallCfg())
+	addr := LineAddr(0x80)
+	c.Insert(addr, Modified)
+	if !c.Invalidate(addr) {
+		t.Error("Invalidate of resident line reported false")
+	}
+	if c.Invalidate(addr) {
+		t.Error("Invalidate of absent line reported true")
+	}
+	if c.Contains(addr) {
+		t.Error("line present after Invalidate")
+	}
+}
+
+func TestInsertInvalidPanics(t *testing.T) {
+	c := NewLineCache(0, smallCfg())
+	defer func() {
+		if recover() == nil {
+			t.Error("Insert(Invalid) did not panic")
+		}
+	}()
+	c.Insert(0, Invalid)
+}
+
+func TestOccupancyNeverExceedsCapacity(t *testing.T) {
+	cfg := smallCfg()
+	maxLines := int(cfg.Capacity / cfg.LineSize)
+	err := quick.Check(func(seed uint64, nRaw uint16) bool {
+		r := rng.New(seed)
+		c := NewLineCache(0, cfg)
+		n := int(nRaw%500) + 1
+		for i := 0; i < n; i++ {
+			addr := c.Align(uint64(r.Intn(1 << 16)))
+			switch r.Intn(3) {
+			case 0:
+				c.Insert(addr, Shared)
+			case 1:
+				c.Insert(addr, Modified)
+			default:
+				c.Invalidate(addr)
+			}
+			if c.Occupancy() > maxLines {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHitsPlusMissesEqualsAccesses(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		c := NewLineCache(0, smallCfg())
+		for i := 0; i < 300; i++ {
+			addr := c.Align(uint64(r.Intn(1 << 14)))
+			if r.Bool(0.5) {
+				c.Lookup(addr)
+			} else {
+				c.Insert(addr, Shared)
+			}
+		}
+		s := c.Stats()
+		return s.Hits+s.Misses == s.Accesses
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	var s LineStats
+	if s.MissRate() != 0 {
+		t.Error("empty stats miss rate should be 0")
+	}
+	s = LineStats{Accesses: 10, Misses: 3}
+	if got := s.MissRate(); got != 0.3 {
+		t.Errorf("MissRate = %v, want 0.3", got)
+	}
+}
+
+func TestLineStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Modified.String() != "M" {
+		t.Error("LineState strings wrong")
+	}
+	if LineState(9).String() == "" {
+		t.Error("unknown state should still render")
+	}
+}
+
+func TestLineCacheConfigAccessor(t *testing.T) {
+	c := NewLineCache(0, smallCfg())
+	if c.Config() != smallCfg() {
+		t.Errorf("Config() = %+v", c.Config())
+	}
+}
+
+func BenchmarkLineCacheLookup(b *testing.B) {
+	c := NewLineCache(0, DefaultL2())
+	for i := 0; i < 4096; i++ {
+		c.Insert(LineAddr(i*64), Shared)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(LineAddr((i % 8192) * 64))
+	}
+}

@@ -1,0 +1,951 @@
+// Package client models the I/O client node — the machine whose
+// interrupt scheduling the paper changes. It wires together the
+// multi-core CPU, per-core caches, the NIC, the APIC pair, and an
+// interrupt-scheduling policy, and implements the full life cycle of a
+// parallel read:
+//
+//	syscall → HintMessager stamps aff_core_id → per-server requests →
+//	strip data frames → NIC interrupt → policy picks handling core →
+//	softirq protocol processing deposits the strip in that core's cache →
+//	last strip wakes the process → the process consumes every strip
+//	(local hit, cache-to-cache migration, or memory fill) and computes.
+package client
+
+import (
+	"fmt"
+
+	"sais/internal/apic"
+	"sais/internal/cache"
+	"sais/internal/cpu"
+	"sais/internal/irqsched"
+	"sais/internal/netsim"
+	"sais/internal/pfs"
+	"sais/internal/rng"
+	"sais/internal/sim"
+	"sais/internal/trace"
+	"sais/internal/units"
+)
+
+// DataVector is the interrupt vector of the client NIC.
+const DataVector apic.Vector = 64
+
+// CostModel holds the client-side per-operation costs. The defaults
+// (DefaultCosts) are calibrated to the paper's hardware: strip
+// processing P is tens of microseconds while strip migration M is over
+// a hundred — the M >> P regime of §III.A.
+type CostModel struct {
+	IRQEntry       units.Time // interrupt entry/dispatch, per interrupt
+	SoftirqPerByte float64    // ns/B protocol processing on the handling core
+	SyscallTime    units.Time // per read() submission
+	WakeIPI        units.Time // inter-core wakeup signal handling
+	LocalLine      units.Time // per-line read, local L2 hit
+	RemoteLine     units.Time // per-line same-socket cache-to-cache stall
+	RemoteLineFar  units.Time // per-line cross-socket stall (0 = same as RemoteLine)
+	L3Line         units.Time // per-line same-socket shared-L3 hit
+	MemLine        units.Time // per-line DRAM fill stall
+	// SocketSize is the number of cores per socket for NUMA pricing;
+	// 0 means a uniform topology (every remote line costs RemoteLine).
+	SocketSize     int
+	ComputePerByte float64 // ns/B application compute (IOR's encrypt step)
+	// ComputeAccessesPerLine is how many additional local cache accesses
+	// the compute phase performs per consumed data line (working-set
+	// re-touches); it dilutes the strip miss rate toward the levels a
+	// hardware counter reports.
+	ComputeAccessesPerLine float64
+	// BackgroundMissRate is the fraction of those compute accesses that
+	// miss anyway (cold code, metadata, TLB walks) — the floor a real L2
+	// miss counter never drops below, independent of interrupt
+	// scheduling.
+	BackgroundMissRate float64
+}
+
+// DefaultCosts returns the Opteron-2384-calibrated model.
+func DefaultCosts() CostModel {
+	return CostModel{
+		IRQEntry:       2 * units.Microsecond,
+		SoftirqPerByte: 0.25,
+		SyscallTime:    3 * units.Microsecond,
+		WakeIPI:        2 * units.Microsecond,
+		LocalLine:      6,
+		// Dual-socket Opteron: HyperTransport probe + transfer is about
+		// 140 ns within a socket and 240 ns across; with a consumer
+		// sharing its socket with 3 of the 7 peers, the expected uniform
+		// equivalent is ≈197 ns — matching the flat calibration.
+		RemoteLine:             140,
+		RemoteLineFar:          240,
+		SocketSize:             4,
+		MemLine:                120,
+		ComputePerByte:         1.5,
+		ComputeAccessesPerLine: 2,
+		BackgroundMissRate:     0.05,
+	}
+}
+
+// Config describes one client node.
+type Config struct {
+	Node             netsim.NodeID
+	Cores            int
+	Freq             units.Hertz
+	CachePerCore     units.Bytes
+	LineSize         units.Bytes
+	NIC              netsim.NICConfig
+	Policy           irqsched.PolicyKind
+	IrqbalancePeriod units.Time
+	DedicatedCore    int
+	LAPICLatency     units.Time
+	Costs            CostModel
+	// MigrateDuringBlock is the probability that the scheduler migrates
+	// a process to the least-loaded core while it is blocked on an I/O
+	// — the scenario behind the paper's policy-(i)-vs-(ii) distinction.
+	// SAIs bundles processes to their request core, so the default is 0
+	// and §III argues such migrations are rare in I/O-intensive systems.
+	MigrateDuringBlock float64
+	// CurrentCoreHint selects the paper's scheduling policy (ii): the
+	// NIC driver overrides the packet's aff_core_id with the issuing
+	// process's *current* core at delivery time (kernel-side knowledge
+	// the prototype did not use). The default is policy (i): follow the
+	// core recorded at request time. The two differ only when processes
+	// migrate during an I/O block, which §III argues is rare.
+	CurrentCoreHint bool
+	// RSSQueues sizes the MSI-X queue set used by PolicyHardwareRSS
+	// (default: one queue per core). Each queue's vector is statically
+	// programmed via the redirection table to core q mod Cores, exactly
+	// as the Intel 82575/82599 static assignment the paper's related
+	// work discusses.
+	RSSQueues int
+	// L3PerSocket attaches a shared victim L3 of this capacity to each
+	// socket (the Opteron 2384's 6 MB L3). Zero disables it; strips
+	// evicted from a private L2 then cost a full DRAM fill, as in the
+	// calibrated baseline.
+	L3PerSocket units.Bytes
+	// AllowedIRQCores restricts the NIC vector's redirection-table entry
+	// to these cores (the /proc/irq/N/smp_affinity mask a sysadmin
+	// would set). Empty means all cores. Hints pointing outside the
+	// mask are misrouted to the first allowed core, as hardware would.
+	AllowedIRQCores []int
+	// TimesliceQuantum enables kernel-style round-robin timeslicing of
+	// process work on each core (0 = run to completion). Relevant when
+	// applications outnumber cores (the paper's §VI saturation study).
+	TimesliceQuantum units.Time
+	// RetryTimeout re-issues the unfinished parts of a transfer that has
+	// not completed after this long — the recovery path for dropped
+	// frames. Zero disables retries (the default; the simulated fabric
+	// is lossless unless loss injection is enabled).
+	RetryTimeout units.Time
+	// MaxRetries bounds re-issues per transfer before it is abandoned
+	// and counted in Stats.FailedTransfers.
+	MaxRetries int
+	Seed       uint64
+	MDS        netsim.NodeID
+}
+
+// DefaultConfig returns the head-node client: 8 cores at 2.7 GHz,
+// 512 KiB private L2 per core, the given NIC rate, and the requested
+// policy.
+func DefaultConfig(node netsim.NodeID, nicRate units.Rate, policy irqsched.PolicyKind) Config {
+	return Config{
+		Node:             node,
+		Cores:            8,
+		Freq:             2700 * units.MHz,
+		CachePerCore:     512 * units.KiB,
+		LineSize:         64,
+		NIC:              netsim.DefaultNICConfig(nicRate),
+		Policy:           policy,
+		IrqbalancePeriod: 10 * units.Millisecond,
+		LAPICLatency:     200 * units.Nanosecond,
+		Costs:            DefaultCosts(),
+		Seed:             1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("client: cores %d must be positive", c.Cores)
+	}
+	if (c.Policy == irqsched.PolicySourceAware || c.Policy == irqsched.PolicySocketAware ||
+		c.Policy == irqsched.PolicyHybrid) && c.Cores > netsim.MaxCores {
+		return fmt.Errorf("client: SAIs addresses at most %d cores, got %d", netsim.MaxCores, c.Cores)
+	}
+	if c.CachePerCore <= 0 || c.LineSize <= 0 {
+		return fmt.Errorf("client: cache geometry invalid")
+	}
+	if c.MigrateDuringBlock < 0 || c.MigrateDuringBlock > 1 {
+		return fmt.Errorf("client: MigrateDuringBlock %v outside [0,1]", c.MigrateDuringBlock)
+	}
+	for _, core := range c.AllowedIRQCores {
+		if core < 0 || core >= c.Cores {
+			return fmt.Errorf("client: IRQ affinity core %d out of range", core)
+		}
+	}
+	return nil
+}
+
+// Stats is the client-node roll-up the experiments report.
+type Stats struct {
+	BytesRead       units.Bytes
+	Transfers       uint64
+	BytesWritten    units.Bytes
+	WriteTransfers  uint64
+	Interrupts      uint64
+	HintedIRQs      uint64
+	MetadataTrips   uint64
+	Retries         uint64
+	FailedTransfers uint64
+	// HeaderDrops counts frames rejected because their IPv4 header
+	// failed validation — the stack drops them before any protocol
+	// processing, exactly like wire loss.
+	HeaderDrops uint64
+}
+
+// read tracks one in-flight transfer.
+type read struct {
+	proc      *Proc
+	issuedAt  units.Time
+	file      pfs.FileID
+	tag       uint64
+	plans     []pfs.ServerPlan
+	hint      netsim.AffHint
+	localEOF  func(serverIdx int) units.Bytes
+	got       map[int]bool // arrived strips, for dedupe and resend
+	remaining int
+	bytes     units.Bytes
+	blocks    []blockRef
+	retries   int
+	timer     *sim.Timer
+	done      sim.Event
+}
+
+type blockRef struct {
+	id   cache.BlockID
+	size units.Bytes
+}
+
+// writeOp tracks one in-flight write transfer: strips are pushed to the
+// servers and the operation completes when every strip is acknowledged.
+type writeOp struct {
+	proc      *Proc
+	issuedAt  units.Time
+	file      pfs.FileID
+	tag       uint64
+	plans     []pfs.ServerPlan
+	hint      netsim.AffHint
+	acked     map[int]bool
+	remaining int
+	bytes     units.Bytes
+	retries   int
+	timer     *sim.Timer
+	done      sim.Event
+}
+
+// pendingOpen queues operations issued before the file's layout arrived.
+type pendingOpen struct {
+	offset  units.Bytes
+	length  units.Bytes
+	isWrite bool
+	proc    *Proc
+	done    sim.Event
+}
+
+// Node is the client node instance.
+type Node struct {
+	cfg    Config
+	eng    *sim.Engine
+	cpu    *cpu.CPU
+	caches *cache.System
+	nic    *netsim.NIC
+	ioapic *apic.IOAPIC
+	locals []*apic.LocalAPIC
+	router apic.Router
+	msgr   irqsched.HintMessager
+	rnd    *rng.Source
+
+	layouts   map[pfs.FileID]pfs.Layout
+	opening   map[pfs.FileID][]pendingOpen
+	openTags  map[uint64]pfs.FileID
+	reads     map[uint64]*read
+	writes    map[uint64]*writeOp
+	nextTag   uint64
+	nextBlock cache.BlockID
+	// frameq holds frames routed to each core, consumed by the local
+	// APIC handler in FIFO order.
+	frameq [][]*netsim.Frame
+	stats  Stats
+	// latencies holds completed read-transfer latencies in nanoseconds,
+	// for percentile reporting; writeLatencies the same for writes.
+	latencies      []float64
+	writeLatencies []float64
+	tracer         *trace.Ring
+}
+
+// Latencies returns the completed read-transfer latencies (ns).
+func (n *Node) Latencies() []float64 { return n.latencies }
+
+// WriteLatencies returns the completed write-transfer latencies (ns).
+func (n *Node) WriteLatencies() []float64 { return n.writeLatencies }
+
+// SetTracer installs an optional event trace; nil disables tracing.
+func (n *Node) SetTracer(tr *trace.Ring) { n.tracer = tr }
+
+func (n *Node) tracef(component, format string, args ...any) {
+	if n.tracer != nil {
+		n.tracer.Add(n.eng.Now(), component, format, args...)
+	}
+}
+
+// loadAdapter exposes core load to the irqbalance policy.
+type loadAdapter struct{ c *cpu.CPU }
+
+func (l loadAdapter) NumCores() int             { return l.c.NumCores() }
+func (l loadAdapter) CoreBusy(i int) units.Time { return l.c.Core(i).Stats().Busy }
+func (l loadAdapter) CoreQueue(i int) int       { return l.c.Core(i).QueueLen() }
+
+// New builds a client node and attaches it to fab. It returns an error
+// on invalid configuration.
+func New(eng *sim.Engine, fab *netsim.Fabric, cfg Config) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rssQueues := 0
+	if cfg.Policy == irqsched.PolicyHardwareRSS {
+		rssQueues = cfg.RSSQueues
+		if rssQueues < 1 {
+			rssQueues = cfg.Cores
+		}
+		cfg.NIC.RxQueues = rssQueues
+	}
+	n := &Node{
+		cfg:      cfg,
+		eng:      eng,
+		cpu:      cpu.New(eng, cfg.Cores, cfg.Freq),
+		caches:   cache.NewSystem(cfg.Cores, cfg.CachePerCore, cfg.LineSize),
+		nic:      netsim.NewNIC(eng, cfg.Node, cfg.NIC),
+		rnd:      rng.New(cfg.Seed).Split(fmt.Sprintf("client%d", cfg.Node)),
+		layouts:  make(map[pfs.FileID]pfs.Layout),
+		opening:  make(map[pfs.FileID][]pendingOpen),
+		openTags: make(map[uint64]pfs.FileID),
+		reads:    make(map[uint64]*read),
+		writes:   make(map[uint64]*writeOp),
+		frameq:   make([][]*netsim.Frame, cfg.Cores),
+	}
+	fab.Attach(n.nic)
+	if cfg.L3PerSocket > 0 {
+		ss := cfg.Costs.SocketSize
+		if ss < 1 {
+			ss = cfg.Cores
+		}
+		n.caches.ConfigureL3(ss, cfg.L3PerSocket)
+	}
+	if cfg.TimesliceQuantum > 0 {
+		n.cpu.SetQuantum(cfg.TimesliceQuantum)
+	}
+
+	n.locals = make([]*apic.LocalAPIC, cfg.Cores)
+	for i := range n.locals {
+		l := apic.NewLocalAPIC(eng, i, cfg.LAPICLatency)
+		core := i
+		l.SetHandler(func(_ apic.Vector, now units.Time) { n.handleIRQ(core, now) })
+		n.locals[i] = l
+	}
+	n.ioapic = apic.NewIOAPIC(eng, n.locals)
+	if len(cfg.AllowedIRQCores) > 0 {
+		n.ioapic.Program(DataVector, cfg.AllowedIRQCores)
+	}
+	if rssQueues > 0 {
+		// Hardware RSS: one vector per queue, statically pinned.
+		table := make(map[apic.Vector]int, rssQueues)
+		for q := 0; q < rssQueues; q++ {
+			vec := DataVector + apic.Vector(q)
+			core := q % cfg.Cores
+			table[vec] = core
+			n.ioapic.Program(vec, []int{core})
+		}
+		n.router = irqsched.NewStaticTable(table, nil)
+	} else {
+		n.router = irqsched.New(cfg.Policy, irqsched.Options{
+			Loads:         loadAdapter{n.cpu},
+			Period:        cfg.IrqbalancePeriod,
+			DedicatedCore: cfg.DedicatedCore,
+			SocketSize:    cfg.Costs.SocketSize,
+		})
+	}
+	n.ioapic.SetRouter(n.router)
+	hinted := cfg.Policy == irqsched.PolicySourceAware ||
+		cfg.Policy == irqsched.PolicyHybrid ||
+		cfg.Policy == irqsched.PolicySocketAware
+	n.msgr = irqsched.HintMessager{Enabled: hinted}
+	if rssQueues > 0 {
+		n.nic.SetQueueHandler(n.onNICQueueInterrupt)
+	} else {
+		n.nic.SetInterruptHandler(n.onNICInterrupt)
+	}
+	return n, nil
+}
+
+// MustNew is New for configurations known valid (tests, examples).
+func MustNew(eng *sim.Engine, fab *netsim.Fabric, cfg Config) *Node {
+	n, err := New(eng, fab, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// CPU exposes the processor for metric collection.
+func (n *Node) CPU() *cpu.CPU { return n.cpu }
+
+// Caches exposes the cache system for metric collection.
+func (n *Node) Caches() *cache.System { return n.caches }
+
+// NIC exposes the network interface for metric collection.
+func (n *Node) NIC() *netsim.NIC { return n.nic }
+
+// IOAPIC exposes the interrupt controller for metric collection.
+func (n *Node) IOAPIC() *apic.IOAPIC { return n.ioapic }
+
+// Config returns the node configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Stats returns a copy of the roll-up counters.
+func (n *Node) Stats() Stats {
+	s := n.stats
+	s.Interrupts = n.nic.Stats().Interrupts
+	if sa, ok := n.router.(*irqsched.SourceAware); ok {
+		s.HintedIRQs = sa.Hinted()
+	}
+	return s
+}
+
+// Proc is an application process pinned to a core (until an explicit
+// wake-time migration).
+type Proc struct {
+	id   int
+	core int
+	node *Node
+}
+
+// NewProc creates a process on the given core.
+func (n *Node) NewProc(id, core int) *Proc {
+	if core < 0 || core >= n.cfg.Cores {
+		panic(fmt.Sprintf("client: proc core %d out of range", core))
+	}
+	return &Proc{id: id, core: core, node: n}
+}
+
+// Core returns the core the process currently runs on.
+func (p *Proc) Core() int { return p.core }
+
+// ID returns the process id.
+func (p *Proc) ID() int { return p.id }
+
+// Read issues a synchronous parallel read of [offset, offset+length)
+// from file; done fires on the process's core once the data has been
+// consumed (merged and computed over). This is one IOR loop iteration.
+func (p *Proc) Read(file pfs.FileID, offset, length units.Bytes, done sim.Event) {
+	n := p.node
+	n.cpu.Core(p.core).Submit(cpu.PrioProcess, cpu.CatSyscall, n.cfg.Costs.SyscallTime, func(units.Time) {
+		n.startOp(p, file, offset, length, false, done)
+	})
+}
+
+// Write issues a synchronous parallel write of [offset, offset+length)
+// to file; done fires once every strip has been acknowledged by its
+// server. The process first produces the data (the compute charge), so
+// the strips leave from its own cache — there is no interrupt-locality
+// question on the way out, which is the paper's reason for studying
+// reads only.
+func (p *Proc) Write(file pfs.FileID, offset, length units.Bytes, done sim.Event) {
+	n := p.node
+	produce := n.cfg.Costs.SyscallTime + units.Time(float64(length)*n.cfg.Costs.ComputePerByte)
+	n.cpu.Core(p.core).Submit(cpu.PrioProcess, cpu.CatCompute, produce, func(units.Time) {
+		n.startOp(p, file, offset, length, true, done)
+	})
+}
+
+// startOp runs after the syscall cost; it resolves the layout (via the
+// MDS on first touch) and fans the operation out to the I/O servers.
+func (n *Node) startOp(p *Proc, file pfs.FileID, offset, length units.Bytes, isWrite bool, done sim.Event) {
+	if _, ok := n.layouts[file]; !ok {
+		n.opening[file] = append(n.opening[file], pendingOpen{offset: offset, length: length, isWrite: isWrite, proc: p, done: done})
+		if len(n.opening[file]) == 1 {
+			n.nextTag++
+			tag := n.nextTag
+			n.openTags[tag] = file
+			n.stats.MetadataTrips++
+			n.nic.Send(n.cfg.MDS, pfs.LayoutRequestSize, netsim.AffHint{}, &pfs.LayoutRequest{
+				File: file, Tag: tag, Client: n.cfg.Node,
+			})
+		}
+		return
+	}
+	if isWrite {
+		n.issueWrite(p, file, offset, length, done)
+	} else {
+		n.issue(p, file, offset, length, done)
+	}
+}
+
+// issueWrite pushes a transfer's strips to their servers and waits for
+// acknowledgements.
+func (n *Node) issueWrite(p *Proc, file pfs.FileID, offset, length units.Bytes, done sim.Event) {
+	layout := n.layouts[file]
+	plans, err := layout.Extents(offset, length)
+	if err != nil {
+		panic(fmt.Sprintf("client: extents: %v", err))
+	}
+	hint, err := n.msgr.Annotate(p.core)
+	if err != nil {
+		panic(fmt.Sprintf("client: hint: %v", err))
+	}
+	n.nextTag++
+	tag := n.nextTag
+	w := &writeOp{proc: p, issuedAt: n.eng.Now(), file: file, tag: tag, plans: plans, hint: hint,
+		acked: make(map[int]bool), done: done}
+	for _, plan := range plans {
+		w.remaining += len(plan.Pieces)
+		for _, piece := range plan.Pieces {
+			w.bytes += piece.Size
+		}
+	}
+	n.writes[tag] = w
+	n.sendWriteStrips(w, plans)
+	n.armWriteTimer(w)
+}
+
+// sendWriteStrips pushes the strips covered by plans to their servers.
+func (n *Node) sendWriteStrips(w *writeOp, plans []pfs.ServerPlan) {
+	for _, plan := range plans {
+		for _, piece := range plan.Pieces {
+			n.nic.Send(plan.Server, piece.Size, w.hint, &pfs.StripWrite{
+				File: w.file, Tag: w.tag, Client: n.cfg.Node,
+				GlobalStrip: piece.GlobalStrip, ServerOffset: piece.ServerOffset,
+				Size: piece.Size,
+			})
+		}
+	}
+}
+
+// armWriteTimer schedules the write retry timeout, if enabled.
+func (n *Node) armWriteTimer(w *writeOp) {
+	if n.cfg.RetryTimeout <= 0 {
+		return
+	}
+	w.timer = n.eng.After(n.cfg.RetryTimeout, func(units.Time) {
+		n.retryWrite(w)
+	})
+}
+
+// retryWrite re-pushes unacknowledged strips; after MaxRetries the
+// write is abandoned.
+func (n *Node) retryWrite(w *writeOp) {
+	if _, live := n.writes[w.tag]; !live {
+		return
+	}
+	if w.retries >= n.cfg.MaxRetries {
+		delete(n.writes, w.tag)
+		n.stats.FailedTransfers++
+		n.tracef("client", "write tag=%d abandoned after %d retries", w.tag, w.retries)
+		return
+	}
+	w.retries++
+	n.stats.Retries++
+	n.sendWriteStrips(w, missingPlans(w.plans, w.acked))
+	n.armWriteTimer(w)
+}
+
+// issue sends the per-server read requests for a transfer.
+func (n *Node) issue(p *Proc, file pfs.FileID, offset, length units.Bytes, done sim.Event) {
+	layout := n.layouts[file]
+	plans, err := layout.Extents(offset, length)
+	if err != nil {
+		panic(fmt.Sprintf("client: extents: %v", err))
+	}
+	hint, err := n.msgr.Annotate(p.core)
+	if err != nil {
+		panic(fmt.Sprintf("client: hint: %v", err))
+	}
+	// The request has been stamped with the issuing core; if the
+	// scheduler migrates the blocked process now, policy (i)'s hint goes
+	// stale while policy (ii) (CurrentCoreHint) re-resolves it.
+	if n.cfg.MigrateDuringBlock > 0 && n.rnd.Bool(n.cfg.MigrateDuringBlock) {
+		p.core = n.leastLoadedCore(p.core)
+	}
+	n.nextTag++
+	tag := n.nextTag
+	rd := &read{
+		proc: p, issuedAt: n.eng.Now(), file: file, tag: tag, plans: plans, hint: hint,
+		localEOF: func(idx int) units.Bytes { return layout.LocalBytes(idx) },
+		got:      make(map[int]bool),
+		done:     done,
+	}
+	for _, plan := range plans {
+		rd.remaining += len(plan.Pieces)
+	}
+	n.reads[tag] = rd
+	n.sendReadRequests(rd, plans)
+	n.armReadTimer(rd)
+}
+
+// sendReadRequests issues the per-server requests covering plans.
+func (n *Node) sendReadRequests(rd *read, plans []pfs.ServerPlan) {
+	for _, plan := range plans {
+		n.nic.Send(plan.Server, pfs.RequestSize, rd.hint, &pfs.ReadRequest{
+			File: rd.file, Tag: rd.tag, Client: n.cfg.Node, Pieces: plan.Pieces,
+			LocalEOF: rd.localEOF(plan.ServerIdx),
+		})
+	}
+}
+
+// armReadTimer schedules the retry timeout for rd, if enabled.
+func (n *Node) armReadTimer(rd *read) {
+	if n.cfg.RetryTimeout <= 0 {
+		return
+	}
+	rd.timer = n.eng.After(n.cfg.RetryTimeout, func(units.Time) {
+		n.retryRead(rd)
+	})
+}
+
+// retryRead re-issues requests covering strips that have not arrived;
+// after MaxRetries the transfer is abandoned.
+func (n *Node) retryRead(rd *read) {
+	if _, live := n.reads[rd.tag]; !live {
+		return
+	}
+	if rd.retries >= n.cfg.MaxRetries {
+		delete(n.reads, rd.tag)
+		n.stats.FailedTransfers++
+		// Free the strips that did arrive; nobody will consume them.
+		for _, b := range rd.blocks {
+			n.caches.Release(b.id)
+		}
+		n.tracef("client", "read tag=%d abandoned after %d retries", rd.tag, rd.retries)
+		return
+	}
+	rd.retries++
+	n.stats.Retries++
+	missing := missingPlans(rd.plans, rd.got)
+	n.tracef("client", "read tag=%d retry %d: %d servers incomplete", rd.tag, rd.retries, len(missing))
+	n.sendReadRequests(rd, missing)
+	n.armReadTimer(rd)
+}
+
+// missingPlans filters plans down to the pieces whose strips have not
+// arrived/acked yet.
+func missingPlans(plans []pfs.ServerPlan, got map[int]bool) []pfs.ServerPlan {
+	var out []pfs.ServerPlan
+	for _, plan := range plans {
+		var pieces []pfs.Piece
+		for _, piece := range plan.Pieces {
+			if !got[piece.GlobalStrip] {
+				pieces = append(pieces, piece)
+			}
+		}
+		if len(pieces) > 0 {
+			cp := plan
+			cp.Pieces = pieces
+			out = append(out, cp)
+		}
+	}
+	return out
+}
+
+// onNICQueueInterrupt is the MSI-X per-queue interrupt line (hardware
+// RSS): the queue's vector is raised and the redirection table — not a
+// software policy — decides the core. Hints are ignored, as static
+// vector assignment cannot follow them.
+func (n *Node) onNICQueueInterrupt(q int, _ units.Time) {
+	for _, f := range n.nic.DrainQueue(q) {
+		if !n.headerOK(f) {
+			continue
+		}
+		dest := n.ioapic.Raise(DataVector+apic.Vector(q), apic.NoHint, uint64(f.Src))
+		n.frameq[dest] = append(n.frameq[dest], f)
+		n.tracef("apic", "msix q%d frame from node %d routed to core %d", q, f.Src, dest)
+	}
+}
+
+// onNICInterrupt is the NIC interrupt line: for every drained frame the
+// I/O APIC (under the installed policy) picks a handling core, and the
+// frame is queued for that core's local-APIC delivery.
+func (n *Node) onNICInterrupt(units.Time) {
+	for _, f := range n.nic.Drain() {
+		if !n.headerOK(f) {
+			continue
+		}
+		hint := netsim.ParseHint(f)
+		h := apic.NoHint
+		if hint.Valid && hint.Core < n.cfg.Cores {
+			h = hint.Core
+		}
+		if n.cfg.CurrentCoreHint && h != apic.NoHint {
+			// Policy (ii): re-resolve the hint against the process's
+			// current core (it may have been migrated while blocked).
+			if sd, ok := f.Body.(*pfs.StripData); ok {
+				if rd, live := n.reads[sd.Tag]; live {
+					h = rd.proc.core
+				}
+			}
+		}
+		dest := n.ioapic.Raise(DataVector, h, uint64(f.Src))
+		n.frameq[dest] = append(n.frameq[dest], f)
+		n.tracef("apic", "frame from node %d (%v) routed to core %d", f.Src, hint, dest)
+	}
+}
+
+// headerOK validates the frame's IPv4 header; a corrupted header is
+// dropped at the stack entrance and counted.
+func (n *Node) headerOK(f *netsim.Frame) bool {
+	if _, _, err := netsim.UnmarshalIPv4(f.Header); err != nil {
+		n.stats.HeaderDrops++
+		n.tracef("driver", "dropping frame from node %d: %v", f.Src, err)
+		return false
+	}
+	return true
+}
+
+// handleIRQ runs when a local APIC delivers the vector to a core: pop
+// one frame and process it in interrupt context on that core.
+func (n *Node) handleIRQ(core int, _ units.Time) {
+	if len(n.frameq[core]) == 0 {
+		return // spurious (frame dropped by ring overflow)
+	}
+	f := n.frameq[core][0]
+	n.frameq[core] = n.frameq[core][1:]
+
+	c := n.cpu.Core(core)
+	c.Submit(cpu.PrioSoftirq, cpu.CatIRQ, n.cfg.Costs.IRQEntry, nil)
+	switch body := f.Body.(type) {
+	case *pfs.StripData:
+		cost := units.Time(float64(f.Payload) * n.cfg.Costs.SoftirqPerByte)
+		c.Submit(cpu.PrioSoftirq, cpu.CatSoftirq, cost, func(now units.Time) {
+			n.stripArrived(core, body, now)
+		})
+	case *pfs.WriteAck:
+		c.Submit(cpu.PrioSoftirq, cpu.CatSoftirq, units.Microsecond, func(now units.Time) {
+			n.ackArrived(body, now)
+		})
+	case *pfs.LayoutReply:
+		c.Submit(cpu.PrioSoftirq, cpu.CatSoftirq, 2*units.Microsecond, func(units.Time) {
+			n.layoutArrived(body)
+		})
+	default:
+		// Mid-strip fragments (Fragment wire mode) and stray traffic:
+		// protocol processing proportional to the bytes carried.
+		cost := units.Microsecond + units.Time(float64(f.Payload)*n.cfg.Costs.SoftirqPerByte)
+		c.Submit(cpu.PrioSoftirq, cpu.CatSoftirq, cost, nil)
+	}
+}
+
+// stripArrived deposits the strip into the handling core's cache and
+// completes the transfer when it was the last one. The block size is
+// the strip's declared size: in Fragment wire mode the descriptor rides
+// the final fragment, but the whole strip has landed by then.
+func (n *Node) stripArrived(core int, sd *pfs.StripData, now units.Time) {
+	rd, ok := n.reads[sd.Tag]
+	if !ok {
+		return // transfer already complete or abandoned
+	}
+	if rd.got[sd.GlobalStrip] {
+		return // duplicate from a retry race
+	}
+	rd.got[sd.GlobalStrip] = true
+	n.nextBlock++
+	id := n.nextBlock
+	n.caches.Fill(core, id, sd.Size)
+	rd.blocks = append(rd.blocks, blockRef{id: id, size: sd.Size})
+	rd.bytes += sd.Size
+	rd.remaining--
+	if rd.remaining == 0 {
+		delete(n.reads, sd.Tag)
+		if rd.timer != nil {
+			rd.timer.Cancel()
+		}
+		n.tracef("client", "transfer tag=%d complete (%v), waking proc %d on core %d",
+			sd.Tag, rd.bytes, rd.proc.id, rd.proc.core)
+		n.wake(rd, now)
+	}
+}
+
+// ackArrived completes one written strip; the last acknowledgement
+// wakes the writing process.
+func (n *Node) ackArrived(ack *pfs.WriteAck, _ units.Time) {
+	w, ok := n.writes[ack.Tag]
+	if !ok {
+		return
+	}
+	if w.acked[ack.GlobalStrip] {
+		return // duplicate ack from a retried strip
+	}
+	w.acked[ack.GlobalStrip] = true
+	w.remaining--
+	if w.remaining > 0 {
+		return
+	}
+	delete(n.writes, ack.Tag)
+	if w.timer != nil {
+		w.timer.Cancel()
+	}
+	p := w.proc
+	n.tracef("client", "write tag=%d complete (%v) on core %d", ack.Tag, w.bytes, p.core)
+	n.cpu.Core(p.core).Submit(cpu.PrioSoftirq, cpu.CatIRQ, n.cfg.Costs.WakeIPI, func(now units.Time) {
+		n.stats.BytesWritten += w.bytes
+		n.stats.WriteTransfers++
+		n.writeLatencies = append(n.writeLatencies, float64(now-w.issuedAt))
+		if w.done != nil {
+			w.done(now)
+		}
+	})
+}
+
+// layoutArrived installs a layout and issues the reads parked on it.
+func (n *Node) layoutArrived(rep *pfs.LayoutReply) {
+	file, ok := n.openTags[rep.Tag]
+	if !ok {
+		return
+	}
+	delete(n.openTags, rep.Tag)
+	n.layouts[file] = rep.Layout
+	parked := n.opening[file]
+	delete(n.opening, file)
+	for _, po := range parked {
+		if po.isWrite {
+			n.issueWrite(po.proc, file, po.offset, po.length, po.done)
+		} else {
+			n.issue(po.proc, file, po.offset, po.length, po.done)
+		}
+	}
+}
+
+// wake delivers the wakeup IPI to the process's core and schedules
+// consumption.
+func (n *Node) wake(rd *read, _ units.Time) {
+	p := rd.proc
+	c := n.cpu.Core(p.core)
+	c.Submit(cpu.PrioSoftirq, cpu.CatIRQ, n.cfg.Costs.WakeIPI, func(units.Time) {
+		n.consume(rd)
+	})
+}
+
+// consume models the process reading every strip of the completed
+// transfer on its core: stall costs depend on where each strip resides,
+// then the per-byte compute runs, then the transfer's done event fires.
+func (n *Node) consume(rd *read) {
+	p := rd.proc
+	c := n.cpu.Core(p.core)
+	lineSize := n.caches.LineSize()
+	var remoteLines, farLines, l3Lines, l3FarLines, memLines, localLines int64
+	for _, b := range rd.blocks {
+		lines := int64((b.size + lineSize - 1) / lineSize)
+		kind, supplier := n.caches.ConsumeFrom(p.core, b.id)
+		switch kind {
+		case cache.HitLocal:
+			localLines += lines
+		case cache.HitRemote:
+			if n.sameSocket(p.core, supplier) {
+				remoteLines += lines
+			} else {
+				farLines += lines
+			}
+		case cache.HitL3:
+			if n.sameSocket(p.core, supplier) {
+				l3Lines += lines
+			} else {
+				l3FarLines += lines
+			}
+		case cache.MissMemory:
+			memLines += lines
+		}
+		n.caches.Release(b.id)
+	}
+	costs := n.cfg.Costs
+	// Compute-phase working-set accesses: mostly hits, with a small
+	// scheduling-independent background miss floor.
+	totalLines := localLines + remoteLines + farLines + l3Lines + l3FarLines + memLines
+	if extra := uint64(float64(totalLines) * costs.ComputeAccessesPerLine); extra > 0 {
+		bgMisses := uint64(float64(extra) * costs.BackgroundMissRate)
+		n.caches.ChargeBackground(p.core, extra-bgMisses, bgMisses)
+		memLines += int64(bgMisses)
+	}
+	far := costs.RemoteLineFar
+	if far <= 0 {
+		far = costs.RemoteLine
+	}
+	if d := units.Time(remoteLines)*costs.RemoteLine + units.Time(farLines)*far; d > 0 {
+		c.Submit(cpu.PrioProcess, cpu.CatMigration, d, nil)
+	}
+	memStall := units.Time(memLines) * costs.MemLine
+	memStall += units.Time(l3Lines) * costs.L3Line
+	memStall += units.Time(l3FarLines) * far // cross-socket L3 rides HT
+	if memStall > 0 {
+		c.Submit(cpu.PrioProcess, cpu.CatMemStall, memStall, nil)
+	}
+	compute := units.Time(localLines)*costs.LocalLine +
+		units.Time(float64(rd.bytes)*costs.ComputePerByte)
+	c.Submit(cpu.PrioProcess, cpu.CatCompute, compute, func(now units.Time) {
+		n.stats.BytesRead += rd.bytes
+		n.stats.Transfers++
+		n.latencies = append(n.latencies, float64(now-rd.issuedAt))
+		if rd.done != nil {
+			rd.done(now)
+		}
+	})
+}
+
+// sameSocket reports whether cores a and b share a socket under the
+// configured topology (always true for SocketSize 0 — uniform).
+func (n *Node) sameSocket(a, b int) bool {
+	ss := n.cfg.Costs.SocketSize
+	if ss <= 0 || b < 0 {
+		return true
+	}
+	return a/ss == b/ss
+}
+
+// TransferBetween models an intra-node hand-off of bytes from the
+// cache of srcCore to dstCore — the redistribution step of collective
+// I/O (or any shared-memory exchange between co-located processes).
+// The destination core pays per-line migration stalls priced by socket
+// distance; a same-core transfer costs only local re-reads. done fires
+// when the destination has absorbed the bytes.
+func (n *Node) TransferBetween(srcCore, dstCore int, bytes units.Bytes, done sim.Event) {
+	if bytes <= 0 {
+		panic("client: TransferBetween with non-positive bytes")
+	}
+	if srcCore < 0 || srcCore >= n.cfg.Cores || dstCore < 0 || dstCore >= n.cfg.Cores {
+		panic("client: TransferBetween core out of range")
+	}
+	costs := n.cfg.Costs
+	lines := int64((bytes + n.caches.LineSize() - 1) / n.caches.LineSize())
+	c := n.cpu.Core(dstCore)
+	if srcCore == dstCore {
+		n.caches.ChargeHits(dstCore, uint64(lines))
+		c.Submit(cpu.PrioProcess, cpu.CatCompute, units.Time(lines)*costs.LocalLine, done)
+		return
+	}
+	perLine := costs.RemoteLine
+	if !n.sameSocket(srcCore, dstCore) && costs.RemoteLineFar > 0 {
+		perLine = costs.RemoteLineFar
+	}
+	n.caches.ChargeRemote(dstCore, uint64(lines))
+	c.Submit(cpu.PrioProcess, cpu.CatMigration, units.Time(lines)*perLine, done)
+}
+
+// leastLoadedCore returns the core with the smallest busy time,
+// preferring any core other than exclude.
+func (n *Node) leastLoadedCore(exclude int) int {
+	best, bestBusy := exclude, units.Time(-1)
+	for i := 0; i < n.cfg.Cores; i++ {
+		if i == exclude {
+			continue
+		}
+		busy := n.cpu.Core(i).Stats().Busy
+		if bestBusy < 0 || busy < bestBusy {
+			best, bestBusy = i, busy
+		}
+	}
+	return best
+}
+
+// NICIngressBusy returns cumulative busy time of the NIC's receive
+// serializer — the gauge for "is the client NIC the bottleneck".
+func (n *Node) NICIngressBusy() units.Time { return n.nic.IngressBusy() }

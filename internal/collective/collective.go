@@ -1,0 +1,163 @@
+// Package collective implements ROMIO-style two-phase collective reads
+// over a client node's processes — the optimization behind MPI-IO's
+// collective mode, which the paper's IOR workload can run:
+//
+//	Phase 1 (I/O): a subset of the processes (the aggregators) read
+//	large contiguous file domains from the parallel file system —
+//	fewer, bigger requests than the processes' own interleaved ones.
+//
+//	Phase 2 (redistribution): each aggregator scatters the pieces to
+//	the processes that wanted them through shared memory — an
+//	intra-node exchange that costs cache-to-cache transfers.
+//
+// Collective I/O trades network/server efficiency for guaranteed
+// client-side data movement, so it interacts with interrupt scheduling
+// in an interesting way: under SAIs the independent pattern already
+// keeps strips local and phase 2 only adds migrations, while under a
+// balanced policy the aggregation concentrates the damage on a few
+// cores.
+package collective
+
+import (
+	"fmt"
+
+	"sais/internal/client"
+	"sais/internal/pfs"
+	"sais/internal/sim"
+	"sais/internal/units"
+)
+
+// Config describes one collective read.
+type Config struct {
+	Aggregators int // processes performing phase-1 I/O (≥ 1)
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Aggregators < 1 {
+		return fmt.Errorf("collective: aggregators %d must be >= 1", c.Aggregators)
+	}
+	return nil
+}
+
+// Result summarizes one collective read.
+type Result struct {
+	Bytes         units.Bytes
+	Domains       int
+	Redistributed units.Bytes // bytes moved between cores in phase 2
+	Finished      units.Time
+}
+
+// Read performs one collective read: every process in procs wants the
+// byte range [base+i*perProc, base+(i+1)*perProc) of file. The first
+// cfg.Aggregators processes act as aggregators. done fires (with the
+// Result available) when every process holds its data.
+func Read(eng *sim.Engine, node *client.Node, procs []*client.Proc, file pfs.FileID,
+	base, perProc units.Bytes, cfg Config, done func(*Result)) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if len(procs) == 0 {
+		return fmt.Errorf("collective: no processes")
+	}
+	if perProc <= 0 {
+		return fmt.Errorf("collective: per-process bytes must be positive")
+	}
+	if base < 0 {
+		return fmt.Errorf("collective: negative base offset")
+	}
+	aggs := cfg.Aggregators
+	if aggs > len(procs) {
+		aggs = len(procs)
+	}
+	total := units.Bytes(len(procs)) * perProc
+	res := &Result{Bytes: total}
+
+	// Phase 1: split [0, total) into contiguous file domains, one per
+	// aggregator, strip-aligned where possible.
+	domain := total / units.Bytes(aggs)
+	type dom struct {
+		agg           *client.Proc
+		offset, bytes units.Bytes
+	}
+	var domains []dom
+	for j := 0; j < aggs; j++ {
+		off := units.Bytes(j) * domain
+		sz := domain
+		if j == aggs-1 {
+			sz = total - off
+		}
+		if sz > 0 {
+			domains = append(domains, dom{agg: procs[j], offset: base + off, bytes: sz})
+		}
+	}
+	res.Domains = len(domains)
+
+	remainingIO := len(domains)
+	phase2 := func(now units.Time) {
+		// Phase 2: every process pulls its range from the aggregators
+		// whose domains overlap it.
+		remainingXfer := 0
+		finish := func(units.Time) {
+			remainingXfer--
+			if remainingXfer == 0 {
+				res.Finished = eng.Now()
+				done(res)
+			}
+		}
+		type xfer struct {
+			src, dst *client.Proc
+			bytes    units.Bytes
+		}
+		var xfers []xfer
+		for i, p := range procs {
+			want0 := base + units.Bytes(i)*perProc
+			want1 := want0 + perProc
+			for _, d := range domains {
+				lo, hi := maxB(want0, d.offset), minB(want1, d.offset+d.bytes)
+				if hi <= lo {
+					continue
+				}
+				if d.agg == p {
+					continue // already resident with the aggregator
+				}
+				xfers = append(xfers, xfer{src: d.agg, dst: p, bytes: hi - lo})
+			}
+		}
+		if len(xfers) == 0 {
+			res.Finished = now
+			done(res)
+			return
+		}
+		remainingXfer = len(xfers)
+		for _, x := range xfers {
+			res.Redistributed += x.bytes
+			node.TransferBetween(x.src.Core(), x.dst.Core(), x.bytes, finish)
+		}
+	}
+
+	for _, d := range domains {
+		d := d
+		d.agg.Read(file, d.offset, d.bytes, func(now units.Time) {
+			remainingIO--
+			if remainingIO == 0 {
+				phase2(now)
+			}
+		})
+	}
+	return nil
+}
+
+func maxB(a, b units.Bytes) units.Bytes {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minB(a, b units.Bytes) units.Bytes {
+	if a < b {
+		return a
+	}
+	return b
+}

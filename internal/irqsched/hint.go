@@ -1,0 +1,45 @@
+package irqsched
+
+import (
+	"fmt"
+
+	"sais/internal/netsim"
+)
+
+// HintMessager is the SAIs client-side component that encapsulates the
+// requesting core's id into an outgoing I/O request (the PVFS_hint of
+// the prototype). Disabled, it produces no hint — which is how the
+// baseline policies run, since their packets carry no aff_core_id.
+type HintMessager struct {
+	Enabled bool
+}
+
+// Annotate returns the hint to attach to a request issued from core.
+// With the messager disabled the hint is empty. An out-of-range core
+// (the 5-bit option field addresses at most 32 cores) is an error the
+// caller must surface at configuration time.
+func (h HintMessager) Annotate(core int) (netsim.AffHint, error) {
+	if !h.Enabled {
+		return netsim.AffHint{}, nil
+	}
+	if core < 0 || core >= netsim.MaxCores {
+		return netsim.AffHint{}, fmt.Errorf("irqsched: core %d not addressable by aff_core_id (max %d)", core, netsim.MaxCores-1)
+	}
+	return netsim.Hint(core), nil
+}
+
+// HintCapsuler is the SAIs server-side component that copies the
+// request's aff_core_id into every return data packet (step 3 of the
+// paper's Figure 3).
+type HintCapsuler struct {
+	Enabled bool
+}
+
+// Echo returns the hint to stamp on a return packet for a request that
+// carried reqHint.
+func (h HintCapsuler) Echo(reqHint netsim.AffHint) netsim.AffHint {
+	if !h.Enabled {
+		return netsim.AffHint{}
+	}
+	return reqHint
+}

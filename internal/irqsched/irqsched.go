@@ -1,0 +1,424 @@
+// Package irqsched implements the four interrupt-scheduling policies
+// the paper compares (Figure 1 and §III): round-robin, dedicated-core,
+// irqbalance-style load balancing, and SAIs' source-aware scheduling.
+// Each policy is an apic.Router; the I/O APIC consults it per raised
+// interrupt.
+//
+// The package also houses the SAIs protocol components that live
+// outside the APIC: HintMessager (client request side), HintCapsuler
+// (server reply side), and the SrcParser step is netsim.ParseHint.
+package irqsched
+
+import (
+	"fmt"
+
+	"sais/internal/apic"
+	"sais/internal/units"
+)
+
+// PolicyKind enumerates the implemented policies.
+type PolicyKind int
+
+// Policies. The first four are the paper's comparison set; FlowHash is
+// an RSS/RFS-style static flow-affinity baseline (the closest modern
+// comparator to SAIs), and Hybrid is the paper's future-work
+// integration of source-aware placement with load-aware fallback.
+const (
+	PolicyRoundRobin PolicyKind = iota
+	PolicyDedicated
+	PolicyIrqbalance
+	PolicySourceAware
+	PolicyFlowHash
+	PolicyHybrid
+	PolicySocketAware
+	// PolicyHardwareRSS is not a software router at all: the client
+	// wires MSI-X queues with statically-pinned vectors (StaticTable)
+	// when this kind is selected.
+	PolicyHardwareRSS
+)
+
+var policyNames = map[PolicyKind]string{
+	PolicyRoundRobin:  "roundrobin",
+	PolicyDedicated:   "dedicated",
+	PolicyIrqbalance:  "irqbalance",
+	PolicySourceAware: "sais",
+	PolicyFlowHash:    "flowhash",
+	PolicyHybrid:      "hybrid",
+	PolicySocketAware: "sais-socket",
+	PolicyHardwareRSS: "rss",
+}
+
+func (k PolicyKind) String() string {
+	if n, ok := policyNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("PolicyKind(%d)", int(k))
+}
+
+// ParsePolicy resolves a policy name (as used by command-line tools).
+func ParsePolicy(name string) (PolicyKind, error) {
+	for k, n := range policyNames {
+		if n == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("irqsched: unknown policy %q (want roundrobin|dedicated|irqbalance|sais|flowhash|hybrid|sais-socket|rss)", name)
+}
+
+// LoadReader exposes the per-core load information irqbalance samples.
+// cpu.CPU is adapted to this interface by the client node.
+type LoadReader interface {
+	NumCores() int
+	// CoreBusy returns cumulative busy time of core i since boot.
+	CoreBusy(i int) units.Time
+	// CoreQueue returns the current number of queued work items on i.
+	CoreQueue(i int) int
+}
+
+// RoundRobin delivers interrupts to cores in turn — the Linux default
+// on the paper's Intel configuration (Figure 1a).
+type RoundRobin struct {
+	next int
+}
+
+// NewRoundRobin returns the policy.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements apic.Router.
+func (r *RoundRobin) Name() string { return "roundrobin" }
+
+// Route implements apic.Router.
+func (r *RoundRobin) Route(_ apic.Vector, _ int, _ uint64, allowed []int, _ units.Time) int {
+	c := allowed[r.next%len(allowed)]
+	r.next++
+	return c
+}
+
+// Dedicated delivers every interrupt to one fixed core — the Linux
+// lowest-priority default on the paper's AMD configuration (Figure 1b).
+type Dedicated struct {
+	core int
+}
+
+// NewDedicated returns the policy pinned to core.
+func NewDedicated(core int) *Dedicated { return &Dedicated{core: core} }
+
+// Name implements apic.Router.
+func (d *Dedicated) Name() string { return "dedicated" }
+
+// Route implements apic.Router.
+func (d *Dedicated) Route(_ apic.Vector, _ int, _ uint64, allowed []int, _ units.Time) int {
+	for _, c := range allowed {
+		if c == d.core {
+			return c
+		}
+	}
+	return allowed[0]
+}
+
+// Irqbalance spreads interrupts over cores by load, re-sampling core
+// utilization every Period like the irqbalance daemon. Between samples
+// it ranks cores by (sampled busy delta, current queue length) and
+// routes each interrupt to the least-loaded allowed core, breaking ties
+// round-robin — the "balanced" baseline of the paper's analysis.
+type Irqbalance struct {
+	loads    LoadReader
+	period   units.Time
+	lastAt   units.Time
+	lastBusy []units.Time
+	delta    []units.Time
+	rr       int
+}
+
+// NewIrqbalance builds the policy over the given load source. period is
+// the sampling interval (the daemon's default is 10 s; interrupt-heavy
+// deployments run at 10 ms, which is what the experiments use).
+func NewIrqbalance(loads LoadReader, period units.Time) *Irqbalance {
+	if period <= 0 {
+		panic("irqsched: irqbalance period must be positive")
+	}
+	n := loads.NumCores()
+	return &Irqbalance{
+		loads:    loads,
+		period:   period,
+		lastBusy: make([]units.Time, n),
+		delta:    make([]units.Time, n),
+	}
+}
+
+// Name implements apic.Router.
+func (b *Irqbalance) Name() string { return "irqbalance" }
+
+func (b *Irqbalance) resample(now units.Time) {
+	for i := range b.delta {
+		busy := b.loads.CoreBusy(i)
+		b.delta[i] = busy - b.lastBusy[i]
+		b.lastBusy[i] = busy
+	}
+	b.lastAt = now
+}
+
+// Route implements apic.Router.
+func (b *Irqbalance) Route(_ apic.Vector, _ int, _ uint64, allowed []int, now units.Time) int {
+	if now-b.lastAt >= b.period {
+		b.resample(now)
+	}
+	best, bestScore := -1, int64(0)
+	for k := 0; k < len(allowed); k++ {
+		// Rotate the scan start so equal loads spread round-robin.
+		c := allowed[(k+b.rr)%len(allowed)]
+		score := int64(b.delta[c]) + int64(b.loads.CoreQueue(c))*int64(units.Microsecond)
+		if best == -1 || score < bestScore {
+			best, bestScore = c, score
+		}
+	}
+	b.rr++
+	return best
+}
+
+// SourceAware is the SAIs policy: deliver to the aff_core_id carried in
+// the packet; interrupts without a hint fall back to a secondary policy
+// (non-PFS traffic still needs a home).
+type SourceAware struct {
+	fallback apic.Router
+	hinted   uint64
+	unhinted uint64
+}
+
+// NewSourceAware builds the policy with the given fallback for
+// hint-less interrupts; a nil fallback defaults to round-robin.
+func NewSourceAware(fallback apic.Router) *SourceAware {
+	if fallback == nil {
+		fallback = NewRoundRobin()
+	}
+	return &SourceAware{fallback: fallback}
+}
+
+// Name implements apic.Router.
+func (s *SourceAware) Name() string { return "sais" }
+
+// Hinted returns how many interrupts carried a usable hint.
+func (s *SourceAware) Hinted() uint64 { return s.hinted }
+
+// Unhinted returns how many interrupts fell back.
+func (s *SourceAware) Unhinted() uint64 { return s.unhinted }
+
+// Route implements apic.Router.
+func (s *SourceAware) Route(vec apic.Vector, hint int, flow uint64, allowed []int, now units.Time) int {
+	if hint != apic.NoHint {
+		for _, c := range allowed {
+			if c == hint {
+				s.hinted++
+				return c
+			}
+		}
+	}
+	s.unhinted++
+	return s.fallback.Route(vec, hint, flow, allowed, now)
+}
+
+// FlowHash is an RSS/receive-flow-steering style baseline: each flow
+// (source node) hashes to a fixed core, so one server's strips always
+// land on the same core. It preserves per-flow cache locality for the
+// protocol state but not for the paper's scenario — the strips of one
+// request come from many flows, so the request's data is still spread
+// over the cores and must migrate to the consumer.
+type FlowHash struct{}
+
+// NewFlowHash returns the policy.
+func NewFlowHash() *FlowHash { return &FlowHash{} }
+
+// Name implements apic.Router.
+func (f *FlowHash) Name() string { return "flowhash" }
+
+// Route implements apic.Router.
+func (f *FlowHash) Route(_ apic.Vector, _ int, flow uint64, allowed []int, _ units.Time) int {
+	x := flow
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return allowed[x%uint64(len(allowed))]
+}
+
+// Hybrid is the future-work integration sketched in the paper's §VIII:
+// follow the source-aware hint while the target core is responsive, but
+// fall back to the least-loaded core when the hinted core's queue
+// exceeds a threshold — trading a migration for not stalling behind a
+// saturated core.
+type Hybrid struct {
+	loads     LoadReader
+	balance   *Irqbalance
+	threshold int
+	followed  uint64
+	diverted  uint64
+}
+
+// NewHybrid builds the policy. threshold is the hinted core's queue
+// depth beyond which the interrupt is diverted (≥ 1).
+func NewHybrid(loads LoadReader, period units.Time, threshold int) *Hybrid {
+	if threshold < 1 {
+		panic("irqsched: hybrid threshold must be >= 1")
+	}
+	return &Hybrid{
+		loads:     loads,
+		balance:   NewIrqbalance(loads, period),
+		threshold: threshold,
+	}
+}
+
+// Name implements apic.Router.
+func (h *Hybrid) Name() string { return "hybrid" }
+
+// Followed returns interrupts delivered to their hinted core.
+func (h *Hybrid) Followed() uint64 { return h.followed }
+
+// Diverted returns interrupts diverted by the load threshold.
+func (h *Hybrid) Diverted() uint64 { return h.diverted }
+
+// Route implements apic.Router.
+func (h *Hybrid) Route(vec apic.Vector, hint int, flow uint64, allowed []int, now units.Time) int {
+	if hint != apic.NoHint {
+		for _, c := range allowed {
+			if c == hint {
+				if h.loads.CoreQueue(c) < h.threshold {
+					h.followed++
+					return c
+				}
+				break
+			}
+		}
+	}
+	h.diverted++
+	return h.balance.Route(vec, hint, flow, allowed, now)
+}
+
+// SocketAware is the hint-precision ablation: instead of the exact
+// aff_core_id, the scheduler honours only the hinted core's *socket*
+// (as a 2-3 bit hint could encode), delivering to the least-queued
+// core there. Strips stay on the consumer's socket — migrations remain
+// but become the cheap intra-socket kind.
+type SocketAware struct {
+	loads      LoadReader
+	socketSize int
+	fallback   apic.Router
+}
+
+// NewSocketAware builds the policy. socketSize is cores per socket.
+func NewSocketAware(loads LoadReader, socketSize int, fallback apic.Router) *SocketAware {
+	if socketSize < 1 {
+		panic("irqsched: socket size must be >= 1")
+	}
+	if fallback == nil {
+		fallback = NewRoundRobin()
+	}
+	return &SocketAware{loads: loads, socketSize: socketSize, fallback: fallback}
+}
+
+// Name implements apic.Router.
+func (s *SocketAware) Name() string { return "sais-socket" }
+
+// Route implements apic.Router.
+func (s *SocketAware) Route(vec apic.Vector, hint int, flow uint64, allowed []int, now units.Time) int {
+	if hint != apic.NoHint {
+		socket := hint / s.socketSize
+		best, bestQ := -1, 0
+		for _, c := range allowed {
+			if c/s.socketSize != socket {
+				continue
+			}
+			q := 0
+			if s.loads != nil {
+				q = s.loads.CoreQueue(c)
+			}
+			if best == -1 || q < bestQ {
+				best, bestQ = c, q
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	}
+	return s.fallback.Route(vec, hint, flow, allowed, now)
+}
+
+// StaticTable routes each vector to a fixed core — the model of MSI-X
+// vectors programmed once via the redirection table (hardware RSS:
+// queue q's vector pins to core q). Unknown vectors fall back.
+type StaticTable struct {
+	table    map[apic.Vector]int
+	fallback apic.Router
+}
+
+// NewStaticTable builds the router; fallback (nil = round-robin)
+// handles unmapped vectors.
+func NewStaticTable(table map[apic.Vector]int, fallback apic.Router) *StaticTable {
+	if fallback == nil {
+		fallback = NewRoundRobin()
+	}
+	cp := make(map[apic.Vector]int, len(table))
+	for v, c := range table {
+		cp[v] = c
+	}
+	return &StaticTable{table: cp, fallback: fallback}
+}
+
+// Name implements apic.Router.
+func (s *StaticTable) Name() string { return "static-table" }
+
+// Route implements apic.Router.
+func (s *StaticTable) Route(vec apic.Vector, hint int, flow uint64, allowed []int, now units.Time) int {
+	if core, ok := s.table[vec]; ok {
+		for _, c := range allowed {
+			if c == core {
+				return c
+			}
+		}
+	}
+	return s.fallback.Route(vec, hint, flow, allowed, now)
+}
+
+// Options collects the policy constructor inputs; zero values are valid
+// for policies that do not use them.
+type Options struct {
+	Loads         LoadReader
+	Period        units.Time // irqbalance/hybrid sampling period
+	DedicatedCore int
+	SocketSize    int // sais-socket granularity (default 4)
+	HybridQueue   int // hybrid divert threshold (default 16)
+}
+
+// New constructs a policy by kind.
+func New(kind PolicyKind, opts Options) apic.Router {
+	switch kind {
+	case PolicyRoundRobin:
+		return NewRoundRobin()
+	case PolicyDedicated:
+		return NewDedicated(opts.DedicatedCore)
+	case PolicyIrqbalance:
+		if opts.Loads == nil {
+			panic("irqsched: irqbalance needs a LoadReader")
+		}
+		return NewIrqbalance(opts.Loads, opts.Period)
+	case PolicySourceAware:
+		return NewSourceAware(nil)
+	case PolicyFlowHash:
+		return NewFlowHash()
+	case PolicyHybrid:
+		if opts.Loads == nil {
+			panic("irqsched: hybrid needs a LoadReader")
+		}
+		q := opts.HybridQueue
+		if q < 1 {
+			q = 16
+		}
+		return NewHybrid(opts.Loads, opts.Period, q)
+	case PolicySocketAware:
+		ss := opts.SocketSize
+		if ss < 1 {
+			ss = 4
+		}
+		return NewSocketAware(opts.Loads, ss, nil)
+	default:
+		panic(fmt.Sprintf("irqsched: unknown policy kind %d", kind))
+	}
+}

@@ -1,0 +1,365 @@
+package irqsched
+
+import (
+	"testing"
+
+	"sais/internal/apic"
+	"sais/internal/units"
+)
+
+// fakeLoads is a scriptable LoadReader.
+type fakeLoads struct {
+	busy  []units.Time
+	queue []int
+}
+
+func (f *fakeLoads) NumCores() int             { return len(f.busy) }
+func (f *fakeLoads) CoreBusy(i int) units.Time { return f.busy[i] }
+func (f *fakeLoads) CoreQueue(i int) int       { return f.queue[i] }
+
+func allowed(n int) []int {
+	a := make([]int, n)
+	for i := range a {
+		a[i] = i
+	}
+	return a
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	p := NewRoundRobin()
+	var got []int
+	for i := 0; i < 8; i++ {
+		got = append(got, p.Route(1, apic.NoHint, 0, allowed(4), 0))
+	}
+	want := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sequence = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRoundRobinRestrictedSet(t *testing.T) {
+	p := NewRoundRobin()
+	set := []int{2, 5}
+	if a, b := p.Route(1, apic.NoHint, 0, set, 0), p.Route(1, apic.NoHint, 0, set, 0); a != 2 || b != 5 {
+		t.Errorf("restricted rr = %d,%d, want 2,5", a, b)
+	}
+}
+
+func TestDedicated(t *testing.T) {
+	p := NewDedicated(3)
+	if got := p.Route(1, 0, 0, allowed(8), 0); got != 3 {
+		t.Errorf("dedicated routed to %d, want 3 (ignoring hint)", got)
+	}
+	// Dedicated core not in allowed set falls back to first allowed.
+	if got := p.Route(1, apic.NoHint, 0, []int{1, 2}, 0); got != 1 {
+		t.Errorf("fallback = %d, want 1", got)
+	}
+}
+
+func TestSourceAwareFollowsHint(t *testing.T) {
+	p := NewSourceAware(nil)
+	for hint := 0; hint < 4; hint++ {
+		if got := p.Route(1, hint, 0, allowed(4), 0); got != hint {
+			t.Errorf("hint %d routed to %d", hint, got)
+		}
+	}
+	if p.Hinted() != 4 || p.Unhinted() != 0 {
+		t.Errorf("hinted=%d unhinted=%d", p.Hinted(), p.Unhinted())
+	}
+}
+
+func TestSourceAwareFallsBack(t *testing.T) {
+	p := NewSourceAware(NewDedicated(2))
+	if got := p.Route(1, apic.NoHint, 0, allowed(4), 0); got != 2 {
+		t.Errorf("no-hint fallback = %d, want dedicated 2", got)
+	}
+	// Hint outside the allowed set also falls back.
+	if got := p.Route(1, 7, 0, []int{1, 2}, 0); got != 2 {
+		t.Errorf("disallowed hint fallback = %d, want 2", got)
+	}
+	if p.Unhinted() != 2 {
+		t.Errorf("unhinted = %d, want 2", p.Unhinted())
+	}
+}
+
+func TestIrqbalancePicksLeastLoaded(t *testing.T) {
+	loads := &fakeLoads{
+		busy:  []units.Time{1000, 10, 5000, 10},
+		queue: make([]int, 4),
+	}
+	p := NewIrqbalance(loads, 10*units.Millisecond)
+	// First route triggers a resample at t=period.
+	got := p.Route(1, apic.NoHint, 0, allowed(4), 10*units.Millisecond)
+	if got != 1 && got != 3 {
+		t.Errorf("routed to %d, want a least-loaded core (1 or 3)", got)
+	}
+}
+
+func TestIrqbalanceSpreadsAcrossEqualCores(t *testing.T) {
+	loads := &fakeLoads{busy: make([]units.Time, 4), queue: make([]int, 4)}
+	p := NewIrqbalance(loads, 10*units.Millisecond)
+	seen := map[int]bool{}
+	for i := 0; i < 16; i++ {
+		seen[p.Route(1, apic.NoHint, 0, allowed(4), 0)] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("equal-load routing used only cores %v; should spread", seen)
+	}
+}
+
+func TestIrqbalanceUsesQueuePressure(t *testing.T) {
+	loads := &fakeLoads{busy: make([]units.Time, 2), queue: []int{50, 0}}
+	p := NewIrqbalance(loads, 10*units.Millisecond)
+	for i := 0; i < 4; i++ {
+		if got := p.Route(1, apic.NoHint, 0, allowed(2), 0); got != 1 {
+			t.Errorf("route %d = %d, want 1 (core 0 has deep queue)", i, got)
+		}
+	}
+}
+
+func TestIrqbalanceResamplesPerPeriod(t *testing.T) {
+	loads := &fakeLoads{busy: []units.Time{0, 0}, queue: []int{0, 0}}
+	p := NewIrqbalance(loads, units.Millisecond)
+	p.Route(1, apic.NoHint, 0, allowed(2), units.Millisecond) // sample 1
+	// Core 0 accumulates load; before the next period the policy must
+	// not see it...
+	loads.busy[0] = 500 * units.Microsecond
+	mid := p.delta[0]
+	p.Route(1, apic.NoHint, 0, allowed(2), units.Millisecond+1)
+	if p.delta[0] != mid {
+		t.Error("delta changed within a sampling period")
+	}
+	// ...after the period it must.
+	p.Route(1, apic.NoHint, 0, allowed(2), 2*units.Millisecond+1)
+	if p.delta[0] != 500*units.Microsecond {
+		t.Errorf("delta after resample = %v, want 500us", p.delta[0])
+	}
+}
+
+func TestIrqbalancePeriodValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero period did not panic")
+		}
+	}()
+	NewIrqbalance(&fakeLoads{busy: []units.Time{0}, queue: []int{0}}, 0)
+}
+
+func TestPolicyKindString(t *testing.T) {
+	if PolicySourceAware.String() != "sais" || PolicyIrqbalance.String() != "irqbalance" {
+		t.Error("policy names wrong")
+	}
+	if PolicyKind(9).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for name, want := range map[string]PolicyKind{
+		"roundrobin":  PolicyRoundRobin,
+		"dedicated":   PolicyDedicated,
+		"irqbalance":  PolicyIrqbalance,
+		"sais":        PolicySourceAware,
+		"flowhash":    PolicyFlowHash,
+		"hybrid":      PolicyHybrid,
+		"sais-socket": PolicySocketAware,
+		"rss":         PolicyHardwareRSS,
+	} {
+		got, err := ParsePolicy(name)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("bogus policy parsed")
+	}
+}
+
+func TestNewConstructor(t *testing.T) {
+	loads := &fakeLoads{busy: []units.Time{0}, queue: []int{0}}
+	for _, k := range []PolicyKind{PolicyRoundRobin, PolicyDedicated, PolicyIrqbalance,
+		PolicySourceAware, PolicyFlowHash, PolicyHybrid, PolicySocketAware} {
+		r := New(k, Options{Loads: loads, Period: units.Millisecond})
+		if r == nil {
+			t.Errorf("New(%v) = nil", k)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("irqbalance without loads did not panic")
+			}
+		}()
+		New(PolicyIrqbalance, Options{Period: units.Millisecond})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown kind did not panic")
+			}
+		}()
+		New(PolicyKind(42), Options{})
+	}()
+}
+
+func TestHintMessager(t *testing.T) {
+	off := HintMessager{}
+	h, err := off.Annotate(3)
+	if err != nil || h.Valid {
+		t.Errorf("disabled messager = %v, %v", h, err)
+	}
+	on := HintMessager{Enabled: true}
+	h, err = on.Annotate(3)
+	if err != nil || !h.Valid || h.Core != 3 {
+		t.Errorf("enabled messager = %v, %v", h, err)
+	}
+	if _, err = on.Annotate(32); err == nil {
+		t.Error("core 32 should not be addressable")
+	}
+	if _, err = on.Annotate(-1); err == nil {
+		t.Error("negative core should error")
+	}
+}
+
+func TestHintCapsuler(t *testing.T) {
+	req, _ := HintMessager{Enabled: true}.Annotate(5)
+	if got := (HintCapsuler{Enabled: true}).Echo(req); !got.Valid || got.Core != 5 {
+		t.Errorf("enabled capsuler = %v", got)
+	}
+	if got := (HintCapsuler{}).Echo(req); got.Valid {
+		t.Errorf("disabled capsuler leaked hint %v", got)
+	}
+}
+
+func TestFlowHashStickyPerFlow(t *testing.T) {
+	p := NewFlowHash()
+	for flow := uint64(100); flow < 120; flow++ {
+		first := p.Route(1, apic.NoHint, flow, allowed(8), 0)
+		for i := 0; i < 5; i++ {
+			if got := p.Route(1, apic.NoHint, flow, allowed(8), 0); got != first {
+				t.Fatalf("flow %d moved: %d then %d", flow, first, got)
+			}
+		}
+	}
+}
+
+func TestFlowHashSpreadsFlows(t *testing.T) {
+	p := NewFlowHash()
+	seen := map[int]bool{}
+	for flow := uint64(0); flow < 64; flow++ {
+		seen[p.Route(1, apic.NoHint, flow, allowed(8), 0)] = true
+	}
+	if len(seen) < 6 {
+		t.Errorf("64 flows landed on only %d of 8 cores", len(seen))
+	}
+}
+
+func TestFlowHashIgnoresHint(t *testing.T) {
+	p := NewFlowHash()
+	a := p.Route(1, 3, 42, allowed(8), 0)
+	b := p.Route(1, 5, 42, allowed(8), 0)
+	if a != b {
+		t.Error("flowhash must depend only on the flow, not the hint")
+	}
+}
+
+func TestHybridFollowsHintWhenIdle(t *testing.T) {
+	loads := &fakeLoads{busy: make([]units.Time, 4), queue: make([]int, 4)}
+	p := NewHybrid(loads, units.Millisecond, 4)
+	if got := p.Route(1, 2, 0, allowed(4), 0); got != 2 {
+		t.Errorf("idle hinted core not followed: %d", got)
+	}
+	if p.Followed() != 1 || p.Diverted() != 0 {
+		t.Errorf("followed=%d diverted=%d", p.Followed(), p.Diverted())
+	}
+}
+
+func TestHybridDivertsFromSaturatedCore(t *testing.T) {
+	loads := &fakeLoads{busy: make([]units.Time, 4), queue: []int{0, 0, 50, 0}}
+	p := NewHybrid(loads, units.Millisecond, 4)
+	got := p.Route(1, 2, 0, allowed(4), 0)
+	if got == 2 {
+		t.Error("interrupt delivered to a saturated core")
+	}
+	if p.Diverted() != 1 {
+		t.Errorf("diverted = %d", p.Diverted())
+	}
+}
+
+func TestHybridNoHintBalances(t *testing.T) {
+	loads := &fakeLoads{busy: make([]units.Time, 4), queue: make([]int, 4)}
+	p := NewHybrid(loads, units.Millisecond, 4)
+	if got := p.Route(1, apic.NoHint, 0, allowed(4), 0); got < 0 || got > 3 {
+		t.Errorf("route = %d", got)
+	}
+	if p.Diverted() != 1 {
+		t.Error("hint-less interrupt should count as diverted")
+	}
+}
+
+func TestHybridThresholdValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero threshold did not panic")
+		}
+	}()
+	NewHybrid(&fakeLoads{busy: []units.Time{0}, queue: []int{0}}, units.Millisecond, 0)
+}
+
+func TestSocketAwareStaysOnSocket(t *testing.T) {
+	loads := &fakeLoads{busy: make([]units.Time, 8), queue: []int{0, 5, 0, 0, 0, 0, 0, 0}}
+	p := NewSocketAware(loads, 4, nil)
+	// Hint core 1 (socket 0): must pick a socket-0 core, preferring the
+	// least-queued one (core 0, 2 or 3 — not 1 with queue 5).
+	got := p.Route(1, 1, 0, allowed(8), 0)
+	if got/4 != 0 {
+		t.Errorf("routed to core %d on socket %d, want socket 0", got, got/4)
+	}
+	if got == 1 {
+		t.Error("picked the queued core despite idle siblings")
+	}
+	// Hint core 6 (socket 1).
+	if got := p.Route(1, 6, 0, allowed(8), 0); got/4 != 1 {
+		t.Errorf("routed to core %d, want socket 1", got)
+	}
+}
+
+func TestSocketAwareFallsBackWithoutHint(t *testing.T) {
+	loads := &fakeLoads{busy: make([]units.Time, 8), queue: make([]int, 8)}
+	p := NewSocketAware(loads, 4, NewDedicated(7))
+	if got := p.Route(1, apic.NoHint, 0, allowed(8), 0); got != 7 {
+		t.Errorf("no-hint fallback = %d, want 7", got)
+	}
+}
+
+func TestSocketAwareValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero socket size accepted")
+		}
+	}()
+	NewSocketAware(nil, 0, nil)
+}
+
+func TestStaticTable(t *testing.T) {
+	p := NewStaticTable(map[apic.Vector]int{64: 2, 65: 3}, NewDedicated(0))
+	if got := p.Route(64, apic.NoHint, 0, allowed(4), 0); got != 2 {
+		t.Errorf("vector 64 -> %d, want 2", got)
+	}
+	if got := p.Route(65, 1, 0, allowed(4), 0); got != 3 {
+		t.Errorf("vector 65 -> %d, want 3 (hints ignored)", got)
+	}
+	// Unmapped vector falls back.
+	if got := p.Route(99, apic.NoHint, 0, allowed(4), 0); got != 0 {
+		t.Errorf("unmapped vector -> %d, want fallback 0", got)
+	}
+	// A mapped core outside the allowed set falls back too.
+	if got := p.Route(64, apic.NoHint, 0, []int{0, 1}, 0); got != 0 {
+		t.Errorf("restricted set -> %d, want fallback", got)
+	}
+	if p.Name() != "static-table" {
+		t.Errorf("name = %q", p.Name())
+	}
+}

@@ -1,0 +1,98 @@
+package netsim
+
+import (
+	"fmt"
+
+	"sais/internal/sim"
+	"sais/internal/units"
+)
+
+// Fabric is the switched network connecting node NICs — the model of
+// the cluster's store-and-forward Ethernet switch. A frame leaves the
+// sender through its NIC egress serializer, crosses the switch after a
+// fixed forwarding latency, and is serialized again by the receiver's
+// NIC port, so both the sender's and the receiver's line rates bound
+// throughput, exactly as with a real switch.
+type Fabric struct {
+	eng     *sim.Engine
+	latency units.Time
+	nics    map[NodeID]*NIC
+	// loss injects random frame drops for failure testing; nil = none.
+	loss func() bool
+	// corrupt injects header bit-flips; nil = none.
+	corrupt   func(*Frame) bool
+	forwarded uint64
+	dropped   uint64
+	corrupted uint64
+}
+
+// NewFabric creates an empty fabric with the given one-way switch
+// forwarding latency.
+func NewFabric(eng *sim.Engine, latency units.Time) *Fabric {
+	if latency < 0 {
+		panic("netsim: negative fabric latency")
+	}
+	return &Fabric{eng: eng, latency: latency, nics: make(map[NodeID]*NIC)}
+}
+
+// Attach connects a NIC to the fabric. Attaching two NICs with the same
+// NodeID panics: node identity is the routing key.
+func (f *Fabric) Attach(n *NIC) {
+	if _, dup := f.nics[n.id]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node %d on fabric", n.id))
+	}
+	n.fab = f
+	f.nics[n.id] = n
+}
+
+// NIC returns the attached NIC for id, or nil.
+func (f *Fabric) NIC(id NodeID) *NIC { return f.nics[id] }
+
+// Nodes returns the number of attached NICs.
+func (f *Fabric) Nodes() int { return len(f.nics) }
+
+// Forwarded returns the number of frames the switch has forwarded.
+func (f *Fabric) Forwarded() uint64 { return f.forwarded }
+
+// Dropped returns frames dropped by injected loss or unknown
+// destinations.
+func (f *Fabric) Dropped() uint64 { return f.dropped }
+
+// SetLoss installs a frame-drop predicate called per frame; used by
+// failure-injection tests. Pass nil to disable.
+func (f *Fabric) SetLoss(fn func() bool) { f.loss = fn }
+
+// SetCorruption installs a per-frame header-corruption predicate: a
+// selected frame's IP header gets a flipped byte, so the receiver's
+// checksum validation rejects it. The predicate sees the frame, so
+// tests can target e.g. only data-bearing frames. Pass nil to disable.
+func (f *Fabric) SetCorruption(fn func(*Frame) bool) { f.corrupt = fn }
+
+// Corrupted returns the number of frames whose headers were damaged.
+func (f *Fabric) Corrupted() uint64 { return f.corrupted }
+
+// forward is called by a NIC when egress serialization of a frame
+// completes.
+func (f *Fabric) forward(fr *Frame, wire units.Bytes) {
+	dst, ok := f.nics[fr.Dst]
+	if !ok {
+		f.dropped++
+		return
+	}
+	if f.loss != nil && f.loss() {
+		f.dropped++
+		return
+	}
+	if f.corrupt != nil && f.corrupt(fr) && len(fr.Header) > 12 {
+		// Damage a copy: other references to the frame stay intact.
+		cp := *fr
+		cp.Header = append([]byte(nil), fr.Header...)
+		cp.Header[12] ^= 0xff // source-address byte: checksum now fails
+		fr = &cp
+		f.corrupted++
+	}
+	f.forwarded++
+	f.eng.After(f.latency, func(units.Time) {
+		dst.receive(fr, wire)
+	})
+}

@@ -1,0 +1,124 @@
+package netsim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// This file implements a real IPv4 header codec so the SAIs hint path
+// (HintCapsuler on the server, SrcParser in the client NIC driver) runs
+// over genuine wire bytes, not just struct fields. Only the fields the
+// simulator uses are interpreted; the rest round-trip.
+
+// Header field constants.
+const (
+	ipVersion     = 4
+	minIHL        = 5  // 32-bit words
+	maxIHL        = 15 // header + up to 40 option bytes
+	minHeaderLen  = minIHL * 4
+	maxOptionsLen = (maxIHL - minIHL) * 4
+)
+
+// Codec errors.
+var (
+	ErrShortHeader  = errors.New("netsim: buffer shorter than IPv4 header")
+	ErrBadVersion   = errors.New("netsim: not an IPv4 header")
+	ErrBadIHL       = errors.New("netsim: invalid IHL")
+	ErrOptionsLong  = errors.New("netsim: options exceed 40 bytes")
+	ErrOptionsAlign = errors.New("netsim: options not 32-bit aligned")
+	ErrBadChecksum  = errors.New("netsim: header checksum mismatch")
+	ErrLengthField  = errors.New("netsim: total-length field inconsistent")
+)
+
+// IPv4Header is the decoded header of one simulated packet.
+type IPv4Header struct {
+	TotalLen uint16 // header + payload bytes
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	SrcIP    uint32
+	DstIP    uint32
+	Options  []byte // raw options field, 32-bit aligned
+}
+
+// HeaderLen returns the encoded header length in bytes.
+func (h *IPv4Header) HeaderLen() int { return minHeaderLen + len(h.Options) }
+
+// Marshal encodes the header (with a correct checksum) into wire bytes.
+func (h *IPv4Header) Marshal() ([]byte, error) {
+	if len(h.Options) > maxOptionsLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrOptionsLong, len(h.Options))
+	}
+	if len(h.Options)%4 != 0 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrOptionsAlign, len(h.Options))
+	}
+	hlen := h.HeaderLen()
+	if int(h.TotalLen) < hlen {
+		return nil, fmt.Errorf("%w: total %d < header %d", ErrLengthField, h.TotalLen, hlen)
+	}
+	b := make([]byte, hlen)
+	b[0] = ipVersion<<4 | byte(hlen/4)
+	binary.BigEndian.PutUint16(b[2:], h.TotalLen)
+	binary.BigEndian.PutUint16(b[4:], h.ID)
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	binary.BigEndian.PutUint32(b[12:], h.SrcIP)
+	binary.BigEndian.PutUint32(b[16:], h.DstIP)
+	copy(b[minHeaderLen:], h.Options)
+	binary.BigEndian.PutUint16(b[10:], checksum(b))
+	return b, nil
+}
+
+// UnmarshalIPv4 decodes and validates a header from wire bytes,
+// returning the header and the number of bytes it occupied.
+func UnmarshalIPv4(b []byte) (*IPv4Header, int, error) {
+	if len(b) < minHeaderLen {
+		return nil, 0, ErrShortHeader
+	}
+	if b[0]>>4 != ipVersion {
+		return nil, 0, fmt.Errorf("%w: version %d", ErrBadVersion, b[0]>>4)
+	}
+	ihl := int(b[0] & 0x0f)
+	if ihl < minIHL || ihl > maxIHL {
+		return nil, 0, fmt.Errorf("%w: %d", ErrBadIHL, ihl)
+	}
+	hlen := ihl * 4
+	if len(b) < hlen {
+		return nil, 0, ErrShortHeader
+	}
+	if checksum(b[:hlen]) != 0 {
+		return nil, 0, ErrBadChecksum
+	}
+	h := &IPv4Header{
+		TotalLen: binary.BigEndian.Uint16(b[2:]),
+		ID:       binary.BigEndian.Uint16(b[4:]),
+		TTL:      b[8],
+		Protocol: b[9],
+		SrcIP:    binary.BigEndian.Uint32(b[12:]),
+		DstIP:    binary.BigEndian.Uint32(b[16:]),
+	}
+	if int(h.TotalLen) < hlen {
+		return nil, 0, fmt.Errorf("%w: total %d < header %d", ErrLengthField, h.TotalLen, hlen)
+	}
+	if hlen > minHeaderLen {
+		h.Options = append([]byte(nil), b[minHeaderLen:hlen]...)
+	}
+	return h, hlen, nil
+}
+
+// checksum computes the RFC 1071 ones-complement sum of b. Computing it
+// over a header whose checksum field holds the correct value yields 0.
+func checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,170 @@
+package netsim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	opts, _ := Hint(11).OptionsBytes()
+	h := IPv4Header{
+		TotalLen: 1500,
+		ID:       42,
+		TTL:      64,
+		Protocol: 6,
+		SrcIP:    0x0a000001,
+		DstIP:    0x0a000002,
+		Options:  opts,
+	}
+	b, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 24 {
+		t.Errorf("header length = %d, want 24 (20 + 4 options)", len(b))
+	}
+	got, n, err := UnmarshalIPv4(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 24 {
+		t.Errorf("consumed = %d, want 24", n)
+	}
+	if got.TotalLen != h.TotalLen || got.ID != h.ID || got.TTL != h.TTL ||
+		got.Protocol != h.Protocol || got.SrcIP != h.SrcIP || got.DstIP != h.DstIP {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, h)
+	}
+	hint := ParseOptions(got.Options)
+	if !hint.Valid || hint.Core != 11 {
+		t.Errorf("hint after round trip = %v", hint)
+	}
+}
+
+func TestHeaderNoOptions(t *testing.T) {
+	h := IPv4Header{TotalLen: 100, TTL: 1, Protocol: 17}
+	b, err := h.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != minHeaderLen {
+		t.Errorf("length = %d, want 20", len(b))
+	}
+	got, _, err := UnmarshalIPv4(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Options != nil {
+		t.Errorf("options = %v, want nil", got.Options)
+	}
+}
+
+func TestMarshalRejectsBadOptions(t *testing.T) {
+	h := IPv4Header{TotalLen: 100, Options: make([]byte, 44)}
+	if _, err := h.Marshal(); !errors.Is(err, ErrOptionsLong) {
+		t.Errorf("long options err = %v", err)
+	}
+	h = IPv4Header{TotalLen: 100, Options: make([]byte, 3)}
+	if _, err := h.Marshal(); !errors.Is(err, ErrOptionsAlign) {
+		t.Errorf("misaligned options err = %v", err)
+	}
+	h = IPv4Header{TotalLen: 10}
+	if _, err := h.Marshal(); !errors.Is(err, ErrLengthField) {
+		t.Errorf("short total err = %v", err)
+	}
+}
+
+func TestUnmarshalRejectsCorruption(t *testing.T) {
+	h := IPv4Header{TotalLen: 200, TTL: 64}
+	b, _ := h.Marshal()
+
+	if _, _, err := UnmarshalIPv4(b[:10]); !errors.Is(err, ErrShortHeader) {
+		t.Errorf("short buffer err = %v", err)
+	}
+
+	bad := append([]byte(nil), b...)
+	bad[0] = 0x65 // version 6
+	if _, _, err := UnmarshalIPv4(bad); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version err = %v", err)
+	}
+
+	bad = append([]byte(nil), b...)
+	bad[0] = 0x43 // IHL 3
+	if _, _, err := UnmarshalIPv4(bad); !errors.Is(err, ErrBadIHL) {
+		t.Errorf("bad IHL err = %v", err)
+	}
+
+	bad = append([]byte(nil), b...)
+	bad[15] ^= 0xff // flip a source-IP byte
+	if _, _, err := UnmarshalIPv4(bad); !errors.Is(err, ErrBadChecksum) {
+		t.Errorf("corrupted header err = %v", err)
+	}
+}
+
+func TestChecksumSelfVerifies(t *testing.T) {
+	err := quick.Check(func(id uint16, src, dst uint32, ttl, proto uint8, core uint8) bool {
+		var opts []byte
+		if core%2 == 0 {
+			opts, _ = Hint(int(core % MaxCores)).OptionsBytes()
+		}
+		h := IPv4Header{
+			TotalLen: 576, ID: id, TTL: ttl, Protocol: proto,
+			SrcIP: src, DstIP: dst, Options: opts,
+		}
+		b, err := h.Marshal()
+		if err != nil {
+			return false
+		}
+		if checksum(b) != 0 {
+			return false
+		}
+		got, _, err := UnmarshalIPv4(b)
+		return err == nil && got.SrcIP == src && got.DstIP == dst
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// Odd-length buffers take the padding path; just ensure stability.
+	b := []byte{0x01, 0x02, 0x03}
+	if checksum(b) != checksum(b) {
+		t.Error("checksum not deterministic on odd input")
+	}
+}
+
+// Property: UnmarshalIPv4 never panics and never succeeds on random
+// garbage whose checksum was not computed — a driver parsing arbitrary
+// traffic must stay robust.
+func TestUnmarshalRobustOnRandomBytes(t *testing.T) {
+	err := quick.Check(func(raw []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Fatal("UnmarshalIPv4 panicked")
+			}
+		}()
+		h, n, err := UnmarshalIPv4(raw)
+		if err != nil {
+			return h == nil && n == 0
+		}
+		// An accidental success must at least be self-consistent.
+		return h != nil && n >= minHeaderLen && n <= len(raw)
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ParseHint on frames with corrupted headers yields no hint
+// rather than an error or panic (SrcParser robustness).
+func TestParseHintRobust(t *testing.T) {
+	err := quick.Check(func(raw []byte) bool {
+		f := &Frame{Header: raw, Payload: 64}
+		h := ParseHint(f)
+		return !h.Valid || (h.Core >= 0 && h.Core < MaxCores)
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Error(err)
+	}
+}

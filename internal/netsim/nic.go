@@ -1,0 +1,401 @@
+package netsim
+
+import (
+	"fmt"
+
+	"sais/internal/sim"
+	"sais/internal/units"
+)
+
+// NodeID identifies a node (client or server) attached to the fabric.
+type NodeID int
+
+// Frame is one transfer unit on the wire. In the default configuration
+// a frame carries a whole strip (per-MTU header overhead is accounted
+// arithmetically and the NIC raises one interrupt per strip, matching
+// hardware interrupt coalescing); with Fragment=true the NIC emits one
+// frame per MTU and coalescing is explicit.
+type Frame struct {
+	Src, Dst NodeID
+	Payload  units.Bytes // upper-layer payload bytes
+	Hint     AffHint     // aff_core_id carried in the IP options
+	Header   []byte      // marshaled IPv4 header (wire truth for the hint)
+	Body     any         // opaque upper-layer descriptor (strip, request)
+}
+
+// WireBytes returns the bytes the frame occupies on the wire given the
+// per-packet overhead and MTU of the transmitting NIC.
+func wireBytes(payload units.Bytes, mtu, overhead units.Bytes) units.Bytes {
+	if payload <= 0 {
+		return overhead
+	}
+	packets := (payload + mtu - 1) / mtu
+	return payload + packets*overhead
+}
+
+// BondMode selects how frames spread over a multi-port NIC.
+type BondMode int
+
+// Bonding modes, mirroring the Linux bonding driver's balance-rr and
+// 802.3ad (flow-hash) behaviours.
+const (
+	BondRoundRobin BondMode = iota // spray frames across ports
+	BondFlowHash                   // pin each peer's traffic to one port
+)
+
+// NICConfig sizes one network interface.
+type NICConfig struct {
+	Rate     units.Rate  // per-port serialization rate (e.g. 1 Gbit)
+	Ports    int         // bonded ports; 0/1 = single port
+	Bond     BondMode    // how frames spread over the ports
+	MTU      units.Bytes // payload bytes per packet
+	Overhead units.Bytes // per-packet header bytes (Ethernet+IP+TCP)
+	RingSize int         // rx descriptor ring capacity (per queue), in frames
+	Fragment bool        // emit one frame per MTU instead of per message
+	// RxQueues is the number of MSI-X receive queues; incoming frames
+	// are flow-hashed over them and each queue raises its own interrupt
+	// (hardware RSS). 0/1 = a single queue.
+	RxQueues int
+	// Coalescing: an interrupt fires when CoalesceFrames frames are
+	// pending or CoalesceDelay after the first pending frame, whichever
+	// comes first. CoalesceFrames <= 1 with zero delay means one
+	// interrupt per frame.
+	CoalesceFrames int
+	CoalesceDelay  units.Time
+}
+
+// DefaultNICConfig returns a BCM5715C-like configuration at the given
+// rate: 1500-byte MTU, 78 bytes of Ethernet+IP+TCP overhead per packet,
+// a 512-descriptor ring, and per-message interrupts.
+func DefaultNICConfig(rate units.Rate) NICConfig {
+	return NICConfig{
+		Rate:           rate,
+		MTU:            1500,
+		Overhead:       78,
+		RingSize:       512,
+		CoalesceFrames: 1,
+	}
+}
+
+func (c NICConfig) validate() error {
+	if c.Rate <= 0 {
+		return fmt.Errorf("netsim: NIC rate %v must be positive", c.Rate)
+	}
+	if c.MTU <= 0 {
+		return fmt.Errorf("netsim: MTU %d must be positive", c.MTU)
+	}
+	if c.Overhead < 0 {
+		return fmt.Errorf("netsim: negative overhead")
+	}
+	if c.RingSize <= 0 {
+		return fmt.Errorf("netsim: ring size %d must be positive", c.RingSize)
+	}
+	if c.CoalesceFrames < 1 {
+		return fmt.Errorf("netsim: coalesce frames %d must be >= 1", c.CoalesceFrames)
+	}
+	if c.Ports < 0 {
+		return fmt.Errorf("netsim: negative port count")
+	}
+	if c.RxQueues < 0 {
+		return fmt.Errorf("netsim: negative rx queue count")
+	}
+	return nil
+}
+
+// rxQueues returns the effective receive-queue count.
+func (c NICConfig) rxQueues() int {
+	if c.RxQueues < 1 {
+		return 1
+	}
+	return c.RxQueues
+}
+
+// ports returns the effective port count.
+func (c NICConfig) ports() int {
+	if c.Ports < 1 {
+		return 1
+	}
+	return c.Ports
+}
+
+// NICStats counts traffic through one NIC.
+type NICStats struct {
+	TxFrames   uint64
+	TxWire     units.Bytes // wire bytes including per-packet overhead
+	TxPayload  units.Bytes
+	RxFrames   uint64
+	RxPayload  units.Bytes
+	RingDrops  uint64 // frames lost to a full rx ring
+	Interrupts uint64
+}
+
+// NIC is one node's network interface: an egress serializer, an ingress
+// serializer (its half of the switch port), a receive ring, and an
+// interrupt line.
+type NIC struct {
+	id      NodeID
+	cfg     NICConfig
+	eng     *sim.Engine
+	fab     *Fabric
+	egress  []*sim.Server // one serializer per bonded port
+	ingress []*sim.Server
+	txNext  int // round-robin bonding state
+	rxNext  int
+	// Per-receive-queue state: descriptor ring and coalescing.
+	rings      [][]*Frame
+	pending    []int
+	coalesceTm []*sim.Timer
+	stats      NICStats
+
+	raise      func(now units.Time)        // single-queue interrupt line
+	raiseQueue func(q int, now units.Time) // MSI-X per-queue line
+
+	nextIPID uint16
+}
+
+// NewNIC builds a NIC for node id. It panics on invalid configuration.
+func NewNIC(eng *sim.Engine, id NodeID, cfg NICConfig) *NIC {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	n := &NIC{id: id, cfg: cfg, eng: eng}
+	for p := 0; p < cfg.ports(); p++ {
+		n.egress = append(n.egress, sim.NewServer(eng, fmt.Sprintf("nic%d-tx%d", id, p)))
+		n.ingress = append(n.ingress, sim.NewServer(eng, fmt.Sprintf("nic%d-rx%d", id, p)))
+	}
+	q := cfg.rxQueues()
+	n.rings = make([][]*Frame, q)
+	n.pending = make([]int, q)
+	n.coalesceTm = make([]*sim.Timer, q)
+	return n
+}
+
+// RxQueueCount returns the number of receive queues.
+func (n *NIC) RxQueueCount() int { return len(n.rings) }
+
+// queueFor flow-hashes a source onto a receive queue.
+func (n *NIC) queueFor(src NodeID) int {
+	if len(n.rings) == 1 {
+		return 0
+	}
+	x := uint64(src)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return int(x % uint64(len(n.rings)))
+}
+
+// pickPort selects the bonded port for traffic to/from peer.
+func (n *NIC) pickPort(servers []*sim.Server, peer NodeID, rr *int) *sim.Server {
+	if len(servers) == 1 {
+		return servers[0]
+	}
+	switch n.cfg.Bond {
+	case BondFlowHash:
+		x := uint64(peer)
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		return servers[x%uint64(len(servers))]
+	default: // BondRoundRobin
+		s := servers[*rr%len(servers)]
+		*rr++
+		return s
+	}
+}
+
+// ID returns the node this NIC belongs to.
+func (n *NIC) ID() NodeID { return n.id }
+
+// Config returns the NIC configuration.
+func (n *NIC) Config() NICConfig { return n.cfg }
+
+// Stats returns a copy of the traffic counters.
+func (n *NIC) Stats() NICStats { return n.stats }
+
+// RingLen returns the number of frames waiting across all rx rings.
+func (n *NIC) RingLen() int {
+	total := 0
+	for _, r := range n.rings {
+		total += len(r)
+	}
+	return total
+}
+
+// SetInterruptHandler installs the interrupt line callback — in the
+// full client model this is the MSI raise into the I/O APIC. With
+// multiple rx queues it fires for any queue; use SetQueueHandler to
+// learn which one.
+func (n *NIC) SetInterruptHandler(fn func(now units.Time)) { n.raise = fn }
+
+// SetQueueHandler installs a per-queue (MSI-X) interrupt callback;
+// it takes precedence over the single handler when set.
+func (n *NIC) SetQueueHandler(fn func(q int, now units.Time)) { n.raiseQueue = fn }
+
+// buildHeader marshals an IPv4 header carrying the hint; the simulator
+// treats it as the authoritative carrier of aff_core_id (SrcParser
+// re-parses it on receive).
+func (n *NIC) buildHeader(payload units.Bytes, hint AffHint) []byte {
+	opts, err := hint.OptionsBytes()
+	if err != nil {
+		panic(err) // hint cores are validated upstream
+	}
+	total := payload
+	if max := units.Bytes(65535 - 60); total > max {
+		total = max // header field is 16-bit; size accounting uses Payload
+	}
+	h := IPv4Header{
+		ID:       n.nextIPID,
+		TTL:      64,
+		Protocol: 6, // TCP
+		SrcIP:    0x0a000000 | uint32(n.id),
+		DstIP:    0x0a000000,
+		Options:  opts,
+	}
+	h.TotalLen = uint16(int(total) + h.HeaderLen())
+	n.nextIPID++
+	b, err := h.Marshal()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Send transmits payload bytes to dst with the given hint and opaque
+// descriptor. Frames are serialized at the NIC rate and handed to the
+// fabric. In Fragment mode the payload is split into MTU-sized frames,
+// each carrying its own header copy of the hint (HintCapsuler puts
+// aff_core_id into every return packet).
+func (n *NIC) Send(dst NodeID, payload units.Bytes, hint AffHint, body any) {
+	if n.fab == nil {
+		panic("netsim: NIC not attached to a fabric")
+	}
+	if payload < 0 {
+		panic("netsim: negative payload")
+	}
+	if !n.cfg.Fragment {
+		n.sendFrame(&Frame{Src: n.id, Dst: dst, Payload: payload, Hint: hint,
+			Header: n.buildHeader(payload, hint), Body: body})
+		return
+	}
+	remaining := payload
+	for remaining > 0 {
+		sz := remaining
+		if sz > n.cfg.MTU {
+			sz = n.cfg.MTU
+		}
+		remaining -= sz
+		var b any
+		if remaining == 0 {
+			b = body // descriptor rides on the final fragment
+		}
+		n.sendFrame(&Frame{Src: n.id, Dst: dst, Payload: sz, Hint: hint,
+			Header: n.buildHeader(sz, hint), Body: b})
+	}
+	if payload == 0 {
+		n.sendFrame(&Frame{Src: n.id, Dst: dst, Hint: hint,
+			Header: n.buildHeader(0, hint), Body: body})
+	}
+}
+
+func (n *NIC) sendFrame(f *Frame) {
+	wire := wireBytes(f.Payload, n.cfg.MTU, n.cfg.Overhead)
+	n.stats.TxFrames++
+	n.stats.TxWire += wire
+	n.stats.TxPayload += f.Payload
+	port := n.pickPort(n.egress, f.Dst, &n.txNext)
+	port.Submit(n.cfg.Rate.TimeFor(wire), func(units.Time) {
+		n.fab.forward(f, wire)
+	})
+}
+
+// receive is called by the fabric once the frame has crossed the switch;
+// the ingress server models this NIC's port serialization.
+func (n *NIC) receive(f *Frame, wire units.Bytes) {
+	port := n.pickPort(n.ingress, f.Src, &n.rxNext)
+	port.Submit(n.cfg.Rate.TimeFor(wire), func(now units.Time) {
+		n.deliver(f, now)
+	})
+}
+
+func (n *NIC) deliver(f *Frame, now units.Time) {
+	q := n.queueFor(f.Src)
+	if len(n.rings[q]) >= n.cfg.RingSize {
+		n.stats.RingDrops++
+		return
+	}
+	n.rings[q] = append(n.rings[q], f)
+	n.stats.RxFrames++
+	n.stats.RxPayload += f.Payload
+	n.pending[q]++
+	if n.pending[q] >= n.cfg.CoalesceFrames {
+		n.fire(q, now)
+		return
+	}
+	if n.coalesceTm[q] == nil || !n.coalesceTm[q].Pending() {
+		n.coalesceTm[q] = n.eng.After(n.cfg.CoalesceDelay, func(at units.Time) {
+			n.fire(q, at)
+		})
+	}
+}
+
+func (n *NIC) fire(q int, now units.Time) {
+	if n.pending[q] == 0 {
+		return
+	}
+	if n.coalesceTm[q] != nil {
+		n.coalesceTm[q].Cancel()
+	}
+	n.pending[q] = 0
+	n.stats.Interrupts++
+	if n.raiseQueue != nil {
+		n.raiseQueue(q, now)
+		return
+	}
+	if n.raise != nil {
+		n.raise(now)
+	}
+}
+
+// Drain removes and returns every frame across all rx rings — the NIC
+// driver's rx loop. Parsing the hint out of the header bytes (the
+// SrcParser step) is the caller's job via ParseHint.
+func (n *NIC) Drain() []*Frame {
+	var out []*Frame
+	for q := range n.rings {
+		out = append(out, n.rings[q]...)
+		n.rings[q] = nil
+		n.pending[q] = 0
+	}
+	return out
+}
+
+// DrainQueue removes and returns the frames of one rx queue.
+func (n *NIC) DrainQueue(q int) []*Frame {
+	out := n.rings[q]
+	n.rings[q] = nil
+	n.pending[q] = 0
+	return out
+}
+
+// ParseHint recovers the affinity hint from the frame's marshaled IPv4
+// header — the client-side SrcParser. It returns no hint for frames
+// with unparseable headers rather than failing: the driver must
+// tolerate any traffic.
+func ParseHint(f *Frame) AffHint {
+	h, _, err := UnmarshalIPv4(f.Header)
+	if err != nil {
+		return AffHint{}
+	}
+	return ParseOptions(h.Options)
+}
+
+// IngressBusy returns the cumulative busy time of the receive-side
+// serializers, summed over bonded ports.
+func (n *NIC) IngressBusy() units.Time {
+	var t units.Time
+	for _, p := range n.ingress {
+		t += p.BusyTime()
+	}
+	return t
+}

@@ -1,0 +1,266 @@
+package pfs
+
+import (
+	"fmt"
+
+	"sais/internal/disk"
+	"sais/internal/irqsched"
+	"sais/internal/netsim"
+	"sais/internal/rng"
+	"sais/internal/sim"
+	"sais/internal/units"
+)
+
+// ServerConfig sizes one I/O server node.
+type ServerConfig struct {
+	NIC         netsim.NICConfig
+	Disk        disk.Config
+	RequestCPU  units.Time  // request parse/dispatch cost
+	PerStripCPU units.Time  // per returned strip send-path cost
+	EchoHints   bool        // run the HintCapsuler (SAIs server component)
+	CacheBytes  units.Bytes // buffer (page) cache capacity; 0 disables
+	ReadAhead   units.Bytes // page-cache window read per miss
+	// PrefetchDepth is how many upcoming windows the server fetches in
+	// the background when it serves a window — Linux-style asynchronous
+	// readahead. 0 disables prefetch (every window fill is demand-paged
+	// and sits on the request's critical path).
+	PrefetchDepth int
+}
+
+// DefaultServerConfig models a Sun-Fire X2200 I/O server with the given
+// NIC rate: an 8 GB node of which 4 GiB serves as buffer cache, with a
+// 256 KiB readahead window (Linux's default is 128 KiB; PVFS servers
+// typically double it).
+func DefaultServerConfig(rate units.Rate) ServerConfig {
+	return ServerConfig{
+		NIC:           netsim.DefaultNICConfig(rate),
+		Disk:          disk.DefaultConfig(),
+		RequestCPU:    120 * units.Microsecond,
+		PerStripCPU:   25 * units.Microsecond,
+		CacheBytes:    4 * units.GiB,
+		ReadAhead:     256 * units.KiB,
+		PrefetchDepth: 1,
+	}
+}
+
+// ServerStats counts server activity.
+type ServerStats struct {
+	Requests      uint64
+	StripsSent    uint64
+	BytesSent     units.Bytes
+	StripsWritten uint64
+	BytesWritten  units.Bytes
+	Stalled       uint64 // requests delayed by fault injection
+}
+
+// Server is one PVFS I/O server node: NIC + request-processing CPU +
+// disk. Its interrupt handling is a single dedicated path (server-side
+// scheduling is not the paper's subject), modeled as a FIFO CPU.
+type Server struct {
+	cfg      ServerConfig
+	eng      *sim.Engine
+	node     netsim.NodeID
+	nic      *netsim.NIC
+	cpu      *sim.Server
+	dsk      *disk.Disk
+	pages    *PageCache
+	capsuler irqsched.HintCapsuler
+	stats    ServerStats
+	// placement maps a file to the base LBA of this server's local
+	// portion.
+	placement func(FileID) units.Bytes
+	// stall injects a per-request service delay for failure testing.
+	stall func() units.Time
+	// down makes the server drop all traffic (crash injection).
+	down bool
+}
+
+// NewServer builds a server on node id and attaches its NIC to fab.
+func NewServer(eng *sim.Engine, fab *netsim.Fabric, id netsim.NodeID, cfg ServerConfig, rnd *rng.Source) *Server {
+	window := cfg.ReadAhead
+	if window <= 0 {
+		window = 64 * units.KiB
+	}
+	s := &Server{
+		cfg:      cfg,
+		eng:      eng,
+		node:     id,
+		nic:      netsim.NewNIC(eng, id, cfg.NIC),
+		cpu:      sim.NewServer(eng, fmt.Sprintf("pfs%d-cpu", id)),
+		dsk:      disk.New(eng, cfg.Disk, rnd.Split(fmt.Sprintf("disk%d", id))),
+		pages:    NewPageCache(eng, cfg.CacheBytes, window),
+		capsuler: irqsched.HintCapsuler{Enabled: cfg.EchoHints},
+	}
+	s.placement = s.defaultPlacement
+	fab.Attach(s.nic)
+	s.nic.SetInterruptHandler(s.onInterrupt)
+	return s
+}
+
+// Node returns the server's fabric id.
+func (s *Server) Node() netsim.NodeID { return s.node }
+
+// NIC returns the server's NIC, for statistics.
+func (s *Server) NIC() *netsim.NIC { return s.nic }
+
+// Disk returns the server's disk, for statistics.
+func (s *Server) Disk() *disk.Disk { return s.dsk }
+
+// Pages returns the server's buffer cache, for statistics.
+func (s *Server) Pages() *PageCache { return s.pages }
+
+// Stats returns a copy of the counters.
+func (s *Server) Stats() ServerStats { return s.stats }
+
+// SetStall installs a per-request extra-delay source for failure
+// injection; nil disables.
+func (s *Server) SetStall(fn func() units.Time) { s.stall = fn }
+
+// SetDown crashes (true) or revives (false) the server: while down it
+// drops every received frame, as a dead node would.
+func (s *Server) SetDown(down bool) { s.down = down }
+
+// Down reports the crash state.
+func (s *Server) Down() bool { return s.down }
+
+// defaultPlacement spreads files across the disk deterministically,
+// 1 MiB aligned, so different files force real seeks.
+func (s *Server) defaultPlacement(f FileID) units.Bytes {
+	const align = units.MiB
+	span := s.cfg.Disk.Span / 2
+	h := uint64(f)*0x9e3779b97f4a7c15 + uint64(s.node)*0x517cc1b727220a95
+	return units.Bytes(h%uint64(span/align)) * align
+}
+
+// onInterrupt is the server NIC rx path.
+func (s *Server) onInterrupt(units.Time) {
+	frames := s.nic.Drain()
+	if s.down {
+		return // crashed: everything received is lost
+	}
+	for _, f := range frames {
+		switch body := f.Body.(type) {
+		case *ReadRequest:
+			s.handle(body, netsim.ParseHint(f))
+		case *StripWrite:
+			s.handleWrite(body, netsim.ParseHint(f))
+		default:
+			// stray traffic
+		}
+	}
+}
+
+// handleWrite accepts one strip of write data: CPU to copy it into the
+// buffer cache, an immediate acknowledgement (write-back semantics),
+// and an asynchronous flush to the platter. No strip ever needs to be
+// delivered to a particular client core, which is why the paper finds
+// no interrupt-locality issue on the write path.
+func (s *Server) handleWrite(w *StripWrite, hint netsim.AffHint) {
+	s.cpu.Submit(s.cfg.PerStripCPU, func(units.Time) {
+		s.stats.StripsWritten++
+		s.stats.BytesWritten += w.Size
+		echo := s.capsuler.Echo(hint)
+		s.nic.Send(w.Client, WriteAckSize, echo, &WriteAck{
+			File: w.File, Tag: w.Tag, GlobalStrip: w.GlobalStrip, Size: w.Size,
+		})
+		// The written bytes are now cache-resident: a subsequent read of
+		// this range must not touch the disk.
+		first, last := s.pages.Windows(w.ServerOffset, w.Size)
+		for win := first; win <= last; win++ {
+			s.pages.Put(w.File, win)
+		}
+		// Asynchronous write-back to the platter.
+		lba := s.placement(w.File) + w.ServerOffset
+		size := w.Size
+		if lba+size > s.cfg.Disk.Span {
+			size = s.cfg.Disk.Span - lba
+		}
+		if size > 0 {
+			s.dsk.Write(lba, size, nil)
+		}
+	})
+}
+
+// handle services one read request: request CPU, then per-piece disk
+// reads, each followed by send-path CPU and the data frame carrying the
+// echoed hint.
+func (s *Server) handle(req *ReadRequest, hint netsim.AffHint) {
+	s.stats.Requests++
+	var extra units.Time
+	if s.stall != nil {
+		if d := s.stall(); d > 0 {
+			extra = d
+			s.stats.Stalled++
+		}
+	}
+	s.cpu.Submit(s.cfg.RequestCPU+extra, func(units.Time) {
+		echo := s.capsuler.Echo(hint)
+		for _, p := range req.Pieces {
+			p := p
+			s.readPiece(req.File, p, req.LocalEOF, func(units.Time) {
+				s.cpu.Submit(s.cfg.PerStripCPU, func(units.Time) {
+					s.stats.StripsSent++
+					s.stats.BytesSent += p.Size
+					s.nic.Send(req.Client, p.Size, echo, &StripData{
+						File:        req.File,
+						Tag:         req.Tag,
+						GlobalStrip: p.GlobalStrip,
+						Size:        p.Size,
+					})
+				})
+			})
+		}
+	})
+}
+
+// readPiece makes the piece's bytes memory-resident: every page-cache
+// window the piece overlaps is either already cached, being fetched (we
+// join the wait), or read from disk as a whole readahead window. ready
+// fires when all windows are resident.
+func (s *Server) readPiece(file FileID, p Piece, localEOF units.Bytes, ready sim.Event) {
+	first, last := s.pages.Windows(p.ServerOffset, p.Size)
+	pending := int(last-first) + 1
+	done := func(now units.Time) {
+		pending--
+		if pending == 0 {
+			ready(now)
+		}
+	}
+	for w := first; w <= last; w++ {
+		s.fetchWindow(file, w, done)
+	}
+	// Asynchronous readahead: warm the windows a sequential stream will
+	// need next, without anyone waiting on them. Bounded by the local
+	// portion's EOF so the disk never reads bytes no request can want.
+	if localEOF > 0 {
+		lastWindow := int64((localEOF - 1) / s.pages.Window())
+		for d := int64(1); d <= int64(s.cfg.PrefetchDepth); d++ {
+			if last+d > lastWindow {
+				break
+			}
+			s.fetchWindow(file, last+d, func(units.Time) {})
+		}
+	}
+}
+
+// fetchWindow makes window w of file resident via the page cache,
+// demand-reading it from disk on a miss.
+func (s *Server) fetchWindow(file FileID, w int64, done sim.Event) {
+	s.pages.Get(file, w, done, func(fetched sim.Event) {
+		off, size := s.pages.WindowExtent(w)
+		lba := s.placement(file) + off
+		if lba+size > s.cfg.Disk.Span {
+			size = s.cfg.Disk.Span - lba
+		}
+		if size <= 0 {
+			// Window starts past the end of the disk (placement
+			// pathology); treat as instantaneous.
+			s.eng.Immediately(fetched)
+			return
+		}
+		s.dsk.Read(lba, size, fetched)
+	})
+}
+
+// CPUBusy returns the server CPU's cumulative busy time.
+func (s *Server) CPUBusy() units.Time { return s.cpu.BusyTime() }

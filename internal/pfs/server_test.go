@@ -1,0 +1,308 @@
+package pfs
+
+import (
+	"testing"
+
+	"sais/internal/netsim"
+	"sais/internal/rng"
+	"sais/internal/sim"
+	"sais/internal/units"
+)
+
+// harness: one client NIC (node 1), one server (node 100), one MDS
+// (node 50).
+type harness struct {
+	eng    *sim.Engine
+	fab    *netsim.Fabric
+	client *netsim.NIC
+	srv    *Server
+	mds    *MetadataServer
+	rx     []*netsim.Frame
+}
+
+func newHarness(t *testing.T, echo bool) *harness {
+	t.Helper()
+	h := &harness{eng: sim.NewEngine()}
+	h.fab = netsim.NewFabric(h.eng, 10*units.Microsecond)
+	h.client = netsim.NewNIC(h.eng, 1, netsim.DefaultNICConfig(3*units.Gigabit))
+	h.fab.Attach(h.client)
+	h.client.SetInterruptHandler(func(units.Time) {
+		h.rx = append(h.rx, h.client.Drain()...)
+	})
+	scfg := DefaultServerConfig(units.Gigabit)
+	scfg.EchoHints = echo
+	scfg.Disk.RotationPeriod = 0 // determinism for asserts
+	h.srv = NewServer(h.eng, h.fab, 100, scfg, rng.New(1))
+	h.mds = NewMetadataServer(h.eng, h.fab, 50, DefaultMetadataConfig(units.Gigabit),
+		func(FileID) Layout {
+			return Layout{StripSize: 64 * units.KiB, Servers: []netsim.NodeID{100}}
+		})
+	return h
+}
+
+func (h *harness) sendRequest(hint netsim.AffHint, pieces []Piece) {
+	h.eng.At(0, func(units.Time) {
+		h.client.Send(100, RequestSize, hint, &ReadRequest{
+			File:   7,
+			Tag:    1,
+			Client: 1,
+			Pieces: pieces,
+		})
+	})
+}
+
+func strips(n int) []Piece {
+	out := make([]Piece, n)
+	for i := range out {
+		out[i] = Piece{GlobalStrip: i, ServerOffset: units.Bytes(i) * 64 * units.KiB, Size: 64 * units.KiB}
+	}
+	return out
+}
+
+func TestServerReturnsAllStrips(t *testing.T) {
+	h := newHarness(t, true)
+	h.sendRequest(netsim.Hint(3), strips(4))
+	h.eng.RunUntilIdle()
+	if len(h.rx) != 4 {
+		t.Fatalf("client received %d frames, want 4", len(h.rx))
+	}
+	var bytes units.Bytes
+	seen := map[int]bool{}
+	for _, f := range h.rx {
+		sd, ok := f.Body.(*StripData)
+		if !ok {
+			t.Fatalf("frame body %T", f.Body)
+		}
+		if sd.Tag != 1 || sd.File != 7 {
+			t.Errorf("strip data = %+v", sd)
+		}
+		seen[sd.GlobalStrip] = true
+		bytes += f.Payload
+	}
+	if bytes != 256*units.KiB {
+		t.Errorf("returned %v, want 256KiB", bytes)
+	}
+	if len(seen) != 4 {
+		t.Errorf("distinct strips = %d", len(seen))
+	}
+	st := h.srv.Stats()
+	if st.Requests != 1 || st.StripsSent != 4 || st.BytesSent != 256*units.KiB {
+		t.Errorf("server stats = %+v", st)
+	}
+}
+
+func TestServerEchoesHint(t *testing.T) {
+	h := newHarness(t, true)
+	h.sendRequest(netsim.Hint(5), strips(2))
+	h.eng.RunUntilIdle()
+	for _, f := range h.rx {
+		hint := netsim.ParseHint(f)
+		if !hint.Valid || hint.Core != 5 {
+			t.Errorf("data frame hint = %v, want aff_core=5", hint)
+		}
+	}
+}
+
+func TestServerWithoutCapsulerDropsHint(t *testing.T) {
+	h := newHarness(t, false)
+	h.sendRequest(netsim.Hint(5), strips(2))
+	h.eng.RunUntilIdle()
+	if len(h.rx) != 2 {
+		t.Fatalf("rx = %d", len(h.rx))
+	}
+	for _, f := range h.rx {
+		if netsim.ParseHint(f).Valid {
+			t.Error("hint echoed with capsuler disabled")
+		}
+	}
+}
+
+func TestServerIgnoresStrayTraffic(t *testing.T) {
+	h := newHarness(t, true)
+	h.eng.At(0, func(units.Time) {
+		h.client.Send(100, units.KiB, netsim.AffHint{}, "garbage")
+	})
+	h.eng.RunUntilIdle()
+	if h.srv.Stats().Requests != 0 {
+		t.Error("stray frame counted as request")
+	}
+}
+
+func TestServerStall(t *testing.T) {
+	fast := newHarness(t, true)
+	fast.sendRequest(netsim.AffHint{}, strips(1))
+	fastEnd := func() units.Time { fast.eng.RunUntilIdle(); return fast.eng.Now() }()
+
+	slow := newHarness(t, true)
+	slow.srv.SetStall(func() units.Time { return 5 * units.Millisecond })
+	slow.sendRequest(netsim.AffHint{}, strips(1))
+	slowEnd := func() units.Time { slow.eng.RunUntilIdle(); return slow.eng.Now() }()
+
+	if slowEnd-fastEnd < 4*units.Millisecond {
+		t.Errorf("stall added only %v", slowEnd-fastEnd)
+	}
+	if slow.srv.Stats().Stalled != 1 {
+		t.Errorf("stalled = %d", slow.srv.Stats().Stalled)
+	}
+}
+
+func TestMetadataRoundTrip(t *testing.T) {
+	h := newHarness(t, true)
+	h.eng.At(0, func(units.Time) {
+		h.client.Send(50, LayoutRequestSize, netsim.AffHint{}, &LayoutRequest{File: 7, Tag: 9, Client: 1})
+	})
+	h.eng.RunUntilIdle()
+	if len(h.rx) != 1 {
+		t.Fatalf("rx = %d frames", len(h.rx))
+	}
+	rep, ok := h.rx[0].Body.(*LayoutReply)
+	if !ok {
+		t.Fatalf("body = %T", h.rx[0].Body)
+	}
+	if rep.Tag != 9 || rep.File != 7 || len(rep.Layout.Servers) != 1 {
+		t.Errorf("reply = %+v", rep)
+	}
+	if h.mds.Queries() != 1 {
+		t.Errorf("queries = %d", h.mds.Queries())
+	}
+}
+
+func TestPlacementDistinctFiles(t *testing.T) {
+	h := newHarness(t, true)
+	a := h.srv.placement(1)
+	b := h.srv.placement(2)
+	if a == b {
+		t.Error("distinct files placed at the same LBA")
+	}
+	if a%units.MiB != 0 || b%units.MiB != 0 {
+		t.Error("placement not MiB aligned")
+	}
+	span := h.srv.cfg.Disk.Span
+	if a < 0 || a >= span || b < 0 || b >= span {
+		t.Error("placement outside disk span")
+	}
+	if h.srv.placement(1) != a {
+		t.Error("placement not deterministic")
+	}
+}
+
+func TestPageCacheAbsorbsSequentialStrips(t *testing.T) {
+	// Strips within one request are contiguous on the local disk, so
+	// the page cache should fetch whole readahead windows: 8 strips of
+	// 64 KiB at a 256 KiB window = 2 disk reads, not 8.
+	h := newHarness(t, true)
+	h.sendRequest(netsim.AffHint{}, strips(8))
+	h.eng.RunUntilIdle()
+	pc := h.srv.Pages()
+	if pc.Misses() != 2 {
+		t.Errorf("window misses = %d, want 2", pc.Misses())
+	}
+	if got := h.srv.Disk().Stats().Requests; got != 2 {
+		t.Errorf("disk requests = %d, want 2", got)
+	}
+	if pc.Hits()+pc.Merged() != 6 {
+		t.Errorf("hits+merged = %d, want 6", pc.Hits()+pc.Merged())
+	}
+}
+
+func TestPageCacheServesRereads(t *testing.T) {
+	// A second client (or run) reading the same range must not touch
+	// the disk again — the Figure-12 shared-file mechanism.
+	h := newHarness(t, true)
+	h.sendRequest(netsim.AffHint{}, strips(4))
+	h.eng.RunUntilIdle()
+	diskBefore := h.srv.Disk().Stats().Requests
+	h.eng.At(h.eng.Now(), func(units.Time) {
+		h.client.Send(100, RequestSize, netsim.AffHint{}, &ReadRequest{
+			File: 7, Tag: 2, Client: 1, Pieces: strips(4),
+		})
+	})
+	h.eng.RunUntilIdle()
+	if got := h.srv.Disk().Stats().Requests; got != diskBefore {
+		t.Errorf("re-read touched the disk: %d -> %d requests", diskBefore, got)
+	}
+	if len(h.rx) != 8 {
+		t.Errorf("client frames = %d, want 8", len(h.rx))
+	}
+}
+
+func TestWritePopulatesPageCache(t *testing.T) {
+	// Write a range, then read it back: the read must be served from
+	// the buffer cache without a demand disk read.
+	h := newHarness(t, true)
+	h.eng.At(0, func(units.Time) {
+		for i := 0; i < 4; i++ {
+			h.client.Send(100, 64*units.KiB, netsim.AffHint{}, &StripWrite{
+				File: 7, Tag: 1, Client: 1, GlobalStrip: i,
+				ServerOffset: units.Bytes(i) * 64 * units.KiB, Size: 64 * units.KiB,
+			})
+		}
+	})
+	h.eng.RunUntilIdle()
+	reads := h.srv.Disk().Stats().Requests - h.srv.Disk().Stats().Writes
+	if reads != 0 {
+		t.Fatalf("writes caused %d demand reads", reads)
+	}
+	h.rx = nil
+	h.eng.At(h.eng.Now(), func(units.Time) {
+		h.client.Send(100, RequestSize, netsim.AffHint{}, &ReadRequest{
+			File: 7, Tag: 2, Client: 1, Pieces: strips(4),
+		})
+	})
+	h.eng.RunUntilIdle()
+	if len(h.rx) != 4 {
+		t.Fatalf("read back %d strips", len(h.rx))
+	}
+	reads = h.srv.Disk().Stats().Requests - h.srv.Disk().Stats().Writes
+	if reads != 0 {
+		t.Errorf("read-after-write touched the disk %d times", reads)
+	}
+}
+
+func TestServerDownDropsTraffic(t *testing.T) {
+	h := newHarness(t, true)
+	h.srv.SetDown(true)
+	h.sendRequest(netsim.AffHint{}, strips(2))
+	h.eng.RunUntilIdle()
+	if len(h.rx) != 0 {
+		t.Errorf("crashed server answered %d frames", len(h.rx))
+	}
+	if h.srv.Stats().Requests != 0 {
+		t.Error("crashed server counted a request")
+	}
+	// Revive and retry: the server must serve again.
+	h.srv.SetDown(false)
+	if h.srv.Down() {
+		t.Error("Down() after revive")
+	}
+	h.eng.At(h.eng.Now(), func(units.Time) {
+		h.client.Send(100, RequestSize, netsim.AffHint{}, &ReadRequest{
+			File: 7, Tag: 2, Client: 1, Pieces: strips(2),
+		})
+	})
+	h.eng.RunUntilIdle()
+	if len(h.rx) != 2 {
+		t.Errorf("revived server returned %d strips, want 2", len(h.rx))
+	}
+}
+
+func TestServerAccessors(t *testing.T) {
+	h := newHarness(t, true)
+	if h.srv.Node() != 100 {
+		t.Errorf("Node = %d", h.srv.Node())
+	}
+	if h.srv.NIC() == nil || h.srv.Pages() == nil || h.srv.Disk() == nil {
+		t.Error("nil accessors")
+	}
+	if h.mds.Node() != 50 {
+		t.Errorf("MDS node = %d", h.mds.Node())
+	}
+	if h.srv.Pages().Window() != 256*units.KiB {
+		t.Errorf("window = %v", h.srv.Pages().Window())
+	}
+	h.sendRequest(netsim.AffHint{}, strips(1))
+	h.eng.RunUntilIdle()
+	if h.srv.CPUBusy() <= 0 {
+		t.Error("server CPU never busy")
+	}
+}

@@ -1,0 +1,296 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("seeds 1 and 2 produced %d/100 identical draws", same)
+	}
+}
+
+func TestReseed(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Reseed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("after Reseed draw %d = %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	root := New(99)
+	a := root.Split("disk")
+	root2 := New(99)
+	b := root2.Split("disk")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Split is not deterministic at draw %d", i)
+		}
+	}
+	// Different labels must give different streams.
+	c := New(99).Split("disk")
+	d := New(99).Split("nic")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c.Uint64() == d.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("labels disk/nic produced %d/100 identical draws", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-squared sanity check over 8 buckets.
+	r := New(1234)
+	const buckets, draws = 8, 80000
+	var count [buckets]int
+	for i := 0; i < draws; i++ {
+		count[r.Uint64n(buckets)]++
+	}
+	expect := float64(draws) / buckets
+	chi2 := 0.0
+	for _, c := range count {
+		d := float64(c) - expect
+		chi2 += d * d / expect
+	}
+	// 7 degrees of freedom; 99.9th percentile ≈ 24.3.
+	if chi2 > 24.3 {
+		t.Errorf("chi-squared = %.2f, suspiciously non-uniform: %v", chi2, count)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(8)
+	const mean, n = 250.0, 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(mean)
+	}
+	got := sum / n
+	if math.Abs(got-mean)/mean > 0.02 {
+		t.Errorf("Exp mean = %.2f, want ~%.2f", got, mean)
+	}
+	if r.Exp(0) != 0 || r.Exp(-1) != 0 {
+		t.Error("Exp with non-positive mean should be 0")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(9)
+	const mean, sd, n = 40.0, 5.0, 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(mean, sd)
+		sum += v
+		sumsq += v * v
+	}
+	m := sum / n
+	variance := sumsq/n - m*m
+	if math.Abs(m-mean) > 0.1 {
+		t.Errorf("Normal mean = %.3f, want ~%.1f", m, mean)
+	}
+	if math.Abs(math.Sqrt(variance)-sd) > 0.1 {
+		t.Errorf("Normal stddev = %.3f, want ~%.1f", math.Sqrt(variance), sd)
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	r := New(10)
+	for i := 0; i < 10000; i++ {
+		v := r.TruncNormal(10, 50, 2, 12)
+		if v < 2 || v > 12 {
+			t.Fatalf("TruncNormal out of bounds: %v", v)
+		}
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := New(11)
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+	trues := 0
+	for i := 0; i < 100000; i++ {
+		if r.Bool(0.25) {
+			trues++
+		}
+	}
+	frac := float64(trues) / 100000
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Errorf("Bool(0.25) frequency = %.3f", frac)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(12)
+	err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw % 64)
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := New(13)
+	s := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	got := 0
+	for _, v := range s {
+		got += v
+	}
+	if got != sum {
+		t.Errorf("Shuffle changed multiset: sum %d != %d", got, sum)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	hi, lo := mul64(math.MaxUint64, math.MaxUint64)
+	if hi != math.MaxUint64-1 || lo != 1 {
+		t.Errorf("mul64(max,max) = (%d,%d)", hi, lo)
+	}
+	hi, lo = mul64(1<<32, 1<<32)
+	if hi != 1 || lo != 0 {
+		t.Errorf("mul64(2^32,2^32) = (%d,%d), want (1,0)", hi, lo)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
+
+func BenchmarkExp(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Exp(100)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(21)
+	const n, draws = 16, 100000
+	var count [n]int
+	for i := 0; i < draws; i++ {
+		v := r.Zipf(n, 1.0)
+		if v < 0 || v >= n {
+			t.Fatalf("Zipf out of range: %d", v)
+		}
+		count[v]++
+	}
+	// Rank 0 must dominate and counts must be monotonically
+	// non-increasing within sampling noise.
+	if count[0] < count[1] || count[1] < count[4] || count[4] < count[12] {
+		t.Errorf("Zipf counts not skewed: %v", count)
+	}
+	// For s=1, P(0)/P(1) = 2 within tolerance.
+	ratio := float64(count[0]) / float64(count[1])
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("rank ratio = %.2f, want ≈2", ratio)
+	}
+}
+
+func TestZipfTableRebuilds(t *testing.T) {
+	r := New(22)
+	a := r.Zipf(8, 1.0)
+	b := r.Zipf(32, 2.0) // different params rebuild the table
+	if a < 0 || a >= 8 || b < 0 || b >= 32 {
+		t.Errorf("values out of range: %d %d", a, b)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	r := New(23)
+	for _, f := range []func(){
+		func() { r.Zipf(0, 1) },
+		func() { r.Zipf(8, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

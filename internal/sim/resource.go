@@ -1,0 +1,97 @@
+package sim
+
+import "sais/internal/units"
+
+// Server models a resource that serves one job at a time in FIFO order:
+// a NIC serializing bytes onto a wire, a disk head, a core executing
+// softirq work. Submitting a job while the server is busy queues it.
+//
+// The service time of each job is fixed at submission, which is the
+// right model for store-and-forward hardware; jobs whose cost depends on
+// state at dispatch should use SubmitFunc.
+type Server struct {
+	eng     *Engine
+	busyTo  units.Time
+	queue   int
+	maxQ    int
+	busy    units.Time // accumulated busy time
+	served  uint64
+	waited  units.Time // accumulated queueing delay
+	nameTag string
+}
+
+// NewServer returns an idle FIFO server bound to eng. name is used only
+// for diagnostics.
+func NewServer(eng *Engine, name string) *Server {
+	return &Server{eng: eng, nameTag: name}
+}
+
+// Name returns the diagnostic name.
+func (s *Server) Name() string { return s.nameTag }
+
+// Busy reports whether the server is serving or has queued work.
+func (s *Server) Busy() bool { return s.eng.Now() < s.busyTo }
+
+// QueueLen returns the number of jobs submitted but not yet started,
+// including the one in service.
+func (s *Server) QueueLen() int { return s.queue }
+
+// MaxQueue returns the high-water mark of QueueLen.
+func (s *Server) MaxQueue() int { return s.maxQ }
+
+// BusyTime returns total time spent serving jobs.
+func (s *Server) BusyTime() units.Time { return s.busy }
+
+// WaitTime returns total time jobs spent queued before service began.
+func (s *Server) WaitTime() units.Time { return s.waited }
+
+// Served returns the number of completed jobs.
+func (s *Server) Served() uint64 { return s.served }
+
+// Submit enqueues a job taking cost time; done (optional) runs when the
+// job completes. It returns the completion time.
+func (s *Server) Submit(cost units.Time, done Event) units.Time {
+	return s.SubmitFunc(func(units.Time) units.Time { return cost }, done)
+}
+
+// SubmitFunc enqueues a job whose cost is computed at dispatch time by
+// costAt (receiving the dispatch instant). done (optional) runs at
+// completion. It returns the completion time assuming costAt is
+// deterministic at the time of the call; for state-dependent costs the
+// returned value is the scheduled completion of this job given current
+// queue contents.
+func (s *Server) SubmitFunc(costAt func(units.Time) units.Time, done Event) units.Time {
+	now := s.eng.Now()
+	start := s.busyTo
+	if start < now {
+		start = now
+	}
+	s.queue++
+	if s.queue > s.maxQ {
+		s.maxQ = s.queue
+	}
+	cost := costAt(start)
+	if cost < 0 {
+		cost = 0
+	}
+	finish := start + cost
+	s.busyTo = finish
+	s.busy += cost
+	s.waited += start - now
+	s.eng.At(finish, func(t units.Time) {
+		s.queue--
+		s.served++
+		if done != nil {
+			done(t)
+		}
+	})
+	return finish
+}
+
+// Drain returns the time at which all currently queued work completes.
+func (s *Server) Drain() units.Time {
+	if s.busyTo < s.eng.Now() {
+		return s.eng.Now()
+	}
+	return s.busyTo
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"testing"
+
+	"sais/internal/units"
+)
+
+func TestServerSerializesJobs(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "nic")
+	var done []units.Time
+	e.At(0, func(units.Time) {
+		s.Submit(10, func(now units.Time) { done = append(done, now) })
+		s.Submit(5, func(now units.Time) { done = append(done, now) })
+		s.Submit(1, func(now units.Time) { done = append(done, now) })
+	})
+	e.RunUntilIdle()
+	want := []units.Time{10, 15, 16}
+	if len(done) != 3 {
+		t.Fatalf("done = %v", done)
+	}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Errorf("job %d completed at %v, want %v", i, done[i], want[i])
+		}
+	}
+}
+
+func TestServerIdleGap(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "disk")
+	var second units.Time
+	e.At(0, func(units.Time) { s.Submit(10, nil) })
+	e.At(100, func(units.Time) {
+		s.Submit(10, func(now units.Time) { second = now })
+	})
+	e.RunUntilIdle()
+	if second != 110 {
+		t.Errorf("job after idle gap finished at %v, want 110", second)
+	}
+	if s.BusyTime() != 20 {
+		t.Errorf("BusyTime = %v, want 20", s.BusyTime())
+	}
+}
+
+func TestServerReturnsCompletionTime(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "x")
+	e.At(0, func(units.Time) {
+		if got := s.Submit(7, nil); got != 7 {
+			t.Errorf("first Submit returned %v, want 7", got)
+		}
+		if got := s.Submit(3, nil); got != 10 {
+			t.Errorf("second Submit returned %v, want 10", got)
+		}
+		if got := s.Drain(); got != 10 {
+			t.Errorf("Drain = %v, want 10", got)
+		}
+	})
+	e.RunUntilIdle()
+}
+
+func TestServerStats(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "x")
+	e.At(0, func(units.Time) {
+		s.Submit(10, nil)
+		s.Submit(10, nil)
+		s.Submit(10, nil)
+	})
+	e.RunUntilIdle()
+	if s.Served() != 3 {
+		t.Errorf("Served = %d, want 3", s.Served())
+	}
+	if s.MaxQueue() != 3 {
+		t.Errorf("MaxQueue = %d, want 3", s.MaxQueue())
+	}
+	// Jobs 2 and 3 waited 10 and 20.
+	if s.WaitTime() != 30 {
+		t.Errorf("WaitTime = %v, want 30", s.WaitTime())
+	}
+	if s.QueueLen() != 0 {
+		t.Errorf("QueueLen = %d, want 0 after drain", s.QueueLen())
+	}
+}
+
+func TestSubmitFuncSeesDispatchTime(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "x")
+	var dispatchAt units.Time = -1
+	e.At(0, func(units.Time) {
+		s.Submit(25, nil)
+		s.SubmitFunc(func(start units.Time) units.Time {
+			dispatchAt = start
+			return 5
+		}, nil)
+	})
+	e.RunUntilIdle()
+	if dispatchAt != 25 {
+		t.Errorf("costAt saw dispatch time %v, want 25", dispatchAt)
+	}
+}
+
+func TestNegativeCostClamped(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "x")
+	e.At(0, func(units.Time) {
+		fin := s.SubmitFunc(func(units.Time) units.Time { return -5 }, nil)
+		if fin != 0 {
+			t.Errorf("negative cost finish = %v, want 0", fin)
+		}
+	})
+	e.RunUntilIdle()
+}
+
+func TestBusy(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "x")
+	e.At(0, func(units.Time) {
+		s.Submit(10, nil)
+		if !s.Busy() {
+			t.Error("server should be busy right after Submit")
+		}
+	})
+	e.At(11, func(units.Time) {
+		if s.Busy() {
+			t.Error("server should be idle after work drains")
+		}
+	})
+	e.RunUntilIdle()
+}

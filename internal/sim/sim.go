@@ -1,0 +1,195 @@
+// Package sim implements the discrete-event simulation engine that every
+// SAIs subsystem runs on.
+//
+// The engine is a single-threaded binary-heap event queue over a virtual
+// nanosecond clock (units.Time). Determinism is a hard requirement —
+// the paper's experiments are reproduced as exact functions of (config,
+// seed) — so ties in event time are broken by a monotonically increasing
+// sequence number: two events scheduled for the same instant always fire
+// in the order they were scheduled.
+package sim
+
+import (
+	"fmt"
+
+	"sais/internal/units"
+)
+
+// Event is a callback scheduled to run at a point in simulated time.
+type Event func(now units.Time)
+
+// item is a scheduled event in the heap.
+type item struct {
+	at   units.Time
+	seq  uint64
+	fn   Event
+	dead bool // cancelled
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct{ it *item }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op. It reports whether the event was
+// still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.it == nil || t.it.dead {
+		return false
+	}
+	t.it.dead = true
+	t.it.fn = nil
+	return true
+}
+
+// Pending reports whether the event has neither fired nor been cancelled.
+func (t *Timer) Pending() bool { return t != nil && t.it != nil && !t.it.dead }
+
+// Engine is the event queue and clock. The zero value is not usable;
+// call NewEngine.
+type Engine struct {
+	now    units.Time
+	seq    uint64
+	heap   []*item
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{heap: make([]*item, 0, 1024)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() units.Time { return e.now }
+
+// Fired returns the number of events executed so far; useful as a
+// progress measure and a determinism check in tests.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events waiting in the queue, including
+// cancelled ones not yet popped.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// panics: it always indicates a modelling bug, and silently clamping
+// would hide causality violations.
+func (e *Engine) At(at units.Time, fn Event) *Timer {
+	if fn == nil {
+		panic("sim: nil event")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (now=%v at=%v)", e.now, at))
+	}
+	it := &item{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	e.push(it)
+	return &Timer{it: it}
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d units.Time, fn Event) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Immediately schedules fn to run at the current instant, after all
+// events already scheduled for this instant.
+func (e *Engine) Immediately(fn Event) *Timer { return e.At(e.now, fn) }
+
+// Halt stops the run loop after the currently executing event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step pops and executes the single earliest pending event. It reports
+// whether an event was executed (false means the queue was empty).
+func (e *Engine) Step() bool {
+	for len(e.heap) > 0 {
+		it := e.pop()
+		if it.dead {
+			continue
+		}
+		if it.at < e.now {
+			panic("sim: heap produced an event from the past")
+		}
+		e.now = it.at
+		fn := it.fn
+		it.dead = true
+		it.fn = nil
+		e.fired++
+		fn(e.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty, Halt is called, or the
+// clock passes deadline (units.Forever for no deadline). It returns the
+// time at which the loop stopped.
+func (e *Engine) Run(deadline units.Time) units.Time {
+	e.halted = false
+	for !e.halted {
+		if len(e.heap) == 0 {
+			return e.now
+		}
+		if e.peek().at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		e.Step()
+	}
+	return e.now
+}
+
+// RunUntilIdle executes events until the queue is empty.
+func (e *Engine) RunUntilIdle() units.Time { return e.Run(units.Forever) }
+
+// --- binary heap ordered by (at, seq) ---
+
+func (e *Engine) less(i, j int) bool {
+	a, b := e.heap[i], e.heap[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(it *item) {
+	e.heap = append(e.heap, it)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Engine) peek() *item { return e.heap[0] }
+
+func (e *Engine) pop() *item {
+	top := e.heap[0]
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(e.heap) && e.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(e.heap) && e.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		e.heap[i], e.heap[smallest] = e.heap[smallest], e.heap[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,141 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"sais/cluster"
+	"sais/internal/irqsched"
+	"sais/internal/units"
+)
+
+func TestParseDim(t *testing.T) {
+	d, err := ParseDim("servers=8,16,32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "servers" || len(d.Values) != 3 || d.Values[2] != "32" {
+		t.Errorf("dim = %+v", d)
+	}
+	bad := []string{"", "servers", "=8", "servers=", "servers=8,,16", "bogus=1"}
+	for _, s := range bad {
+		if _, err := ParseDim(s); err == nil {
+			t.Errorf("ParseDim(%q) accepted", s)
+		}
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) != len(setters) {
+		t.Errorf("Names() = %d entries, setters = %d", len(names), len(setters))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted at %d: %v", i, names)
+		}
+	}
+}
+
+func TestProductExpands(t *testing.T) {
+	base := cluster.DefaultConfig()
+	dims := []Dim{
+		{Name: "servers", Values: []string{"8", "16"}},
+		{Name: "policy", Values: []string{"irqbalance", "sais"}},
+	}
+	points, err := Product(base, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d, want 4", len(points))
+	}
+	seen := map[string]bool{}
+	for _, p := range points {
+		key := p.Values["servers"] + "/" + p.Values["policy"]
+		seen[key] = true
+		if p.Values["servers"] == "16" && p.Config.Servers != 16 {
+			t.Errorf("servers not applied: %+v", p.Values)
+		}
+		if p.Values["policy"] == "sais" && p.Config.Policy != irqsched.PolicySourceAware {
+			t.Errorf("policy not applied: %+v", p.Values)
+		}
+	}
+	if len(seen) != 4 {
+		t.Errorf("combinations = %v", seen)
+	}
+	// Base must be untouched.
+	if base.Servers != cluster.DefaultConfig().Servers {
+		t.Error("Product mutated the base config")
+	}
+}
+
+func TestSettersApplyTypedValues(t *testing.T) {
+	cfg := cluster.DefaultConfig()
+	cases := []struct {
+		dim, val string
+		check    func() bool
+	}{
+		{"transfer", "512KiB", func() bool { return cfg.TransferSize == 512*units.KiB }},
+		{"nic", "1", func() bool { return cfg.ClientNICRate == units.Gigabit }},
+		{"migrate", "0.25", func() bool { return cfg.MigrateDuringBlock == 0.25 }},
+		{"shared", "true", func() bool { return cfg.SharedFiles }},
+		{"write", "true", func() bool { return cfg.WriteWorkload }},
+		{"quantum", "2ms", func() bool { return cfg.TimesliceQuantum == 2*units.Millisecond }},
+		{"remoteline", "300ns", func() bool { return cfg.Costs.RemoteLine == 300 }},
+		{"seed", "9", func() bool { return cfg.Seed == 9 }},
+	}
+	for _, c := range cases {
+		if err := setters[c.dim](&cfg, c.val); err != nil {
+			t.Fatalf("%s=%s: %v", c.dim, c.val, err)
+		}
+		if !c.check() {
+			t.Errorf("%s=%s not applied", c.dim, c.val)
+		}
+	}
+	// Type errors surface.
+	if err := setters["servers"](&cfg, "eight"); err == nil {
+		t.Error("non-integer accepted")
+	}
+	if err := setters["policy"](&cfg, "bogus"); err == nil {
+		t.Error("bad policy accepted")
+	}
+	if err := setters["shared"](&cfg, "maybe"); err == nil {
+		t.Error("bad bool accepted")
+	}
+}
+
+func TestCSVEndToEnd(t *testing.T) {
+	base := cluster.DefaultConfig()
+	base.Servers = 8
+	base.BytesPerProc = 4 * units.MiB
+	dims := []Dim{{Name: "policy", Values: []string{"irqbalance", "sais"}}}
+	points, err := Product(base, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := CSVHeader(dims)
+	if !strings.HasPrefix(header, "policy,bandwidth_MBps") {
+		t.Errorf("header = %q", header)
+	}
+	wantCols := strings.Count(header, ",") + 1
+	for _, p := range points {
+		row, err := CSVRow(dims, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := strings.Count(row, ",") + 1; got != wantCols {
+			t.Errorf("row has %d columns, header %d: %q", got, wantCols, row)
+		}
+		if !strings.HasPrefix(row, p.Values["policy"]+",") {
+			t.Errorf("row = %q", row)
+		}
+	}
+}
+
+func TestProductNoDims(t *testing.T) {
+	points, err := Product(cluster.DefaultConfig(), nil)
+	if err != nil || len(points) != 1 {
+		t.Errorf("empty product = %d points, %v", len(points), err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package textplot renders small horizontal bar charts as text, so the
+// experiment harness can show each figure's *shape* — the property the
+// reproduction is judged on — directly in a terminal, next to the
+// numeric table.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named sequence of values sharing the chart's scale.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart is a grouped horizontal bar chart: one row per label, one bar
+// per series.
+type Chart struct {
+	Title  string
+	Labels []string
+	Series []Series
+	Width  int // bar field width in runes; default 40
+}
+
+// Validate checks structural consistency.
+func (c *Chart) Validate() error {
+	if len(c.Labels) == 0 {
+		return fmt.Errorf("textplot: no labels")
+	}
+	if len(c.Series) == 0 {
+		return fmt.Errorf("textplot: no series")
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.Labels) {
+			return fmt.Errorf("textplot: series %q has %d values for %d labels",
+				s.Name, len(s.Values), len(c.Labels))
+		}
+	}
+	return nil
+}
+
+// glyphs distinguish up to four series.
+var glyphs = []rune{'█', '░', '▒', '▓'}
+
+// Render returns the chart as text. Values are scaled to the global
+// maximum; negative values render as empty bars with their number.
+func (c *Chart) Render() (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	maxVal := 0.0
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	labelW := 0
+	for _, l := range c.Labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	nameW := 0
+	for _, s := range c.Series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, label := range c.Labels {
+		for si, s := range c.Series {
+			prefix := strings.Repeat(" ", labelW)
+			if si == 0 {
+				prefix = fmt.Sprintf("%-*s", labelW, label)
+			}
+			v := s.Values[i]
+			bar := barOf(v, maxVal, width, glyphs[si%len(glyphs)])
+			fmt.Fprintf(&b, "%s  %-*s %s %.4g\n", prefix, nameW, s.Name, bar, v)
+		}
+	}
+	return b.String(), nil
+}
+
+// barOf draws one bar of v against scale max.
+func barOf(v, max float64, width int, glyph rune) string {
+	if max <= 0 || v <= 0 || math.IsNaN(v) {
+		return strings.Repeat("·", 1)
+	}
+	n := int(math.Round(v / max * float64(width)))
+	if n < 1 {
+		n = 1
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat(string(glyph), n)
+}
+
+// Sparkline renders values as a compact single-line sparkline.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ramp) {
+			idx = len(ramp) - 1
+		}
+		b.WriteRune(ramp[idx])
+	}
+	return b.String()
+}

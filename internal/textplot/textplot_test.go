@@ -1,0 +1,119 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func sample() *Chart {
+	return &Chart{
+		Title:  "bandwidth",
+		Labels: []string{"8 nodes", "16 nodes"},
+		Series: []Series{
+			{Name: "irqbalance", Values: []float64{190, 210}},
+			{Name: "sais", Values: []float64{205, 255}},
+		},
+		Width: 20,
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	out, err := sample().Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"bandwidth", "8 nodes", "16 nodes", "irqbalance", "sais", "255"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+4 { // title + 2 labels × 2 series
+		t.Errorf("lines = %d, want 5", len(lines))
+	}
+}
+
+func TestBarsScaleToMax(t *testing.T) {
+	c := sample()
+	out, _ := c.Render()
+	// The max value (255) must render a full-width bar; 190 shorter.
+	countBar := func(line string, glyph rune) int {
+		n := 0
+		for _, r := range line {
+			if r == glyph {
+				n++
+			}
+		}
+		return n
+	}
+	var full, small int
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "255") {
+			full = countBar(line, '░')
+		}
+		if strings.Contains(line, "190") {
+			small = countBar(line, '█')
+		}
+	}
+	if full != 20 {
+		t.Errorf("max bar = %d glyphs, want full width 20", full)
+	}
+	if small >= full || small < 1 {
+		t.Errorf("smaller bar = %d glyphs vs max %d", small, full)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []*Chart{
+		{},
+		{Labels: []string{"a"}},
+		{Labels: []string{"a"}, Series: []Series{{Name: "x", Values: []float64{1, 2}}}},
+	}
+	for i, c := range bad {
+		if _, err := c.Render(); err == nil {
+			t.Errorf("case %d rendered", i)
+		}
+	}
+}
+
+func TestNonPositiveValues(t *testing.T) {
+	c := &Chart{
+		Labels: []string{"a"},
+		Series: []Series{{Name: "x", Values: []float64{-5}}},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "-5") {
+		t.Errorf("negative value not shown: %s", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{1, 2, 3, 4, 5, 6, 7, 8})
+	if utf8.RuneCountInString(s) != 8 {
+		t.Errorf("sparkline runes = %d", utf8.RuneCountInString(s))
+	}
+	if !strings.HasPrefix(s, "▁") || !strings.HasSuffix(s, "█") {
+		t.Errorf("sparkline = %q, want rising ramp", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline")
+	}
+	// Constant values: all the same glyph, no panic.
+	flat := Sparkline([]float64{3, 3, 3})
+	if utf8.RuneCountInString(flat) != 3 {
+		t.Errorf("flat sparkline = %q", flat)
+	}
+}
+
+func TestDefaultWidth(t *testing.T) {
+	c := sample()
+	c.Width = 0
+	out, err := c.Render()
+	if err != nil || out == "" {
+		t.Fatalf("render failed: %v", err)
+	}
+}

@@ -1,0 +1,129 @@
+// Package trace provides a bounded in-memory event trace for debugging
+// simulation runs: components append one-line records, the ring keeps
+// the most recent N, and the renderer prints them with simulated
+// timestamps. cmd/saisim -trace wires it into the client node.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"sais/internal/units"
+)
+
+// Record is one traced event.
+type Record struct {
+	At        units.Time
+	Component string
+	Message   string
+}
+
+// String renders the record as a log line.
+func (r Record) String() string {
+	return fmt.Sprintf("%12v %-10s %s", r.At, r.Component, r.Message)
+}
+
+// Ring is a fixed-capacity trace buffer. The zero value is unusable;
+// call NewRing.
+type Ring struct {
+	buf     []Record
+	next    int
+	wrapped bool
+	dropped uint64
+	filter  func(component string) bool
+}
+
+// NewRing builds a ring holding the most recent capacity records.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("trace: capacity must be positive")
+	}
+	return &Ring{buf: make([]Record, 0, capacity)}
+}
+
+// SetFilter installs a component predicate; records from components for
+// which it returns false are counted as dropped instead of stored. A
+// nil filter stores everything.
+func (r *Ring) SetFilter(f func(component string) bool) { r.filter = f }
+
+// Add appends a record, evicting the oldest when full.
+func (r *Ring) Add(at units.Time, component, format string, args ...any) {
+	if r.filter != nil && !r.filter(component) {
+		r.dropped++
+		return
+	}
+	rec := Record{At: at, Component: component, Message: fmt.Sprintf(format, args...)}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+		return
+	}
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % cap(r.buf)
+	r.wrapped = true
+}
+
+// Len returns the number of stored records.
+func (r *Ring) Len() int { return len(r.buf) }
+
+// Dropped returns records rejected by the filter.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Records returns the stored records oldest-first.
+func (r *Ring) Records() []Record {
+	if !r.wrapped {
+		return append([]Record(nil), r.buf...)
+	}
+	out := make([]Record, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Render returns the whole trace as a newline-joined string.
+func (r *Ring) Render() string {
+	recs := r.Records()
+	lines := make([]string, len(recs))
+	for i, rec := range recs {
+		lines[i] = rec.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// chromeEvent is one record in Chrome's trace-event JSON format
+// (chrome://tracing, Perfetto).
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"` // microseconds
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// ExportChromeTrace writes the ring's records as Chrome trace-event
+// JSON: each component becomes a thread of instant events, so a run can
+// be inspected in chrome://tracing or Perfetto.
+func (r *Ring) ExportChromeTrace(w io.Writer) error {
+	recs := r.Records()
+	events := make([]chromeEvent, 0, len(recs))
+	tids := map[string]int{}
+	for _, rec := range recs {
+		tid, ok := tids[rec.Component]
+		if !ok {
+			tid = len(tids) + 1
+			tids[rec.Component] = tid
+		}
+		events = append(events, chromeEvent{
+			Name: rec.Message,
+			Cat:  rec.Component,
+			Ph:   "i", // instant
+			TS:   float64(rec.At) / 1000,
+			PID:  1,
+			TID:  tid,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

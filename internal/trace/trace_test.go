@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sais/internal/units"
+)
+
+func TestAddAndRecords(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 3; i++ {
+		r.Add(units.Time(i), "nic", "frame %d", i)
+	}
+	recs := r.Records()
+	if len(recs) != 3 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	if recs[0].Message != "frame 0" || recs[2].Message != "frame 2" {
+		t.Errorf("records = %v", recs)
+	}
+}
+
+func TestWrapKeepsNewest(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 7; i++ {
+		r.Add(units.Time(i), "x", "e%d", i)
+	}
+	recs := r.Records()
+	if len(recs) != 3 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	want := []string{"e4", "e5", "e6"}
+	for i, w := range want {
+		if recs[i].Message != w {
+			t.Errorf("recs[%d] = %q, want %q (oldest-first)", i, recs[i].Message, w)
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := NewRing(8)
+	r.SetFilter(func(c string) bool { return c == "apic" })
+	r.Add(1, "nic", "skip")
+	r.Add(2, "apic", "keep")
+	if r.Len() != 1 || r.Dropped() != 1 {
+		t.Errorf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	if r.Records()[0].Component != "apic" {
+		t.Error("wrong record kept")
+	}
+}
+
+func TestRender(t *testing.T) {
+	r := NewRing(2)
+	r.Add(1500, "irq", "vector %d to core %d", 64, 3)
+	out := r.Render()
+	if !strings.Contains(out, "vector 64 to core 3") || !strings.Contains(out, "irq") {
+		t.Errorf("render = %q", out)
+	}
+	if strings.Contains(out, "\n") {
+		t.Error("single record should not have a newline")
+	}
+	r.Add(2500, "irq", "next")
+	if got := len(strings.Split(r.Render(), "\n")); got != 2 {
+		t.Errorf("lines = %d", got)
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestExportChromeTrace(t *testing.T) {
+	r := NewRing(8)
+	r.Add(1500, "apic", "frame to core 3")
+	r.Add(2500, "client", "transfer complete")
+	var buf bytes.Buffer
+	if err := r.ExportChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0]["cat"] != "apic" || events[0]["ph"] != "i" {
+		t.Errorf("event = %v", events[0])
+	}
+	if events[0]["ts"].(float64) != 1.5 {
+		t.Errorf("ts = %v, want 1.5us", events[0]["ts"])
+	}
+	// Distinct components get distinct thread ids.
+	if events[0]["tid"] == events[1]["tid"] {
+		t.Error("components share a tid")
+	}
+}

@@ -1,0 +1,289 @@
+package workload
+
+import (
+	"testing"
+
+	"sais/internal/client"
+	"sais/internal/irqsched"
+	"sais/internal/netsim"
+	"sais/internal/pfs"
+	"sais/internal/rng"
+	"sais/internal/sim"
+	"sais/internal/units"
+)
+
+// rig builds a client + 4 fast servers + MDS.
+func rig(t *testing.T) (*sim.Engine, *client.Node) {
+	t.Helper()
+	eng := sim.NewEngine()
+	fab := netsim.NewFabric(eng, 10*units.Microsecond)
+	ccfg := client.DefaultConfig(1, 3*units.Gigabit, irqsched.PolicySourceAware)
+	ccfg.MDS = 50
+	node := client.MustNew(eng, fab, ccfg)
+	servers := make([]netsim.NodeID, 4)
+	rnd := rng.New(3)
+	for i := range servers {
+		servers[i] = netsim.NodeID(100 + i)
+		scfg := pfs.DefaultServerConfig(units.Gigabit)
+		scfg.EchoHints = true
+		scfg.Disk.RotationPeriod = 0
+		pfs.NewServer(eng, fab, servers[i], scfg, rnd)
+	}
+	layout := pfs.Layout{StripSize: 64 * units.KiB, Servers: servers}
+	pfs.NewMetadataServer(eng, fab, 50, pfs.DefaultMetadataConfig(units.Gigabit),
+		func(pfs.FileID) pfs.Layout { return layout })
+	return eng, node
+}
+
+func TestValidate(t *testing.T) {
+	good := IORConfig{Procs: 2, TransferSize: units.MiB, BytesPerProc: 4 * units.MiB}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	bad := []IORConfig{
+		{Procs: 0, TransferSize: units.MiB, BytesPerProc: units.MiB},
+		{Procs: 1, TransferSize: 0, BytesPerProc: units.MiB},
+		{Procs: 1, TransferSize: 2 * units.MiB, BytesPerProc: units.MiB},
+		{Procs: 1, TransferSize: units.MiB, BytesPerProc: units.MiB, Stagger: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestTransfers(t *testing.T) {
+	c := IORConfig{Procs: 1, TransferSize: units.MiB, BytesPerProc: 10*units.MiB + 1}
+	if got := c.Transfers(); got != 10 {
+		t.Errorf("Transfers = %d, want 10 (floor)", got)
+	}
+}
+
+func TestIORRunsToCompletion(t *testing.T) {
+	eng, node := rig(t)
+	cfg := IORConfig{
+		Procs:        3,
+		TransferSize: 512 * units.KiB,
+		BytesPerProc: 2 * units.MiB,
+		FirstFile:    1,
+		Stagger:      10 * units.Microsecond,
+	}
+	var doneAt units.Time
+	w, err := NewIOR(node, cfg, func(now units.Time) { doneAt = now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start(eng)
+	eng.RunUntilIdle()
+	if doneAt == 0 {
+		t.Fatal("workload never finished")
+	}
+	if w.Finished() != doneAt {
+		t.Errorf("Finished() = %v, callback at %v", w.Finished(), doneAt)
+	}
+	if got := node.Stats().BytesRead; got != 6*units.MiB {
+		t.Errorf("bytes read = %v, want 6MiB", got)
+	}
+	if got := node.Stats().Transfers; got != 12 {
+		t.Errorf("transfers = %d, want 12", got)
+	}
+	if w.TotalBytes() != 6*units.MiB {
+		t.Errorf("TotalBytes = %v", w.TotalBytes())
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		if w.ProcFinished(i) == 0 || w.ProcFinished(i) > doneAt {
+			t.Errorf("proc %d finished at %v", i, w.ProcFinished(i))
+		}
+	}
+}
+
+func TestProcsUseDistinctFilesAndCores(t *testing.T) {
+	eng, node := rig(t)
+	cfg := IORConfig{
+		Procs:        2,
+		TransferSize: units.MiB,
+		BytesPerProc: units.MiB,
+		FirstFile:    7,
+	}
+	w, err := NewIOR(node, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start(eng)
+	eng.RunUntilIdle()
+	// Two files -> two metadata round trips.
+	if got := node.Stats().MetadataTrips; got != 2 {
+		t.Errorf("metadata trips = %d, want 2", got)
+	}
+	// Both procs consumed on their own cores: cores 0 and 1 have cache
+	// accesses, others none.
+	for core := 0; core < 8; core++ {
+		acc := node.Caches().Stats(core).Accesses
+		if core < 2 && acc == 0 {
+			t.Errorf("core %d has no accesses", core)
+		}
+		if core >= 2 && acc != 0 {
+			t.Errorf("core %d unexpectedly consumed data", core)
+		}
+	}
+}
+
+func TestNewIORRejectsBadConfig(t *testing.T) {
+	_, node := rig(t)
+	if _, err := NewIOR(node, IORConfig{}, nil); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestStaggerDelaysStart(t *testing.T) {
+	eng, node := rig(t)
+	cfg := IORConfig{
+		Procs:        2,
+		TransferSize: units.MiB,
+		BytesPerProc: units.MiB,
+		FirstFile:    1,
+		Stagger:      5 * units.Millisecond,
+	}
+	w, _ := NewIOR(node, cfg, nil)
+	w.Start(eng)
+	eng.RunUntilIdle()
+	if w.ProcFinished(1)-w.ProcFinished(0) < 2*units.Millisecond {
+		t.Errorf("staggered procs finished %v apart", w.ProcFinished(1)-w.ProcFinished(0))
+	}
+}
+
+func TestRandomAccessCoversAllOffsets(t *testing.T) {
+	// Random mode reads the same byte set as sequential mode, just in a
+	// different order: totals must match.
+	eng, node := rig(t)
+	cfg := IORConfig{
+		Procs:        2,
+		TransferSize: 512 * units.KiB,
+		BytesPerProc: 4 * units.MiB,
+		FirstFile:    1,
+		RandomAccess: true,
+		Seed:         7,
+	}
+	w, err := NewIOR(node, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start(eng)
+	eng.RunUntilIdle()
+	if got := node.Stats().BytesRead; got != 8*units.MiB {
+		t.Errorf("random mode read %v, want 8MiB", got)
+	}
+}
+
+func TestRandomAccessIsSeededDeterministic(t *testing.T) {
+	run := func() units.Time {
+		eng, node := rig(t)
+		cfg := IORConfig{
+			Procs: 1, TransferSize: 512 * units.KiB, BytesPerProc: 4 * units.MiB,
+			FirstFile: 1, RandomAccess: true, Seed: 11,
+		}
+		w, _ := NewIOR(node, cfg, nil)
+		w.Start(eng)
+		return eng.RunUntilIdle()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("seeded random runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestSegmentedSharedFile(t *testing.T) {
+	eng, node := rig(t)
+	cfg := IORConfig{
+		Procs:        3,
+		TransferSize: 256 * units.KiB,
+		BytesPerProc: units.MiB,
+		FirstFile:    9,
+		Segmented:    true,
+	}
+	w, err := NewIOR(node, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start(eng)
+	eng.RunUntilIdle()
+	// One shared file: exactly one metadata round trip.
+	if got := node.Stats().MetadataTrips; got != 1 {
+		t.Errorf("metadata trips = %d, want 1 for a shared file", got)
+	}
+	if got := node.Stats().BytesRead; got != 3*units.MiB {
+		t.Errorf("bytes = %v, want 3MiB", got)
+	}
+}
+
+func TestThinkTimeSlowsTheLoop(t *testing.T) {
+	run := func(think units.Time) units.Time {
+		eng, node := rig(t)
+		cfg := IORConfig{
+			Procs: 1, TransferSize: 256 * units.KiB, BytesPerProc: units.MiB,
+			FirstFile: 1, ThinkTime: think,
+		}
+		w, err := NewIOR(node, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Start(eng)
+		return eng.RunUntilIdle()
+	}
+	base := run(0)
+	slow := run(10 * units.Millisecond)
+	// Three inter-transfer gaps of 10 ms.
+	if slow-base < 25*units.Millisecond {
+		t.Errorf("think time added only %v", slow-base)
+	}
+	if _, err := NewIOR(nil, IORConfig{Procs: 1, TransferSize: 1, BytesPerProc: 1, ThinkTime: -1}, nil); err == nil {
+		t.Error("negative think time accepted")
+	}
+}
+
+func TestCollectiveWorkload(t *testing.T) {
+	eng, node := rig(t)
+	cfg := IORConfig{
+		Procs:        4,
+		TransferSize: 256 * units.KiB,
+		BytesPerProc: units.MiB,
+		FirstFile:    3,
+		Aggregators:  2,
+	}
+	var doneAt units.Time
+	w, err := NewIOR(node, cfg, func(now units.Time) { doneAt = now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start(eng)
+	eng.RunUntilIdle()
+	if doneAt == 0 {
+		t.Fatal("collective workload never finished")
+	}
+	if w.Finished() != doneAt {
+		t.Errorf("Finished = %v vs %v", w.Finished(), doneAt)
+	}
+	if got := node.Stats().BytesRead; got != 4*units.MiB {
+		t.Errorf("bytes = %v, want 4MiB", got)
+	}
+	for i := 0; i < cfg.Procs; i++ {
+		if w.ProcFinished(i) != doneAt {
+			t.Errorf("proc %d finished at %v; collective rounds are lockstep", i, w.ProcFinished(i))
+		}
+	}
+	// Redistribution happened: procs 2 and 3 are not aggregators.
+	if node.Caches().Aggregate().RemoteTransfers == 0 {
+		t.Error("no redistribution traffic in collective mode")
+	}
+}
+
+func TestCollectiveValidation(t *testing.T) {
+	bad := IORConfig{Procs: 2, TransferSize: units.MiB, BytesPerProc: units.MiB, Aggregators: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative aggregators accepted")
+	}
+	bad = IORConfig{Procs: 2, TransferSize: units.MiB, BytesPerProc: units.MiB, Aggregators: 1, Write: true}
+	if err := bad.Validate(); err == nil {
+		t.Error("collective writes accepted")
+	}
+}

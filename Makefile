@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench experiments figures cover clean
+.PHONY: all build vet test race race-short bench experiments figures cover clean
 
-all: build vet test
+all: build vet test race-short
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,15 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Full race-detector pass over every package (slow).
+race:
+	$(GO) test -race ./...
+
+# Short race pass of the orchestration-critical packages (the worker
+# pool and its heaviest consumer); cheap enough to run in `all`.
+race-short:
+	$(GO) test -race ./internal/runner ./experiments
 
 # Record the canonical outputs the repository ships with.
 test-output:

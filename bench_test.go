@@ -8,6 +8,7 @@
 package sais
 
 import (
+	"runtime"
 	"testing"
 
 	"sais/cluster"
@@ -37,6 +38,15 @@ func runExperiment(b *testing.B, e experiments.Experiment) {
 // BenchmarkFigure5 regenerates the 3-Gigabit bandwidth comparison
 // (paper: peak speed-up 23.57 % at 48 servers).
 func BenchmarkFigure5(b *testing.B) { runExperiment(b, experiments.Figure5()) }
+
+// BenchmarkFigure5Parallel is BenchmarkFigure5 fanned out over all
+// cores by the internal/runner orchestration layer — the ns/op ratio
+// to the serial benchmark is the figure-suite speed-up from -parallel.
+func BenchmarkFigure5Parallel(b *testing.B) {
+	e := experiments.Figure5()
+	e.Parallel = runtime.GOMAXPROCS(0)
+	runExperiment(b, e)
+}
 
 // BenchmarkBandwidth1G regenerates the §V.C 1-Gigabit bandwidth result
 // (paper: peak speed-up 6.05 %, NIC-bound).

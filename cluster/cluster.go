@@ -16,6 +16,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 
 	"sais/internal/client"
@@ -268,12 +269,22 @@ type Result struct {
 // Run executes one experiment and returns its metrics. Runs are
 // deterministic functions of (Config, Seed).
 func Run(cfg Config) (*Result, error) {
-	return run(cfg, nil)
+	return RunContext(context.Background(), cfg)
 }
 
-// run is the shared body of Run and RunTraced; instrument (optional)
-// sees the client nodes after construction, before the workload starts.
-func run(cfg Config, instrument func([]*client.Node)) (*Result, error) {
+// RunContext is Run with cancellation and deadline support: the
+// simulator polls ctx at event-loop granularity and stops promptly
+// once it is done. A cancelled run returns ctx.Err() together with the
+// metrics collected up to the stopping point, so callers can still
+// report partial results; completed runs return a nil error.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	return run(ctx, cfg, nil)
+}
+
+// run is the shared body of RunContext and RunTraced; instrument
+// (optional) sees the client nodes after construction, before the
+// workload starts.
+func run(ctx context.Context, cfg Config, instrument func([]*client.Node)) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -412,9 +423,15 @@ func run(cfg Config, instrument func([]*client.Node)) (*Result, error) {
 	if instrument != nil {
 		instrument(nodes)
 	}
+	if ctx != nil && ctx.Done() != nil {
+		eng.SetStop(func() bool { return ctx.Err() != nil })
+	}
 	eng.RunUntilIdle()
 	res := collect(cfg, eng, nodes, loads, srvs)
 	res.NetDrops = fab.Dropped()
+	if ctx != nil && eng.Stopped() {
+		return res, ctx.Err()
+	}
 	return res, nil
 }
 
@@ -504,11 +521,17 @@ func collect(cfg Config, eng *sim.Engine, nodes []*client.Node, loads []*workloa
 // for understanding a configuration's interrupt routing decisions
 // (cmd/saisim -trace).
 func RunTraced(cfg Config, traceCap int) (*Result, *trace.Ring, error) {
+	return RunTracedContext(context.Background(), cfg, traceCap)
+}
+
+// RunTracedContext is RunTraced with RunContext's cancellation
+// semantics.
+func RunTracedContext(ctx context.Context, cfg Config, traceCap int) (*Result, *trace.Ring, error) {
 	if traceCap <= 0 {
 		traceCap = 64
 	}
 	ring := trace.NewRing(traceCap)
-	res, err := run(cfg, func(nodes []*client.Node) {
+	res, err := run(ctx, cfg, func(nodes []*client.Node) {
 		nodes[0].SetTracer(ring)
 	})
 	return res, ring, err

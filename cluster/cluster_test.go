@@ -1,7 +1,10 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"sais/internal/analytic"
@@ -887,5 +890,74 @@ func TestNetDropsReported(t *testing.T) {
 	}
 	if res.NetDrops == 0 {
 		t.Error("fabric drops not surfaced in the result")
+	}
+}
+
+func TestRunContextCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, quickCfg())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled run returned no partial result")
+	}
+	if res.Duration != 0 {
+		t.Errorf("pre-cancelled run simulated %v, want 0", res.Duration)
+	}
+}
+
+// pollLimitCtx cancels itself after its Err method has been polled a
+// fixed number of times — a deterministic stand-in for a user hitting
+// Ctrl-C mid-simulation.
+type pollLimitCtx struct {
+	context.Context
+	mu   sync.Mutex
+	left int
+}
+
+func (c *pollLimitCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.left <= 0 {
+		return context.Canceled
+	}
+	c.left--
+	return nil
+}
+
+func TestRunContextCancelledMidRun(t *testing.T) {
+	full, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctx := &pollLimitCtx{Context: parent, left: 8}
+	res, err := RunContext(ctx, quickCfg())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("interrupted run returned no partial result")
+	}
+	if res.Duration <= 0 || res.Duration >= full.Duration {
+		t.Errorf("interrupted run simulated %v; want strictly inside (0, %v)", res.Duration, full.Duration)
+	}
+}
+
+func TestRunContextCompleteRunMatchesRun(t *testing.T) {
+	plain, err := Run(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := RunContext(context.Background(), quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Duration != withCtx.Duration || plain.Bandwidth != withCtx.Bandwidth ||
+		plain.LineAccesses != withCtx.LineAccesses || plain.UnhaltedCycles != withCtx.UnhaltedCycles {
+		t.Errorf("context plumbing changed the simulation: %+v vs %+v", plain, withCtx)
 	}
 }

@@ -4,17 +4,26 @@
 //
 // Usage:
 //
-//	experiments            # run everything, in paper order
-//	experiments -fig 5     # one figure ("5", "figure5", "5-1g", "12", ...)
-//	experiments -list      # list experiment ids
-//	experiments -seeds 5   # more repetitions per cell
+//	experiments              # run everything, in paper order
+//	experiments -fig 5       # one figure ("5", "figure5", "5-1g", "12", ...)
+//	experiments -list        # list experiment ids
+//	experiments -seeds 5     # more repetitions per cell
+//	experiments -parallel 8  # run up to 8 cells concurrently per figure
+//	experiments -timeout 2m  # bound the whole regeneration
+//
+// Ctrl-C (SIGINT) cancels in-flight simulations promptly and the
+// figures completed (or partially completed) so far are still printed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"sais/experiments"
@@ -22,15 +31,24 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "run a single figure by id or number")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		seeds = flag.Int("seeds", 0, "override repetitions per cell (default: per-experiment, ≥3)")
-		plot  = flag.Bool("plot", false, "render each figure as an ASCII bar chart too")
-		csv   = flag.Bool("csv", false, "emit CSV rows instead of tables")
-		html  = flag.String("html", "", "also write a self-contained HTML report to this file")
-		par   = flag.Int("parallel", 1, "run up to N cells of each experiment concurrently")
+		fig     = flag.String("fig", "", "run a single figure by id or number")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		seeds   = flag.Int("seeds", 0, "override repetitions per cell (default: per-experiment, ≥3)")
+		plot    = flag.Bool("plot", false, "render each figure as an ASCII bar chart too")
+		csv     = flag.Bool("csv", false, "emit CSV rows instead of tables")
+		html    = flag.String("html", "", "also write a self-contained HTML report to this file")
+		par     = flag.Int("parallel", 1, "run up to N cells of each experiment concurrently")
+		timeout = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
 	flag.Parse()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *timeout > 0 {
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeout(ctx, *timeout)
+		defer cancelTimeout()
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -58,32 +76,36 @@ func main() {
 	}
 
 	var reports []*experiments.Report
+	interrupted := false
 	for _, e := range toRun {
 		if *seeds > 0 {
 			e.Seeds = *seeds
 		}
 		e.Parallel = *par
 		start := time.Now()
-		rep, err := e.Run()
+		rep, err := e.RunContext(ctx)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
-		}
-		reports = append(reports, rep)
-		if *csv {
-			fmt.Print(rep.CSV())
-			continue
-		}
-		fmt.Println(rep.Table())
-		if *plot {
-			chart, err := rep.Chart()
-			if err != nil {
+			if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
 				os.Exit(1)
 			}
-			fmt.Println(chart)
+			// Graceful shutdown: keep whatever cells finished before the
+			// signal or deadline, print them, and stop scheduling figures.
+			interrupted = true
+			if rep != nil && len(rep.Cells) > 0 {
+				reports = append(reports, rep)
+				render(rep, *csv, *plot)
+				fmt.Printf("(%s interrupted after %v with %d/%d cells)\n\n",
+					e.ID, time.Since(start).Round(time.Millisecond), len(rep.Cells), len(e.Cells))
+			}
+			fmt.Fprintln(os.Stderr, "experiments: run cancelled:", err)
+			break
 		}
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		reports = append(reports, rep)
+		render(rep, *csv, *plot)
+		if !*csv {
+			fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
 	}
 	if *html != "" {
 		f, err := os.Create(*html)
@@ -97,5 +119,25 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("HTML report written to %s\n", *html)
+	}
+	if interrupted {
+		os.Exit(1)
+	}
+}
+
+// render prints one report in the selected format.
+func render(rep *experiments.Report, csv, plot bool) {
+	if csv {
+		fmt.Print(rep.CSV())
+		return
+	}
+	fmt.Println(rep.Table())
+	if plot {
+		chart, err := rep.Chart()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Println(chart)
 	}
 }

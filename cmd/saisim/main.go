@@ -7,14 +7,22 @@
 //
 //	saisim -policy sais -servers 48 -transfer 1MiB -nic 3
 //	saisim -policy irqbalance -servers 16 -procs 4 -trace
+//	saisim -timeout 30s -clients 32 -servers 48
+//
+// Ctrl-C (SIGINT) or an expired -timeout stops the simulation at
+// event-loop granularity; the metrics accumulated up to that point are
+// still printed, marked as partial.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"sais/cluster"
 	"sais/internal/irqsched"
@@ -39,8 +47,17 @@ func main() {
 		asJSON     = flag.Bool("json", false, "emit the result as JSON")
 		configPath = flag.String("config", "", "load the cluster configuration from a JSON file (flags below still override)")
 		saveConfig = flag.String("save-config", "", "write the effective configuration to a JSON file")
+		timeout    = flag.Duration("timeout", 0, "abort the simulation after this long of wall-clock time (0 = no limit)")
 	)
 	flag.Parse()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *timeout > 0 {
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeout(ctx, *timeout)
+		defer cancelTimeout()
+	}
 
 	policy, err := irqsched.ParsePolicy(*policyName)
 	if err != nil {
@@ -81,18 +98,29 @@ func main() {
 		}
 	}
 	if *traceN > 0 {
-		printTraced(cfg, *traceN)
+		printTraced(ctx, cfg, *traceN)
 		return
 	}
-	res, err := cluster.Run(cfg)
+	res, err := cluster.RunContext(ctx, cfg)
+	partial := false
 	if err != nil {
-		fatal(err)
+		if res == nil {
+			fatal(err)
+		}
+		// Interrupted mid-run: report what the simulator measured up to
+		// the stopping point, and exit non-zero below.
+		partial = true
+		fmt.Fprintf(os.Stderr, "saisim: run interrupted (%v); printing partial metrics at simulated t=%v\n",
+			err, res.Duration)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(res); err != nil {
 			fatal(err)
+		}
+		if partial {
+			os.Exit(1)
 		}
 		return
 	}
@@ -121,12 +149,15 @@ func main() {
 			fmt.Printf("  %-10s %v\n", k, res.BusyByCategory[k])
 		}
 	}
+	if partial {
+		os.Exit(1)
+	}
 }
 
 // printTraced runs a single-client configuration with an event trace
 // attached and prints the last N records.
-func printTraced(cfg cluster.Config, n int) {
-	res, ring, err := cluster.RunTraced(cfg, n)
+func printTraced(ctx context.Context, cfg cluster.Config, n int) {
+	res, ring, err := cluster.RunTracedContext(ctx, cfg, n)
 	if err != nil {
 		fatal(err)
 	}

@@ -6,15 +6,25 @@
 // Examples:
 //
 //	saisweep servers=8,16,32,48 policy=irqbalance,sais
-//	saisweep transfer=128KiB,1MiB nic=1,3 policy=sais
+//	saisweep -parallel 8 transfer=128KiB,1MiB nic=1,3 policy=sais
+//	saisweep -timeout 90s servers=8,16,32 policy=sais
 //	saisweep -list
+//
+// Points run on the shared run-orchestration engine: -parallel bounds
+// concurrency, -timeout bounds the whole sweep, and Ctrl-C (SIGINT)
+// stops in-flight simulations promptly while still printing every row
+// completed so far (rows stay in point order regardless of worker
+// count).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"sais/cluster"
 	"sais/internal/sweep"
@@ -23,8 +33,10 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list sweepable dimensions and exit")
-		bytes = flag.String("bytes", "16MiB", "per-process byte budget for every point")
+		list    = flag.Bool("list", false, "list sweepable dimensions and exit")
+		bytes   = flag.String("bytes", "16MiB", "per-process byte budget for every point")
+		par     = flag.Int("parallel", 1, "run up to N sweep points concurrently")
+		timeout = flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -60,13 +72,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "saisweep:", err)
 		os.Exit(1)
 	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if *timeout > 0 {
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeout(ctx, *timeout)
+		defer cancelTimeout()
+	}
+
+	rows, err := sweep.Rows(ctx, dims, points, *par)
 	fmt.Println(sweep.CSVHeader(dims))
-	for _, p := range points {
-		row, err := sweep.CSVRow(dims, p)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "saisweep:", err)
-			os.Exit(1)
+	done := 0
+	for _, row := range rows {
+		if row != "" { // unfinished slots of an interrupted sweep are empty
+			fmt.Println(row)
+			done++
 		}
-		fmt.Println(row)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saisweep: sweep stopped after %d/%d points: %v\n", done, len(points), err)
+		os.Exit(1)
 	}
 }

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"sais/cluster"
 	"sais/internal/irqsched"
 	"sais/internal/metrics"
+	"sais/internal/runner"
 	"sais/internal/textplot"
 	"sais/internal/units"
 )
@@ -77,7 +79,10 @@ type Experiment struct {
 	Seeds     int // runs per cell per policy; the paper averages ≥ 3
 	// Parallel runs up to this many cells concurrently (each cell's
 	// simulator is fully independent). 0/1 = sequential.
-	Parallel  int
+	Parallel int
+	// Progress, if non-nil, is called after each cell completes with
+	// the counts so far; calls are serialized even under Parallel.
+	Progress  func(done, total int)
 	PaperNote string
 }
 
@@ -104,6 +109,18 @@ type Report struct {
 
 // Run executes the experiment. Deterministic: seeds are 1..Seeds.
 func (e Experiment) Run() (*Report, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext executes the experiment under ctx. Cells run on the
+// shared internal/runner engine: up to Parallel cells concurrently
+// (each cell owns an independent simulator), results landing at fixed
+// indices so the report is byte-identical regardless of worker count.
+// The first cell error — or ctx being cancelled — stops in-flight
+// simulations promptly and skips every queued cell; in that case the
+// returned report still carries the cells completed so far, so
+// interrupted runs can print partial results alongside the error.
+func (e Experiment) RunContext(ctx context.Context) (*Report, error) {
 	if len(e.Cells) == 0 {
 		return nil, fmt.Errorf("experiments: %s has no cells", e.ID)
 	}
@@ -118,76 +135,63 @@ func (e Experiment) Run() (*Report, error) {
 		Baseline:  e.Baseline.String(),
 		Treatment: e.Treatment.String(),
 		PaperNote: e.PaperNote,
-		Cells:     make([]CellResult, len(e.Cells)),
 	}
-	runCell := func(i int) error {
-		cell := e.Cells[i]
-		cr := CellResult{Label: cell.Label}
-		for s := 0; s < seeds; s++ {
-			cfg := cell.Config
-			cfg.Seed = uint64(s + 1)
-			base, err := cluster.Run(cfg.WithPolicy(e.Baseline))
-			if err != nil {
-				return fmt.Errorf("%s/%s baseline: %w", e.ID, cell.Label, err)
-			}
-			treat, err := cluster.Run(cfg.WithPolicy(e.Treatment))
-			if err != nil {
-				return fmt.Errorf("%s/%s treatment: %w", e.ID, cell.Label, err)
-			}
-			cr.Baseline.Add(e.Metric.value(base))
-			cr.Treatment.Add(e.Metric.value(treat))
-		}
-		if e.Metric.HigherIsBetter() {
-			cr.Change = metrics.Speedup(cr.Treatment.Mean(), cr.Baseline.Mean())
-		} else {
-			cr.Change = metrics.Reduction(cr.Treatment.Mean(), cr.Baseline.Mean())
-		}
-		rep.Cells[i] = cr
-		return nil
-	}
-
-	workers := e.Parallel
-	if workers < 1 {
-		workers = 1
-	}
-	if workers == 1 {
-		for i := range e.Cells {
-			if err := runCell(i); err != nil {
-				return nil, err
+	cells, err := runner.Map(ctx, len(e.Cells),
+		runner.Options{Workers: e.Parallel, OnProgress: e.Progress},
+		func(ctx context.Context, i int) (CellResult, error) {
+			return e.runCell(ctx, i, seeds)
+		})
+	if err != nil {
+		// Keep only the completed cells (in order) so an interrupted
+		// experiment still renders a meaningful partial table.
+		for _, c := range cells {
+			if c.Label != "" {
+				rep.Cells = append(rep.Cells, c)
 			}
 		}
-		return rep, nil
+		return rep, err
 	}
-	// Each cell owns an independent simulator, so cells parallelize
-	// trivially; results land at fixed indices, keeping output order
-	// deterministic regardless of completion order.
-	type job struct{ i int }
-	jobs := make(chan job)
-	errs := make(chan error, len(e.Cells))
-	for w := 0; w < workers; w++ {
-		go func() {
-			for j := range jobs {
-				errs <- runCell(j.i)
-			}
-		}()
-	}
-	for i := range e.Cells {
-		jobs <- job{i}
-	}
-	close(jobs)
-	for range e.Cells {
-		if err := <-errs; err != nil {
-			return nil, err
-		}
-	}
+	rep.Cells = cells
 	return rep, nil
 }
 
-// BestChange returns the largest improvement across cells and its
-// label — the "peak speed-up" the paper quotes per figure.
+// runCell measures one cell: Seeds seeded runs of baseline and
+// treatment, averaged.
+func (e Experiment) runCell(ctx context.Context, i, seeds int) (CellResult, error) {
+	cell := e.Cells[i]
+	cr := CellResult{Label: cell.Label}
+	for s := 0; s < seeds; s++ {
+		cfg := cell.Config
+		cfg.Seed = uint64(s + 1)
+		base, err := cluster.RunContext(ctx, cfg.WithPolicy(e.Baseline))
+		if err != nil {
+			return CellResult{}, fmt.Errorf("%s/%s baseline: %w", e.ID, cell.Label, err)
+		}
+		treat, err := cluster.RunContext(ctx, cfg.WithPolicy(e.Treatment))
+		if err != nil {
+			return CellResult{}, fmt.Errorf("%s/%s treatment: %w", e.ID, cell.Label, err)
+		}
+		cr.Baseline.Add(e.Metric.value(base))
+		cr.Treatment.Add(e.Metric.value(treat))
+	}
+	if e.Metric.HigherIsBetter() {
+		cr.Change = metrics.Speedup(cr.Treatment.Mean(), cr.Baseline.Mean())
+	} else {
+		cr.Change = metrics.Reduction(cr.Treatment.Mean(), cr.Baseline.Mean())
+	}
+	return cr, nil
+}
+
+// BestChange returns the best change across cells and its label — the
+// "peak speed-up" the paper quotes per figure. When every cell
+// regresses it returns the least-bad cell (still with its label), so
+// the reported peak always names a real cell.
 func (r *Report) BestChange() (float64, string) {
-	best, label := 0.0, ""
-	for _, c := range r.Cells {
+	if len(r.Cells) == 0 {
+		return 0, ""
+	}
+	best, label := r.Cells[0].Change, r.Cells[0].Label
+	for _, c := range r.Cells[1:] {
 		if c.Change > best {
 			best, label = c.Change, c.Label
 		}

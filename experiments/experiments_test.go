@@ -1,9 +1,14 @@
 package experiments
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
+	"sais/cluster"
+	"sais/internal/irqsched"
 	"sais/internal/units"
 )
 
@@ -321,5 +326,101 @@ func TestParallelMatchesSequential(t *testing.T) {
 			seq.Cells[i].Treatment.Mean() != par.Cells[i].Treatment.Mean() {
 			t.Errorf("cell %d differs: %+v vs %+v", i, seq.Cells[i], par.Cells[i])
 		}
+	}
+}
+
+// tinyExperiment is a fast synthetic experiment for orchestration
+// tests: `cells` small independent cells over the default policies.
+func tinyExperiment(cells int) Experiment {
+	var cs []Cell
+	for i := 0; i < cells; i++ {
+		cfg := cluster.DefaultConfig()
+		cfg.Servers = 4 + 2*i
+		cfg.BytesPerProc = 4 * units.MiB
+		cs = append(cs, Cell{Label: fmt.Sprintf("cell-%d", i), Config: cfg})
+	}
+	return Experiment{
+		ID:        "tiny",
+		Title:     "orchestration test experiment",
+		Metric:    MetricBandwidth,
+		Baseline:  irqsched.PolicyIrqbalance,
+		Treatment: irqsched.PolicySourceAware,
+		Cells:     cs,
+		Seeds:     2,
+	}
+}
+
+func TestBestChangeAllRegress(t *testing.T) {
+	rep := &Report{Cells: []CellResult{
+		{Label: "a", Change: -0.30},
+		{Label: "b", Change: -0.05},
+		{Label: "c", Change: -0.12},
+	}}
+	best, label := rep.BestChange()
+	if label != "b" || best != -0.05 {
+		t.Errorf("BestChange = (%v, %q), want the least-bad cell (-0.05, \"b\")", best, label)
+	}
+	if _, label := (&Report{}).BestChange(); label != "" {
+		t.Errorf("empty report returned label %q", label)
+	}
+}
+
+// TestFirstCellErrorCancelsRest pins the orchestration error path: the
+// first failing cell must stop the experiment — later queued cells are
+// never executed (counted via Progress) and the report carries only
+// the cells that completed before the failure.
+func TestFirstCellErrorCancelsRest(t *testing.T) {
+	e := tinyExperiment(6)
+	e.Seeds = 1
+	e.Cells[2].Config.Servers = 0 // fails Config.Validate immediately
+	var executed int
+	e.Progress = func(done, total int) { executed = done }
+	rep, err := e.RunContext(context.Background())
+	if err == nil {
+		t.Fatal("experiment with an invalid cell succeeded")
+	}
+	if !strings.Contains(err.Error(), "cell-2") {
+		t.Errorf("error %q does not name the failing cell", err)
+	}
+	if executed != 2 {
+		t.Errorf("executed %d cells after the failure at index 2, want exactly 2", executed)
+	}
+	if len(rep.Cells) != 2 || rep.Cells[0].Label != "cell-0" || rep.Cells[1].Label != "cell-1" {
+		t.Errorf("partial report cells = %+v, want the two completed cells", rep.Cells)
+	}
+}
+
+// TestParallelCSVByteIdentical is the determinism property the runner
+// guarantees: the same experiment rendered from a serial and a
+// many-worker run must be byte-identical.
+func TestParallelCSVByteIdentical(t *testing.T) {
+	e := tinyExperiment(5)
+	serial, err := e.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Parallel = 8
+	parallel, err := e.RunContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial.CSV(), parallel.CSV(); s != p {
+		t.Errorf("Parallel=8 CSV differs from serial:\n%s\nvs\n%s", p, s)
+	}
+	if s, p := serial.Table(), parallel.Table(); s != p {
+		t.Errorf("Parallel=8 table differs from serial:\n%s\nvs\n%s", p, s)
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e := tinyExperiment(3)
+	rep, err := e.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep == nil || len(rep.Cells) != 0 {
+		t.Errorf("pre-cancelled run reported cells: %+v", rep)
 	}
 }

@@ -44,14 +44,23 @@ func (t *Timer) Cancel() bool {
 // Pending reports whether the event has neither fired nor been cancelled.
 func (t *Timer) Pending() bool { return t != nil && t.it != nil && !t.it.dead }
 
+// stopPollInterval is how many events Run executes between polls of
+// the stop condition. Polling per event would put a closure call (for
+// context cancellation, an atomic load behind a mutexed Err) on the
+// hot path; 64 events keeps the overhead unmeasurable while still
+// bounding cancellation latency to a sliver of simulated work.
+const stopPollInterval = 64
+
 // Engine is the event queue and clock. The zero value is not usable;
 // call NewEngine.
 type Engine struct {
-	now    units.Time
-	seq    uint64
-	heap   []*item
-	fired  uint64
-	halted bool
+	now     units.Time
+	seq     uint64
+	heap    []*item
+	fired   uint64
+	halted  bool
+	stop    func() bool
+	stopped bool
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -101,6 +110,21 @@ func (e *Engine) Immediately(fn Event) *Timer { return e.At(e.now, fn) }
 // Halt stops the run loop after the currently executing event returns.
 func (e *Engine) Halt() { e.halted = true }
 
+// SetStop installs a stop condition polled by Run at event-loop
+// granularity (once on entry, then every stopPollInterval events).
+// When cond returns true the loop returns early and Stopped reports
+// true. The canonical use is context cancellation:
+//
+//	eng.SetStop(func() bool { return ctx.Err() != nil })
+//
+// A nil cond removes the condition.
+func (e *Engine) SetStop(cond func() bool) { e.stop = cond }
+
+// Stopped reports whether the most recent Run returned because the
+// stop condition fired (as opposed to draining the queue, hitting the
+// deadline, or Halt).
+func (e *Engine) Stopped() bool { return e.stopped }
+
 // Step pops and executes the single earliest pending event. It reports
 // whether an event was executed (false means the queue was empty).
 func (e *Engine) Step() bool {
@@ -123,12 +147,22 @@ func (e *Engine) Step() bool {
 	return false
 }
 
-// Run executes events until the queue is empty, Halt is called, or the
-// clock passes deadline (units.Forever for no deadline). It returns the
-// time at which the loop stopped.
+// Run executes events until the queue is empty, Halt is called, the
+// stop condition installed by SetStop fires, or the clock passes
+// deadline (units.Forever for no deadline). It returns the time at
+// which the loop stopped.
 func (e *Engine) Run(deadline units.Time) units.Time {
 	e.halted = false
+	e.stopped = false
+	sincePoll := 0
 	for !e.halted {
+		if e.stop != nil && sincePoll == 0 && e.stop() {
+			e.stopped = true
+			return e.now
+		}
+		if sincePoll++; sincePoll == stopPollInterval {
+			sincePoll = 0
+		}
 		if len(e.heap) == 0 {
 			return e.now
 		}

@@ -249,3 +249,68 @@ func BenchmarkEngine10kEvents(b *testing.B) {
 		e.RunUntilIdle()
 	}
 }
+
+func TestStopConditionEndsRun(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	var chain func(now units.Time)
+	chain = func(now units.Time) {
+		fired++
+		e.After(1, chain)
+	}
+	e.At(0, chain)
+	stop := false
+	e.SetStop(func() bool { return stop })
+
+	e.Run(units.Time(10))
+	if e.Stopped() {
+		t.Fatal("Stopped() true before the condition fired")
+	}
+	stop = true
+	e.Run(units.Forever)
+	if !e.Stopped() {
+		t.Fatal("Stopped() false after the condition fired")
+	}
+	// The self-rescheduling chain never drains, so only the stop
+	// condition can have ended the second Run; it is polled on entry,
+	// then every stopPollInterval events.
+	if got := e.Fired(); got > uint64(fired) {
+		t.Errorf("Fired = %d after stop, events observed %d", got, fired)
+	}
+}
+
+func TestStopConditionPolledAtInterval(t *testing.T) {
+	e := NewEngine()
+	var fired int
+	var chain func(now units.Time)
+	chain = func(now units.Time) {
+		fired++
+		e.After(1, chain)
+	}
+	e.At(0, chain)
+	// Arm the condition to fire once some events have run: the loop
+	// must notice within one poll interval, not run forever.
+	e.SetStop(func() bool { return fired >= 10 })
+	e.Run(units.Forever)
+	if !e.Stopped() {
+		t.Fatal("run loop did not stop")
+	}
+	if fired < 10 || fired > 10+stopPollInterval {
+		t.Errorf("fired = %d events; want within one poll interval past 10", fired)
+	}
+}
+
+func TestStopConditionClearedRunsToDeadline(t *testing.T) {
+	e := NewEngine()
+	e.SetStop(func() bool { return true })
+	e.At(5, func(units.Time) {})
+	e.Run(units.Forever)
+	if !e.Stopped() || e.Fired() != 0 {
+		t.Fatalf("armed stop: stopped=%v fired=%d, want immediate stop", e.Stopped(), e.Fired())
+	}
+	e.SetStop(nil)
+	e.RunUntilIdle()
+	if e.Stopped() || e.Fired() != 1 {
+		t.Errorf("cleared stop: stopped=%v fired=%d, want normal drain", e.Stopped(), e.Fired())
+	}
+}

@@ -8,6 +8,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -15,6 +16,7 @@ import (
 
 	"sais/cluster"
 	"sais/internal/irqsched"
+	"sais/internal/runner"
 	"sais/internal/units"
 )
 
@@ -200,9 +202,27 @@ func CSVHeader(dims []Dim) string {
 		"migrated_lines", "nic_busy", "disk_busy"), ",")
 }
 
+// Rows runs every point — up to parallel at once on the shared
+// internal/runner engine — and returns one CSV row per point, in point
+// order regardless of completion order. The first point error or a
+// cancelled ctx stops in-flight runs promptly and skips queued points;
+// the returned slice then still holds every row completed so far
+// (unfinished slots are empty strings), so interrupted sweeps can
+// print partial results.
+func Rows(ctx context.Context, dims []Dim, points []Point, parallel int) ([]string, error) {
+	return runner.Map(ctx, len(points), runner.Options{Workers: parallel},
+		func(ctx context.Context, i int) (string, error) {
+			return csvRow(ctx, dims, points[i])
+		})
+}
+
 // CSVRow runs one point and formats its result row.
 func CSVRow(dims []Dim, p Point) (string, error) {
-	res, err := cluster.Run(p.Config)
+	return csvRow(context.Background(), dims, p)
+}
+
+func csvRow(ctx context.Context, dims []Dim, p Point) (string, error) {
+	res, err := cluster.RunContext(ctx, p.Config)
 	if err != nil {
 		return "", err
 	}

@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -137,5 +139,65 @@ func TestProductNoDims(t *testing.T) {
 	points, err := Product(cluster.DefaultConfig(), nil)
 	if err != nil || len(points) != 1 {
 		t.Errorf("empty product = %d points, %v", len(points), err)
+	}
+}
+
+// smallPoints builds a fast 2×2 product for orchestration tests.
+func smallPoints(t *testing.T) ([]Dim, []Point) {
+	t.Helper()
+	base := cluster.DefaultConfig()
+	base.BytesPerProc = 4 * units.MiB
+	dims := []Dim{
+		{Name: "servers", Values: []string{"4", "8"}},
+		{Name: "policy", Values: []string{"irqbalance", "sais"}},
+	}
+	points, err := Product(base, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dims, points
+}
+
+func TestRowsParallelMatchesSerial(t *testing.T) {
+	dims, points := smallPoints(t)
+	serial, err := Rows(context.Background(), dims, points, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(points) {
+		t.Fatalf("rows = %d, want %d", len(serial), len(points))
+	}
+	for i, row := range serial {
+		want, err := CSVRow(dims, points[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row != want {
+			t.Errorf("row %d = %q, want the serial CSVRow %q", i, row, want)
+		}
+	}
+	parallel, err := Rows(context.Background(), dims, points, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if parallel[i] != serial[i] {
+			t.Errorf("parallel row %d differs:\n%q\nvs\n%q", i, parallel[i], serial[i])
+		}
+	}
+}
+
+func TestRowsCancelled(t *testing.T) {
+	dims, points := smallPoints(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rows, err := Rows(ctx, dims, points, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, r := range rows {
+		if r != "" {
+			t.Errorf("row %d = %q after pre-cancelled context", i, r)
+		}
 	}
 }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-short bench experiments figures cover clean
+.PHONY: all build vet test race race-short bench experiments figures chaos cover clean
 
 all: build vet test race-short
 
@@ -20,9 +20,10 @@ race:
 	$(GO) test -race ./...
 
 # Short race pass of the orchestration-critical packages (the worker
-# pool and its heaviest consumer); cheap enough to run in `all`.
+# pool, the fault injector, and their heaviest consumer); cheap enough
+# to run in `all`.
 race-short:
-	$(GO) test -race ./internal/runner ./experiments
+	$(GO) test -race ./internal/runner ./internal/faults ./experiments
 
 # Record the canonical outputs the repository ships with.
 test-output:
@@ -40,6 +41,11 @@ experiments:
 
 figures:
 	$(GO) run ./cmd/experiments -plot
+
+# Degraded-mode studies: the scripted crash-and-recover scenario across
+# policies (see also `-degraded` for the loss-rate sweep).
+chaos:
+	$(GO) run ./cmd/experiments -chaos
 
 cover:
 	$(GO) test -cover ./...

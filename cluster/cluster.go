@@ -22,6 +22,7 @@ import (
 	"sais/internal/client"
 	"sais/internal/cpu"
 	"sais/internal/disk"
+	"sais/internal/faults"
 	"sais/internal/irqsched"
 	"sais/internal/metrics"
 	"sais/internal/netsim"
@@ -135,6 +136,16 @@ type Config struct {
 	RetryTimeout units.Time
 	MaxRetries   int
 
+	// Faults is the declarative fault plan applied to the run: link
+	// loss/corruption, per-server stall distributions, and a timeline
+	// of crashes, revivals, link degradation, and interrupt storms.
+	// The scalar knobs above (LossRate, CorruptRate, ServerStall*,
+	// CrashServer/CrashAt/ReviveAt) are legacy shorthands merged into
+	// this plan at run time; a run is driven by exactly one armed
+	// faults.Injector. Nil plus zero legacy knobs means a healthy
+	// cluster.
+	Faults *faults.Plan
+
 	Seed uint64
 }
 
@@ -210,7 +221,36 @@ func (c Config) Validate() error {
 	case c.BackgroundLoad < 0 || c.BackgroundLoad >= 1:
 		return fmt.Errorf("cluster: background load %v outside [0,1)", c.BackgroundLoad)
 	}
-	return nil
+	return c.faultPlan().Validate(c.Servers, c.Clients)
+}
+
+// faultPlan merges the legacy scalar fault knobs into the declarative
+// plan, yielding the single specification the injector arms. Explicit
+// plan values win over the scalars; the legacy crash triple becomes a
+// crash/revive timeline pair, exactly as the old wiring behaved.
+func (c Config) faultPlan() *faults.Plan {
+	p := c.Faults.Clone()
+	if p == nil {
+		p = &faults.Plan{}
+	}
+	if c.LossRate > 0 && p.Loss == 0 {
+		p.Loss = c.LossRate
+	}
+	if c.CorruptRate > 0 && p.Corrupt == 0 {
+		p.Corrupt = c.CorruptRate
+	}
+	if c.ServerStall > 0 && c.ServerStallRate > 0 {
+		p.Stalls = append(p.Stalls, faults.Stall{
+			Server: -1, Rate: c.ServerStallRate, Mean: c.ServerStall,
+		})
+	}
+	if c.CrashServer >= 0 && c.ReviveAt > c.CrashAt {
+		p.Timeline = append(p.Timeline,
+			faults.TimelineEvent{At: c.CrashAt, Kind: faults.KindCrash, Server: c.CrashServer},
+			faults.TimelineEvent{At: c.ReviveAt, Kind: faults.KindRevive, Server: c.CrashServer},
+		)
+	}
+	return p
 }
 
 // Result is the roll-up of one run.
@@ -248,11 +288,19 @@ type Result struct {
 	FailedTransfers uint64
 
 	// Read-transfer latency percentiles across all clients (zero for
-	// write workloads), and the write-path equivalents.
+	// write workloads), and the write-path equivalents. Abandoned
+	// operations contribute their time-to-failure, so injected loss
+	// cannot silently improve the distribution.
+	LatencyMean     units.Time
 	LatencyP50      units.Time
 	LatencyP99      units.Time
 	WriteLatencyP50 units.Time
 	WriteLatencyP99 units.Time
+
+	// Faults is the degraded-mode rollup: what the fault injector did
+	// to the run and what the recovery paths did about it. All zero
+	// for a healthy cluster.
+	Faults FaultReport
 
 	// ServerBytes is the payload each I/O server returned — striping
 	// balance means these should be near-equal for aligned workloads.
@@ -264,6 +312,44 @@ type Result struct {
 	ClientNICBusy float64 // mean client NIC ingress busy fraction
 	DiskBusy      float64 // mean server disk busy fraction
 	ServerCPUBusy float64 // mean server CPU busy fraction
+}
+
+// FaultReport is the Result section accounting for injected faults and
+// the recovery they triggered.
+type FaultReport struct {
+	// Wire damage: frames dropped in the fabric (loss injection or
+	// unroutable), frames whose headers were corrupted in flight, and
+	// corrupted frames rejected by client IPv4 validation.
+	FramesDropped   uint64
+	FramesCorrupted uint64
+	HeaderDrops     uint64
+	// RingDrops are frames lost to full client rx rings — overload
+	// loss the retry path must also absorb.
+	RingDrops uint64
+	// Recovery-path activity: strips re-requested or re-sent by
+	// retries, and late duplicates discarded on arrival.
+	StripsRetried   uint64
+	DuplicateStrips uint64
+	// FailedOps counts transfers abandoned after MaxRetries; OpErrors
+	// carries the typed per-operation record of each one.
+	FailedOps uint64
+	OpErrors  []client.OpError
+	// Server-side injection: requests delayed by stall injection and
+	// crash/revive accounting. ServerDowntime is indexed by server;
+	// RecoveryTime is the run time remaining after the last revive —
+	// how long the cluster needed to finish once healthy again.
+	StallsInjected uint64
+	Crashes        int
+	ServerDowntime []units.Time
+	LastReviveAt   units.Time
+	RecoveryTime   units.Time
+	// StormFrames is the junk-frame count delivered by interrupt
+	// storms.
+	StormFrames uint64
+	// Goodput vs offered load: bytes the workload asked for vs bytes
+	// actually delivered to (or acknowledged for) the applications.
+	OfferedBytes units.Bytes
+	GoodputBytes units.Bytes
 }
 
 // Run executes one experiment and returns its metrics. Runs are
@@ -292,17 +378,6 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node)) (*Res
 	fab := netsim.NewFabric(eng, cfg.FabricLatency)
 	root := rng.New(cfg.Seed)
 
-	if cfg.LossRate > 0 {
-		lossRnd := root.Split("loss")
-		rate := cfg.LossRate
-		fab.SetLoss(func() bool { return lossRnd.Bool(rate) })
-	}
-	if cfg.CorruptRate > 0 {
-		corruptRnd := root.Split("corrupt")
-		rate := cfg.CorruptRate
-		fab.SetCorruption(func(*netsim.Frame) bool { return corruptRnd.Bool(rate) })
-	}
-
 	// File system: one layout over all servers, shared by every file.
 	servers := make([]netsim.NodeID, cfg.Servers)
 	for i := range servers {
@@ -319,21 +394,6 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node)) (*Res
 		scfg.EchoHints = true // harmless for baselines: their requests carry no hint
 		scfg.NIC.Fragment = cfg.FragmentWire
 		srvs[i] = pfs.NewServer(eng, fab, servers[i], scfg, root)
-		if i == cfg.CrashServer && cfg.ReviveAt > cfg.CrashAt {
-			srv := srvs[i]
-			eng.At(cfg.CrashAt, func(units.Time) { srv.SetDown(true) })
-			eng.At(cfg.ReviveAt, func(units.Time) { srv.SetDown(false) })
-		}
-		if cfg.ServerStall > 0 && cfg.ServerStallRate > 0 {
-			stallRnd := root.Split(fmt.Sprintf("stall%d", i))
-			stall, rate := cfg.ServerStall, cfg.ServerStallRate
-			srvs[i].SetStall(func() units.Time {
-				if stallRnd.Bool(rate) {
-					return stall
-				}
-				return 0
-			})
-		}
 	}
 
 	// Clients with their workloads. Background busywork (if configured)
@@ -402,6 +462,26 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node)) (*Res
 		w.Start(eng)
 	}
 
+	// Arm the fault plan against the assembled cluster. The storm node
+	// sits just past the last server in the id space, so it never
+	// collides with a real node. An empty plan arms to a no-op without
+	// drawing randomness, keeping healthy runs byte-identical.
+	clientIDs := make([]netsim.NodeID, cfg.Clients)
+	for i := range clientIDs {
+		clientIDs[i] = firstClientNode + netsim.NodeID(i)
+	}
+	inj, err := cfg.faultPlan().Arm(faults.Target{
+		Engine:    eng,
+		Fabric:    fab,
+		Servers:   srvs,
+		Clients:   clientIDs,
+		StormNode: firstServerNode + netsim.NodeID(cfg.Servers),
+		Rand:      root,
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	if cfg.BackgroundLoad > 0 {
 		const period = units.Millisecond
 		work := units.Time(float64(period) * cfg.BackgroundLoad)
@@ -427,8 +507,7 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node)) (*Res
 		eng.SetStop(func() bool { return ctx.Err() != nil })
 	}
 	eng.RunUntilIdle()
-	res := collect(cfg, eng, nodes, loads, srvs)
-	res.NetDrops = fab.Dropped()
+	res := collect(cfg, eng, fab, nodes, loads, srvs, inj)
 	if ctx != nil && eng.Stopped() {
 		return res, ctx.Err()
 	}
@@ -436,7 +515,8 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node)) (*Res
 }
 
 // collect assembles the Result from the finished simulation.
-func collect(cfg Config, eng *sim.Engine, nodes []*client.Node, loads []*workload.IOR, srvs []*pfs.Server) *Result {
+func collect(cfg Config, eng *sim.Engine, fab *netsim.Fabric, nodes []*client.Node,
+	loads []*workload.IOR, srvs []*pfs.Server, inj *faults.Injector) *Result {
 	res := &Result{
 		Policy:         cfg.Policy.String(),
 		Duration:       eng.Now(),
@@ -455,6 +535,9 @@ func collect(cfg Config, eng *sim.Engine, nodes []*client.Node, loads []*workloa
 		res.FailedTransfers += st.FailedTransfers
 		res.HeaderDrops += st.HeaderDrops
 		res.RingDrops += n.NIC().Stats().RingDrops
+		res.Faults.StripsRetried += st.StripsRetried
+		res.Faults.DuplicateStrips += st.DuplicateStrips
+		res.Faults.OpErrors = append(res.Faults.OpErrors, n.OpErrors()...)
 
 		agg := n.Caches().Aggregate()
 		res.LineAccesses += agg.Accesses
@@ -489,6 +572,11 @@ func collect(cfg Config, eng *sim.Engine, nodes []*client.Node, loads []*workloa
 		wlats = append(wlats, n.WriteLatencies()...)
 	}
 	if len(lats) > 0 {
+		var sum float64
+		for _, l := range lats {
+			sum += l
+		}
+		res.LatencyMean = units.Time(sum / float64(len(lats)))
 		res.LatencyP50 = units.Time(metrics.Percentile(lats, 50))
 		res.LatencyP99 = units.Time(metrics.Percentile(lats, 99))
 	}
@@ -498,7 +586,30 @@ func collect(cfg Config, eng *sim.Engine, nodes []*client.Node, loads []*workloa
 	}
 	for _, s := range srvs {
 		res.ServerBytes = append(res.ServerBytes, s.Stats().BytesSent+s.Stats().BytesWritten)
+		res.Faults.StallsInjected += s.Stats().Stalled
 	}
+
+	// Fault rollup: wire damage from the fabric, recovery activity from
+	// the clients (filled above), injection accounting from the armed
+	// injector, and goodput against the workloads' offered load.
+	res.NetDrops = fab.Dropped()
+	res.Faults.FramesDropped = fab.Dropped()
+	res.Faults.FramesCorrupted = fab.Corrupted()
+	res.Faults.HeaderDrops = res.HeaderDrops
+	res.Faults.RingDrops = res.RingDrops
+	res.Faults.FailedOps = res.FailedTransfers
+	ist := inj.Finish(eng.Now())
+	res.Faults.Crashes = ist.Crashes
+	res.Faults.ServerDowntime = ist.Downtime
+	res.Faults.LastReviveAt = ist.LastReviveAt
+	res.Faults.StormFrames = ist.StormFrames
+	if ist.LastReviveAt > 0 && res.Duration > ist.LastReviveAt {
+		res.Faults.RecoveryTime = res.Duration - ist.LastReviveAt
+	}
+	for _, w := range loads {
+		res.Faults.OfferedBytes += w.TotalBytes()
+	}
+	res.Faults.GoodputBytes = res.TotalBytes
 	if dur := float64(res.Duration); dur > 0 {
 		var nicBusy float64
 		for _, n := range nodes {

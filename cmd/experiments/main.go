@@ -10,6 +10,8 @@
 //	experiments -seeds 5     # more repetitions per cell
 //	experiments -parallel 8  # run up to 8 cells concurrently per figure
 //	experiments -timeout 2m  # bound the whole regeneration
+//	experiments -degraded    # latency vs frame loss per policy (faults)
+//	experiments -chaos       # crash-and-recover scenario per policy
 //
 // Ctrl-C (SIGINT) cancels in-flight simulations promptly and the
 // figures completed (or partially completed) so far are still printed.
@@ -27,6 +29,8 @@ import (
 	"time"
 
 	"sais/experiments"
+	"sais/internal/faults"
+	"sais/internal/units"
 )
 
 func main() {
@@ -39,6 +43,12 @@ func main() {
 		html    = flag.String("html", "", "also write a self-contained HTML report to this file")
 		par     = flag.Int("parallel", 1, "run up to N cells of each experiment concurrently")
 		timeout = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+
+		degraded  = flag.Bool("degraded", false, "run the degraded-mode sweep (latency vs loss per policy) and exit")
+		chaos     = flag.Bool("chaos", false, "run the crash-and-recover chaos scenario and exit")
+		faultPlan = flag.String("fault-plan", "", "with -chaos: load the scenario's fault plan from a JSON file")
+		loss      = flag.Float64("loss", 0, "with -degraded: run only this loss rate instead of the default grid")
+		crashAt   = flag.Duration("crash-at", 0, "with -chaos: override the crash time (revive stays 30ms later)")
 	)
 	flag.Parse()
 
@@ -53,6 +63,61 @@ func main() {
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		fmt.Printf("%-12s %s\n", "-degraded", experiments.Degraded().Title)
+		fmt.Printf("%-12s %s\n", "-chaos", experiments.CrashAndRecover().Title)
+		return
+	}
+
+	if *degraded {
+		sweep := experiments.Degraded()
+		if *seeds > 0 {
+			sweep.Seeds = *seeds
+		}
+		sweep.Parallel = *par
+		if *loss > 0 {
+			sweep.LossRates = []float64{*loss}
+		}
+		rep, err := sweep.RunContext(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(rep.CSV())
+		} else {
+			fmt.Println(rep.Table())
+		}
+		return
+	}
+	if *chaos {
+		sc := experiments.CrashAndRecover()
+		sc.Parallel = *par
+		if *faultPlan != "" {
+			plan, err := faults.LoadPlan(*faultPlan)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			sc.Plan = plan
+			sc.Title = fmt.Sprintf("Chaos: fault plan %s", *faultPlan)
+		} else if *crashAt > 0 {
+			at := units.Time(crashAt.Nanoseconds())
+			sc.Plan = &faults.Plan{Timeline: []faults.TimelineEvent{
+				{At: at, Kind: faults.KindCrash, Server: 0},
+				{At: at + 30*units.Millisecond, Kind: faults.KindRevive, Server: 0},
+			}}
+			sc.Title = fmt.Sprintf("Chaos: crash server 0 at %v, revive 30ms later", *crashAt)
+		}
+		rep, err := sc.RunContext(ctx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(rep.CSV())
+		} else {
+			fmt.Println(rep.Table())
 		}
 		return
 	}

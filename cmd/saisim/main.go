@@ -8,6 +8,9 @@
 //	saisim -policy sais -servers 48 -transfer 1MiB -nic 3
 //	saisim -policy irqbalance -servers 16 -procs 4 -trace
 //	saisim -timeout 30s -clients 32 -servers 48
+//	saisim -loss 0.01 -retry 20ms -max-retries 12
+//	saisim -crash 0 -crash-at 5ms -revive-at 35ms -retry 20ms -max-retries 12
+//	saisim -fault-plan chaos.json -retry 20ms -max-retries 12
 //
 // Ctrl-C (SIGINT) or an expired -timeout stops the simulation at
 // event-loop granularity; the metrics accumulated up to that point are
@@ -25,6 +28,7 @@ import (
 	"syscall"
 
 	"sais/cluster"
+	"sais/internal/faults"
 	"sais/internal/irqsched"
 	"sais/internal/units"
 )
@@ -48,6 +52,14 @@ func main() {
 		configPath = flag.String("config", "", "load the cluster configuration from a JSON file (flags below still override)")
 		saveConfig = flag.String("save-config", "", "write the effective configuration to a JSON file")
 		timeout    = flag.Duration("timeout", 0, "abort the simulation after this long of wall-clock time (0 = no limit)")
+
+		faultPlan  = flag.String("fault-plan", "", "load a fault plan (JSON, see internal/faults) and apply it to the run")
+		loss       = flag.Float64("loss", 0, "frame loss probability on the fabric [0,1); implies degraded mode")
+		crashSrv   = flag.Int("crash", 0, "server index to crash (with -crash-at/-revive-at)")
+		crashAt    = flag.Duration("crash-at", 0, "crash -crash server at this simulated time (0 = no crash)")
+		reviveAt   = flag.Duration("revive-at", 0, "revive the crashed server at this simulated time (0 = stays down)")
+		retry      = flag.Duration("retry", 0, "client retry timeout for lost transfers (0 = retries off)")
+		maxRetries = flag.Int("max-retries", 0, "retries per transfer before abandoning it")
 	)
 	flag.Parse()
 
@@ -91,6 +103,37 @@ func main() {
 	cfg.SharedFiles = *shared
 	cfg.MigrateDuringBlock = *migrate
 	cfg.Seed = *seed
+
+	if *faultPlan != "" {
+		plan, err := faults.LoadPlan(*faultPlan)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Faults = plan
+	}
+	if *loss > 0 {
+		if cfg.Faults == nil {
+			cfg.Faults = &faults.Plan{}
+		}
+		cfg.Faults.Loss = *loss
+	}
+	if *crashAt > 0 {
+		if cfg.Faults == nil {
+			cfg.Faults = &faults.Plan{}
+		}
+		cfg.Faults.Timeline = append(cfg.Faults.Timeline,
+			faults.TimelineEvent{At: units.Time(crashAt.Nanoseconds()), Kind: faults.KindCrash, Server: *crashSrv})
+		if *reviveAt > 0 {
+			cfg.Faults.Timeline = append(cfg.Faults.Timeline,
+				faults.TimelineEvent{At: units.Time(reviveAt.Nanoseconds()), Kind: faults.KindRevive, Server: *crashSrv})
+		}
+	}
+	if *retry > 0 {
+		cfg.RetryTimeout = units.Time(retry.Nanoseconds())
+	}
+	if *maxRetries > 0 {
+		cfg.MaxRetries = *maxRetries
+	}
 
 	if *saveConfig != "" {
 		if err := cluster.SaveConfig(*saveConfig, cfg); err != nil {
@@ -138,6 +181,19 @@ func main() {
 		res.Interrupts, res.HintedIRQs, res.RingDrops)
 	fmt.Printf("bottlenecks     client NIC %.0f%%, server disks %.0f%%, server CPUs %.0f%%\n",
 		res.ClientNICBusy*100, res.DiskBusy*100, res.ServerCPUBusy*100)
+	if f := res.Faults; f.FramesDropped+f.FramesCorrupted+f.RingDrops+f.StallsInjected+f.StormFrames > 0 || f.Crashes > 0 {
+		fmt.Printf("faults          dropped %d, corrupted %d, ring drops %d, stalls %d, storm frames %d\n",
+			f.FramesDropped, f.FramesCorrupted, f.RingDrops, f.StallsInjected, f.StormFrames)
+		fmt.Printf("recovery        strips retried %d, duplicates %d, failed ops %d, goodput %v/%v\n",
+			f.StripsRetried, f.DuplicateStrips, f.FailedOps, f.GoodputBytes, f.OfferedBytes)
+		if f.Crashes > 0 {
+			var down units.Time
+			for _, d := range f.ServerDowntime {
+				down += d
+			}
+			fmt.Printf("crashes         %d (downtime %v, recovery %v)\n", f.Crashes, down, f.RecoveryTime)
+		}
+	}
 	if *verbose {
 		fmt.Println("busy time by category:")
 		keys := make([]string, 0, len(res.BusyByCategory))

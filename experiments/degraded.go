@@ -1,0 +1,320 @@
+package experiments
+
+// Degraded-mode experiments: how each interrupt-scheduling policy
+// behaves when the cluster is unhealthy. These do not reproduce a paper
+// figure — the paper evaluates healthy clusters only — but they answer
+// the natural robustness question: does source-aware steering still pay
+// off when frames are being lost, and does it recover from a server
+// crash as cleanly as the baselines?
+//
+// Two shapes are provided. DegradedSweep measures read latency (mean
+// and P99) and goodput across a loss-rate × policy grid, with the
+// client retry machinery absorbing the loss. ChaosScenario runs a
+// scripted crash-and-recover timeline from a faults.Plan and reports
+// the downtime and recovery accounting per policy. Both are
+// deterministic functions of their configuration and seeds: rendering
+// a report twice from the same spec yields byte-identical text.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"sais/cluster"
+	"sais/internal/faults"
+	"sais/internal/irqsched"
+	"sais/internal/metrics"
+	"sais/internal/runner"
+	"sais/internal/units"
+)
+
+// DegradedPolicies is the policy set of the degraded-mode study: the
+// paper's two protagonists plus naive round-robin as a floor.
+var DegradedPolicies = []irqsched.PolicyKind{
+	irqsched.PolicySourceAware,
+	irqsched.PolicyIrqbalance,
+	irqsched.PolicyRoundRobin,
+}
+
+// DegradedLossRates is the frame-loss grid of the sweep.
+var DegradedLossRates = []float64{0, 0.001, 0.01, 0.05}
+
+// DegradedSweep is a loss-rate × policy latency study.
+type DegradedSweep struct {
+	Title     string
+	LossRates []float64
+	Policies  []irqsched.PolicyKind
+	// Config is the base cluster; loss rate, policy, and seed are
+	// overridden per cell. It must enable retries, or lossy cells
+	// cannot complete their transfers.
+	Config   cluster.Config
+	Seeds    int
+	Parallel int
+	Progress func(done, total int)
+}
+
+// DegradedCell is one (loss rate, policy) measurement, averaged over
+// the seeds.
+type DegradedCell struct {
+	LossRate float64
+	Policy   string
+	// LatencyMean and LatencyP99 are read-transfer latencies in
+	// milliseconds; abandoned transfers contribute their
+	// time-to-failure.
+	LatencyMean metrics.Summary
+	LatencyP99  metrics.Summary
+	// Bandwidth is goodput in MB/s.
+	Bandwidth metrics.Summary
+	// Goodput is delivered bytes over offered bytes, averaged.
+	Goodput metrics.Summary
+	// Totals across all seeded runs of the cell.
+	FailedOps     uint64
+	StripsRetried uint64
+	FramesDropped uint64
+}
+
+// DegradedReport is a completed sweep.
+type DegradedReport struct {
+	Title string
+	Cells []DegradedCell
+}
+
+// Degraded returns the default degraded-mode sweep: the §V testbed
+// scaled down for turnaround, 8 servers, retries on, loss from 0 to 5 %
+// across SAIs, irqbalance, and round-robin.
+func Degraded() DegradedSweep {
+	cfg := cluster.DefaultConfig()
+	cfg.Servers = 8
+	cfg.TransferSize = 256 * units.KiB
+	cfg.BytesPerProc = 2 * units.MiB
+	// The timeout sits above the healthy P99 so the 0% row shows no
+	// spurious retries; lossy rows still converge well within 12 tries.
+	cfg.RetryTimeout = 40 * units.Millisecond
+	cfg.MaxRetries = 12
+	return DegradedSweep{
+		Title:     "Degraded mode: read latency vs frame loss per policy",
+		LossRates: DegradedLossRates,
+		Policies:  DegradedPolicies,
+		Config:    cfg,
+		Seeds:     3,
+	}
+}
+
+// Run executes the sweep.
+func (d DegradedSweep) Run() (*DegradedReport, error) {
+	return d.RunContext(context.Background())
+}
+
+// RunContext executes the sweep under ctx. Cells run on the shared
+// runner engine, results landing at fixed indices, so the report is
+// identical regardless of worker count.
+func (d DegradedSweep) RunContext(ctx context.Context) (*DegradedReport, error) {
+	if len(d.LossRates) == 0 || len(d.Policies) == 0 {
+		return nil, fmt.Errorf("experiments: degraded sweep needs loss rates and policies")
+	}
+	seeds := d.Seeds
+	if seeds < 1 {
+		seeds = 3
+	}
+	n := len(d.LossRates) * len(d.Policies)
+	cells, err := runner.Map(ctx, n,
+		runner.Options{Workers: d.Parallel, OnProgress: d.Progress},
+		func(ctx context.Context, i int) (DegradedCell, error) {
+			loss := d.LossRates[i/len(d.Policies)]
+			pol := d.Policies[i%len(d.Policies)]
+			return d.runCell(ctx, loss, pol, seeds)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &DegradedReport{Title: d.Title, Cells: cells}, nil
+}
+
+// runCell measures one (loss, policy) cell over the seeds.
+func (d DegradedSweep) runCell(ctx context.Context, loss float64, pol irqsched.PolicyKind, seeds int) (DegradedCell, error) {
+	cell := DegradedCell{LossRate: loss, Policy: pol.String()}
+	for s := 0; s < seeds; s++ {
+		cfg := d.Config
+		cfg.Policy = pol
+		cfg.Seed = uint64(s + 1)
+		plan := cfg.Faults.Clone()
+		if plan == nil {
+			plan = &faults.Plan{}
+		}
+		plan.Loss = loss
+		cfg.Faults = plan
+		res, err := cluster.RunContext(ctx, cfg)
+		if err != nil {
+			return DegradedCell{}, fmt.Errorf("degraded loss=%g/%s: %w", loss, pol, err)
+		}
+		cell.LatencyMean.Add(float64(res.LatencyMean) / 1e6)
+		cell.LatencyP99.Add(float64(res.LatencyP99) / 1e6)
+		cell.Bandwidth.Add(float64(res.Bandwidth) / 1e6)
+		if res.Faults.OfferedBytes > 0 {
+			cell.Goodput.Add(float64(res.Faults.GoodputBytes) / float64(res.Faults.OfferedBytes))
+		}
+		cell.FailedOps += res.Faults.FailedOps
+		cell.StripsRetried += res.Faults.StripsRetried
+		cell.FramesDropped += res.Faults.FramesDropped
+	}
+	return cell, nil
+}
+
+// Table renders the sweep as a fixed-width text table, one row per
+// (loss, policy) cell.
+func (r *DegradedReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	fmt.Fprintf(&b, "%-8s %-12s %14s %14s %12s %9s %8s %9s\n",
+		"loss", "policy", "mean lat (ms)", "P99 lat (ms)", "MB/s", "goodput", "failed", "retried")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-8s %-12s %14.3f %14.3f %12.1f %8.1f%% %8d %9d\n",
+			fmt.Sprintf("%g%%", c.LossRate*100), c.Policy,
+			c.LatencyMean.Mean(), c.LatencyP99.Mean(), c.Bandwidth.Mean(),
+			c.Goodput.Mean()*100, c.FailedOps, c.StripsRetried)
+	}
+	return b.String()
+}
+
+// CSV renders the sweep as comma-separated rows with a header line.
+func (r *DegradedReport) CSV() string {
+	var b strings.Builder
+	b.WriteString("loss_rate,policy,latency_mean_ms,latency_p99_ms,bandwidth_mbps,goodput,failed_ops,strips_retried,frames_dropped\n")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%g,%s,%.6f,%.6f,%.6f,%.6f,%d,%d,%d\n",
+			c.LossRate, c.Policy, c.LatencyMean.Mean(), c.LatencyP99.Mean(),
+			c.Bandwidth.Mean(), c.Goodput.Mean(), c.FailedOps, c.StripsRetried, c.FramesDropped)
+	}
+	return b.String()
+}
+
+// ChaosScenario is a scripted crash-and-recover run compared across
+// policies: one faults.Plan timeline, identical seeds, one row of
+// recovery accounting per policy.
+type ChaosScenario struct {
+	Title    string
+	Plan     *faults.Plan
+	Policies []irqsched.PolicyKind
+	Config   cluster.Config
+	Seed     uint64
+	Parallel int
+}
+
+// ChaosRow is one policy's recovery accounting.
+type ChaosRow struct {
+	Policy        string
+	Duration      units.Time
+	Bandwidth     units.Rate
+	Downtime      units.Time // total injected server downtime
+	RecoveryTime  units.Time // run time past the last revive
+	StripsRetried uint64
+	FailedOps     uint64
+	Crashes       int
+}
+
+// ChaosReport is a completed scenario.
+type ChaosReport struct {
+	Title string
+	Rows  []ChaosRow
+}
+
+// CrashAndRecover returns the default chaos scenario: server 0 crashes
+// shortly into the run and revives 30 ms later; clients ride through on
+// retries. The plan also degrades the fabric 2× during the outage, the
+// way a real switch behaves while rerouting around a dead port.
+func CrashAndRecover() ChaosScenario {
+	cfg := cluster.DefaultConfig()
+	cfg.Servers = 8
+	cfg.TransferSize = 256 * units.KiB
+	cfg.BytesPerProc = 2 * units.MiB
+	cfg.RetryTimeout = 20 * units.Millisecond
+	cfg.MaxRetries = 12
+	crashAt := 5 * units.Millisecond
+	reviveAt := crashAt + 30*units.Millisecond
+	return ChaosScenario{
+		Title: "Chaos: crash server 0 at 5ms, revive at 35ms, degraded fabric during the outage",
+		Plan: &faults.Plan{
+			Timeline: []faults.TimelineEvent{
+				{At: crashAt, Kind: faults.KindCrash, Server: 0},
+				{At: crashAt, Kind: faults.KindDegradeLink, Factor: 2},
+				{At: reviveAt, Kind: faults.KindRevive, Server: 0},
+				{At: reviveAt, Kind: faults.KindDegradeLink, Factor: 1},
+			},
+		},
+		Policies: DegradedPolicies,
+		Config:   cfg,
+		Seed:     1,
+	}
+}
+
+// Run executes the scenario.
+func (c ChaosScenario) Run() (*ChaosReport, error) {
+	return c.RunContext(context.Background())
+}
+
+// RunContext executes the scenario under ctx, one run per policy.
+func (c ChaosScenario) RunContext(ctx context.Context) (*ChaosReport, error) {
+	if len(c.Policies) == 0 {
+		return nil, fmt.Errorf("experiments: chaos scenario needs policies")
+	}
+	rows, err := runner.Map(ctx, len(c.Policies),
+		runner.Options{Workers: c.Parallel},
+		func(ctx context.Context, i int) (ChaosRow, error) {
+			cfg := c.Config
+			cfg.Policy = c.Policies[i]
+			cfg.Faults = c.Plan.Clone()
+			cfg.Seed = c.Seed
+			if cfg.Seed == 0 {
+				cfg.Seed = 1
+			}
+			res, err := cluster.RunContext(ctx, cfg)
+			if err != nil {
+				return ChaosRow{}, fmt.Errorf("chaos/%s: %w", c.Policies[i], err)
+			}
+			var down units.Time
+			for _, d := range res.Faults.ServerDowntime {
+				down += d
+			}
+			return ChaosRow{
+				Policy:        res.Policy,
+				Duration:      res.Duration,
+				Bandwidth:     res.Bandwidth,
+				Downtime:      down,
+				RecoveryTime:  res.Faults.RecoveryTime,
+				StripsRetried: res.Faults.StripsRetried,
+				FailedOps:     res.Faults.FailedOps,
+				Crashes:       res.Faults.Crashes,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &ChaosReport{Title: c.Title, Rows: rows}, nil
+}
+
+// Table renders the scenario as a fixed-width text table.
+func (r *ChaosReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	fmt.Fprintf(&b, "%-12s %12s %10s %12s %12s %8s %7s\n",
+		"policy", "duration", "MB/s", "downtime", "recovery", "retried", "failed")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %12v %10.1f %12v %12v %8d %7d\n",
+			row.Policy, row.Duration, float64(row.Bandwidth)/1e6,
+			row.Downtime, row.RecoveryTime, row.StripsRetried, row.FailedOps)
+	}
+	return b.String()
+}
+
+// CSV renders the scenario as comma-separated rows with a header line.
+func (r *ChaosReport) CSV() string {
+	var b strings.Builder
+	b.WriteString("policy,duration_ns,bandwidth_mbps,downtime_ns,recovery_ns,strips_retried,failed_ops,crashes\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%s,%d,%.6f,%d,%d,%d,%d,%d\n",
+			row.Policy, int64(row.Duration), float64(row.Bandwidth)/1e6,
+			int64(row.Downtime), int64(row.RecoveryTime),
+			row.StripsRetried, row.FailedOps, row.Crashes)
+	}
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"sais/cluster"
+	"sais/internal/units"
+)
+
+// tinySweep is a reduced degraded sweep for unit tests: two loss rates,
+// the full policy set, one seed.
+func tinySweep() DegradedSweep {
+	d := Degraded()
+	d.LossRates = []float64{0, 0.05}
+	d.Seeds = 1
+	return d
+}
+
+func TestDegradedSweepShapeAndRecovery(t *testing.T) {
+	d := tinySweep()
+	rep, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(d.LossRates) * len(d.Policies); len(rep.Cells) != want {
+		t.Fatalf("cells = %d, want %d", len(rep.Cells), want)
+	}
+	for _, c := range rep.Cells {
+		if c.LossRate == 0 {
+			if c.StripsRetried != 0 || c.FramesDropped != 0 {
+				t.Errorf("%s at 0%% loss retried %d strips, dropped %d frames",
+					c.Policy, c.StripsRetried, c.FramesDropped)
+			}
+		} else {
+			if c.FramesDropped == 0 || c.StripsRetried == 0 {
+				t.Errorf("%s at %g%% loss shows no fault activity", c.Policy, c.LossRate*100)
+			}
+		}
+		// The acceptance bar: every policy completes at 5% loss with the
+		// retry budget — no unaccounted lost operations.
+		if c.FailedOps != 0 {
+			t.Errorf("%s at %g%% loss failed %d ops", c.Policy, c.LossRate*100, c.FailedOps)
+		}
+		if g := c.Goodput.Mean(); g != 1 {
+			t.Errorf("%s at %g%% loss goodput %.4f, want 1.0", c.Policy, c.LossRate*100, g)
+		}
+		if c.LatencyMean.Mean() <= 0 || c.LatencyP99.Mean() < c.LatencyMean.Mean() {
+			t.Errorf("%s latency books inconsistent: mean %.3f p99 %.3f",
+				c.Policy, c.LatencyMean.Mean(), c.LatencyP99.Mean())
+		}
+	}
+	// Loss degrades latency for every policy.
+	for i, pol := range d.Policies {
+		healthy := rep.Cells[i]
+		lossy := rep.Cells[len(d.Policies)+i]
+		if lossy.LatencyP99.Mean() <= healthy.LatencyP99.Mean() {
+			t.Errorf("%v: P99 %.3f at 5%% loss not above healthy %.3f",
+				pol, lossy.LatencyP99.Mean(), healthy.LatencyP99.Mean())
+		}
+	}
+	table := rep.Table()
+	for _, want := range []string{"sais", "irqbalance", "roundrobin", "0%", "5%", "goodput"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	csv := rep.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 1+len(rep.Cells) {
+		t.Errorf("csv lines = %d, want header + %d rows", len(lines), len(rep.Cells))
+	}
+	if !strings.HasPrefix(lines[0], "loss_rate,policy,") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+}
+
+// TestDegradedSweepParallelByteIdentical pins the sweep's determinism:
+// worker count must not change a byte of the rendered report.
+func TestDegradedSweepParallelByteIdentical(t *testing.T) {
+	d := tinySweep()
+	serial, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Parallel = 6
+	parallel, err := d.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial.CSV(), parallel.CSV(); s != p {
+		t.Errorf("parallel CSV differs from serial:\n%s\nvs\n%s", p, s)
+	}
+}
+
+// TestChaosScenarioByteIdentical is the experiment-level determinism
+// criterion: the crash-and-recover scenario rendered twice from the
+// same (plan, seed) must be byte-identical, table and CSV both.
+func TestChaosScenarioByteIdentical(t *testing.T) {
+	c := CrashAndRecover()
+	a, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Parallel = 3 // and worker count must not matter either
+	b, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x, y := a.CSV(), b.CSV(); x != y {
+		t.Errorf("chaos CSV diverged across identical runs:\n%s\nvs\n%s", x, y)
+	}
+	if x, y := a.Table(), b.Table(); x != y {
+		t.Errorf("chaos table diverged across identical runs:\n%s\nvs\n%s", x, y)
+	}
+}
+
+func TestChaosScenarioRecoveryAccounting(t *testing.T) {
+	rep, err := CrashAndRecover().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(DegradedPolicies) {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.Crashes != 1 {
+			t.Errorf("%s: crashes = %d, want 1", row.Policy, row.Crashes)
+		}
+		if want := 30 * units.Millisecond; row.Downtime != want {
+			t.Errorf("%s: downtime = %v, want %v", row.Policy, row.Downtime, want)
+		}
+		if row.RecoveryTime <= 0 {
+			t.Errorf("%s: no recovery time recorded", row.Policy)
+		}
+		if row.StripsRetried == 0 {
+			t.Errorf("%s: rode through a 30ms outage without retries", row.Policy)
+		}
+		if row.FailedOps != 0 {
+			t.Errorf("%s: %d ops failed despite the retry budget", row.Policy, row.FailedOps)
+		}
+	}
+}
+
+// TestDegradedSweepValidatesInput covers the error paths.
+func TestDegradedSweepValidatesInput(t *testing.T) {
+	d := DegradedSweep{Config: cluster.DefaultConfig()}
+	if _, err := d.Run(); err == nil {
+		t.Error("sweep without loss rates or policies ran")
+	}
+	bad := tinySweep()
+	bad.Config.Servers = 0
+	if _, err := bad.Run(); err == nil {
+		t.Error("invalid cell config accepted")
+	}
+}

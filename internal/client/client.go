@@ -191,10 +191,40 @@ type Stats struct {
 	MetadataTrips   uint64
 	Retries         uint64
 	FailedTransfers uint64
+	// StripsRetried counts the strips re-requested (reads) or re-sent
+	// (writes) by the timeout recovery path.
+	StripsRetried uint64
+	// DuplicateStrips counts late strips and write acks discarded
+	// because a retry had already delivered them.
+	DuplicateStrips uint64
 	// HeaderDrops counts frames rejected because their IPv4 header
 	// failed validation — the stack drops them before any protocol
 	// processing, exactly like wire loss.
 	HeaderDrops uint64
+}
+
+// OpError is the typed per-operation failure record of a transfer that
+// exhausted MaxRetries. Abandoned operations are not silent: each one
+// is surfaced through Node.OpErrors (and from there into the cluster
+// Result's fault rollup), and its elapsed time still lands in the
+// latency distribution.
+type OpError struct {
+	Write    bool
+	File     pfs.FileID
+	Tag      uint64
+	Retries  int
+	IssuedAt units.Time
+	FailedAt units.Time
+}
+
+// Error implements the error interface.
+func (e OpError) Error() string {
+	op := "read"
+	if e.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("client: %s of file %d (tag %d) abandoned after %d retries (%v in flight)",
+		op, e.File, e.Tag, e.Retries, e.FailedAt-e.IssuedAt)
 }
 
 // read tracks one in-flight transfer.
@@ -246,6 +276,16 @@ type pendingOpen struct {
 	done    sim.Event
 }
 
+// openState tracks the in-flight metadata request for one file, so a
+// lost layout request or reply is retried instead of parking the file's
+// operations forever.
+type openState struct {
+	tag      uint64
+	retries  int
+	issuedAt units.Time
+	timer    *sim.Timer
+}
+
 // Node is the client node instance.
 type Node struct {
 	cfg    Config
@@ -261,6 +301,7 @@ type Node struct {
 
 	layouts   map[pfs.FileID]pfs.Layout
 	opening   map[pfs.FileID][]pendingOpen
+	opens     map[pfs.FileID]*openState
 	openTags  map[uint64]pfs.FileID
 	reads     map[uint64]*read
 	writes    map[uint64]*writeOp
@@ -272,8 +313,11 @@ type Node struct {
 	stats  Stats
 	// latencies holds completed read-transfer latencies in nanoseconds,
 	// for percentile reporting; writeLatencies the same for writes.
+	// Abandoned operations contribute their time-to-failure so loss
+	// never silently improves the distribution.
 	latencies      []float64
 	writeLatencies []float64
+	opErrors       []OpError
 	tracer         *trace.Ring
 }
 
@@ -282,6 +326,10 @@ func (n *Node) Latencies() []float64 { return n.latencies }
 
 // WriteLatencies returns the completed write-transfer latencies (ns).
 func (n *Node) WriteLatencies() []float64 { return n.writeLatencies }
+
+// OpErrors returns the typed failure record of every transfer that
+// exhausted its retries.
+func (n *Node) OpErrors() []OpError { return n.opErrors }
 
 // SetTracer installs an optional event trace; nil disables tracing.
 func (n *Node) SetTracer(tr *trace.Ring) { n.tracer = tr }
@@ -322,6 +370,7 @@ func New(eng *sim.Engine, fab *netsim.Fabric, cfg Config) (*Node, error) {
 		rnd:      rng.New(cfg.Seed).Split(fmt.Sprintf("client%d", cfg.Node)),
 		layouts:  make(map[pfs.FileID]pfs.Layout),
 		opening:  make(map[pfs.FileID][]pendingOpen),
+		opens:    make(map[pfs.FileID]*openState),
 		openTags: make(map[uint64]pfs.FileID),
 		reads:    make(map[uint64]*read),
 		writes:   make(map[uint64]*writeOp),
@@ -470,10 +519,10 @@ func (n *Node) startOp(p *Proc, file pfs.FileID, offset, length units.Bytes, isW
 			n.nextTag++
 			tag := n.nextTag
 			n.openTags[tag] = file
-			n.stats.MetadataTrips++
-			n.nic.Send(n.cfg.MDS, pfs.LayoutRequestSize, netsim.AffHint{}, &pfs.LayoutRequest{
-				File: file, Tag: tag, Client: n.cfg.Node,
-			})
+			st := &openState{tag: tag, issuedAt: n.eng.Now()}
+			n.opens[file] = st
+			n.sendLayoutRequest(file, tag)
+			n.armOpenTimer(file, st)
 		}
 		return
 	}
@@ -482,6 +531,49 @@ func (n *Node) startOp(p *Proc, file pfs.FileID, offset, length units.Bytes, isW
 	} else {
 		n.issue(p, file, offset, length, done)
 	}
+}
+
+// sendLayoutRequest asks the MDS for file's layout.
+func (n *Node) sendLayoutRequest(file pfs.FileID, tag uint64) {
+	n.stats.MetadataTrips++
+	n.nic.Send(n.cfg.MDS, pfs.LayoutRequestSize, netsim.AffHint{}, &pfs.LayoutRequest{
+		File: file, Tag: tag, Client: n.cfg.Node,
+	})
+}
+
+// armOpenTimer schedules the metadata retry timeout, if enabled.
+func (n *Node) armOpenTimer(file pfs.FileID, st *openState) {
+	if n.cfg.RetryTimeout <= 0 {
+		return
+	}
+	st.timer = n.eng.After(n.cfg.RetryTimeout, func(units.Time) {
+		n.retryOpen(file, st)
+	})
+}
+
+// retryOpen re-sends a layout request whose reply never came; after
+// MaxRetries every operation parked on the file is abandoned with a
+// typed error, so a lost open never strands transfers silently.
+func (n *Node) retryOpen(file pfs.FileID, st *openState) {
+	if n.opens[file] != st {
+		return
+	}
+	if st.retries >= n.cfg.MaxRetries {
+		delete(n.opens, file)
+		delete(n.openTags, st.tag)
+		parked := n.opening[file]
+		delete(n.opening, file)
+		for _, po := range parked {
+			n.abandon(OpError{Write: po.isWrite, File: file, Tag: st.tag,
+				Retries: st.retries, IssuedAt: st.issuedAt, FailedAt: n.eng.Now()})
+		}
+		return
+	}
+	st.retries++
+	n.stats.Retries++
+	n.tracef("client", "open file=%d retry %d: no layout reply", file, st.retries)
+	n.sendLayoutRequest(file, st.tag)
+	n.armOpenTimer(file, st)
 }
 
 // issueWrite pushes a transfer's strips to their servers and waits for
@@ -542,13 +634,15 @@ func (n *Node) retryWrite(w *writeOp) {
 	}
 	if w.retries >= n.cfg.MaxRetries {
 		delete(n.writes, w.tag)
-		n.stats.FailedTransfers++
-		n.tracef("client", "write tag=%d abandoned after %d retries", w.tag, w.retries)
+		n.abandon(OpError{Write: true, File: w.file, Tag: w.tag, Retries: w.retries,
+			IssuedAt: w.issuedAt, FailedAt: n.eng.Now()})
 		return
 	}
 	w.retries++
 	n.stats.Retries++
-	n.sendWriteStrips(w, missingPlans(w.plans, w.acked))
+	missing := missingPlans(w.plans, w.acked)
+	n.countRetriedStrips(missing)
+	n.sendWriteStrips(w, missing)
 	n.armWriteTimer(w)
 }
 
@@ -613,20 +707,45 @@ func (n *Node) retryRead(rd *read) {
 	}
 	if rd.retries >= n.cfg.MaxRetries {
 		delete(n.reads, rd.tag)
-		n.stats.FailedTransfers++
 		// Free the strips that did arrive; nobody will consume them.
 		for _, b := range rd.blocks {
 			n.caches.Release(b.id)
 		}
-		n.tracef("client", "read tag=%d abandoned after %d retries", rd.tag, rd.retries)
+		n.abandon(OpError{File: rd.file, Tag: rd.tag, Retries: rd.retries,
+			IssuedAt: rd.issuedAt, FailedAt: n.eng.Now()})
 		return
 	}
 	rd.retries++
 	n.stats.Retries++
 	missing := missingPlans(rd.plans, rd.got)
+	n.countRetriedStrips(missing)
 	n.tracef("client", "read tag=%d retry %d: %d servers incomplete", rd.tag, rd.retries, len(missing))
 	n.sendReadRequests(rd, missing)
 	n.armReadTimer(rd)
+}
+
+// abandon records a transfer that exhausted its retries: the typed
+// error joins the node's failure list and the elapsed time joins the
+// latency distribution, so the loss is accounted for rather than
+// silently dropped.
+func (n *Node) abandon(e OpError) {
+	n.stats.FailedTransfers++
+	n.opErrors = append(n.opErrors, e)
+	elapsed := float64(e.FailedAt - e.IssuedAt)
+	if e.Write {
+		n.writeLatencies = append(n.writeLatencies, elapsed)
+	} else {
+		n.latencies = append(n.latencies, elapsed)
+	}
+	n.tracef("client", "%v", e)
+}
+
+// countRetriedStrips adds the pieces of the re-issued plans to the
+// strip-retry counter.
+func (n *Node) countRetriedStrips(plans []pfs.ServerPlan) {
+	for _, plan := range plans {
+		n.stats.StripsRetried += uint64(len(plan.Pieces))
+	}
 }
 
 // missingPlans filters plans down to the pieces whose strips have not
@@ -746,6 +865,7 @@ func (n *Node) stripArrived(core int, sd *pfs.StripData, now units.Time) {
 		return // transfer already complete or abandoned
 	}
 	if rd.got[sd.GlobalStrip] {
+		n.stats.DuplicateStrips++
 		return // duplicate from a retry race
 	}
 	rd.got[sd.GlobalStrip] = true
@@ -774,6 +894,7 @@ func (n *Node) ackArrived(ack *pfs.WriteAck, _ units.Time) {
 		return
 	}
 	if w.acked[ack.GlobalStrip] {
+		n.stats.DuplicateStrips++
 		return // duplicate ack from a retried strip
 	}
 	w.acked[ack.GlobalStrip] = true
@@ -804,6 +925,12 @@ func (n *Node) layoutArrived(rep *pfs.LayoutReply) {
 		return
 	}
 	delete(n.openTags, rep.Tag)
+	if st := n.opens[file]; st != nil {
+		if st.timer != nil {
+			st.timer.Cancel()
+		}
+		delete(n.opens, file)
+	}
 	n.layouts[file] = rep.Layout
 	parked := n.opening[file]
 	delete(n.opening, file)

@@ -756,3 +756,180 @@ func TestCorruptedHeadersDroppedAndRecovered(t *testing.T) {
 		t.Errorf("bytes = %v, want %v", st.BytesRead, want)
 	}
 }
+
+func TestRingDropRecovery(t *testing.T) {
+	// A two-descriptor rx ring behind a coalescing window: strips from
+	// four servers overrun the ring while the interrupt is held back, so
+	// frames are lost at the NIC rather than on the wire — and the retry
+	// machinery must absorb that loss exactly like fabric loss.
+	eng := sim.NewEngine()
+	fab := netsim.NewFabric(eng, 20*units.Microsecond)
+	cfg := DefaultConfig(1, 3*units.Gigabit, irqsched.PolicySourceAware)
+	cfg.MDS = 50
+	cfg.NIC.RingSize = 2
+	cfg.NIC.CoalesceFrames = 8
+	cfg.NIC.CoalesceDelay = 500 * units.Microsecond
+	cfg.RetryTimeout = 50 * units.Millisecond
+	cfg.MaxRetries = 10
+	node := MustNew(eng, fab, cfg)
+
+	servers := make([]netsim.NodeID, 4)
+	rnd := rng.New(7)
+	for i := range servers {
+		id := netsim.NodeID(100 + i)
+		servers[i] = id
+		scfg := pfs.DefaultServerConfig(units.Gigabit)
+		scfg.Disk.RotationPeriod = 0
+		scfg.Disk.MediaRate = units.Rate(400 * units.MBps)
+		pfs.NewServer(eng, fab, id, scfg, rnd)
+	}
+	layout := pfs.Layout{StripSize: 64 * units.KiB, Servers: servers}
+	pfs.NewMetadataServer(eng, fab, 50, pfs.DefaultMetadataConfig(units.Gigabit),
+		func(pfs.FileID) pfs.Layout { return layout })
+
+	p := node.NewProc(0, 1)
+	var doneAt units.Time
+	eng.At(0, func(units.Time) {
+		p.Read(1, 0, units.MiB, func(now units.Time) { doneAt = now })
+	})
+	eng.RunUntilIdle()
+	if node.NIC().Stats().RingDrops == 0 {
+		t.Fatal("rx ring never overflowed; the scenario exercises nothing")
+	}
+	if doneAt == 0 {
+		t.Fatal("read never completed despite retries over ring drops")
+	}
+	st := node.Stats()
+	if st.BytesRead != units.MiB {
+		t.Errorf("bytes = %v, want 1MiB", st.BytesRead)
+	}
+	if st.Retries == 0 || st.StripsRetried == 0 {
+		t.Errorf("ring drops recovered without retries: retries=%d strips=%d",
+			st.Retries, st.StripsRetried)
+	}
+	if st.FailedTransfers != 0 {
+		t.Errorf("failed transfers = %d", st.FailedTransfers)
+	}
+}
+
+func TestAbandonRecordsOpErrorAndLatency(t *testing.T) {
+	r := newRig(t, irqsched.PolicySourceAware, 2)
+	cfg := r.node.cfg
+	cfg.RetryTimeout = 20 * units.Millisecond
+	cfg.MaxRetries = 2
+	r.node.cfg = cfg
+	p := r.node.NewProc(0, 0)
+	var issuedAt units.Time
+	r.eng.At(0, func(units.Time) {
+		p.Read(1, 0, 64*units.KiB, func(now units.Time) { // warm the layout
+			issuedAt = now
+			r.fab.SetLoss(func() bool { return true })
+			p.Read(1, 0, 128*units.KiB, nil)
+		})
+	})
+	lats := len(r.node.Latencies())
+	r.eng.RunUntilIdle()
+	errs := r.node.OpErrors()
+	if len(errs) != 1 {
+		t.Fatalf("op errors = %d, want 1", len(errs))
+	}
+	e := errs[0]
+	if e.Write || e.File != 1 || e.Retries != 2 {
+		t.Errorf("op error = %+v", e)
+	}
+	if e.IssuedAt < issuedAt {
+		t.Errorf("issued at %v, before the op was even requested at %v", e.IssuedAt, issuedAt)
+	}
+	if e.FailedAt <= e.IssuedAt {
+		t.Errorf("failed at %v not after issue at %v", e.FailedAt, e.IssuedAt)
+	}
+	// The abandoned read's time-to-failure lands in the latency books
+	// (the silent-data-loss fix): one warm-up latency plus the failure.
+	got := r.node.Latencies()
+	if len(got) != lats+2 {
+		t.Fatalf("latencies = %d, want %d (warm-up + failure)", len(got), lats+2)
+	}
+	if want := float64(e.FailedAt - e.IssuedAt); got[len(got)-1] != want {
+		t.Errorf("failure latency = %v, want %v", got[len(got)-1], want)
+	}
+}
+
+func TestOpenRetryRecoversLostLayout(t *testing.T) {
+	// Drop the first metadata exchange entirely: without open retries the
+	// transfer would park forever with zero failures — the silent-loss
+	// bug. The client must re-request the layout and complete.
+	r := newRig(t, irqsched.PolicySourceAware, 2)
+	cfg := r.node.cfg
+	cfg.RetryTimeout = 20 * units.Millisecond
+	cfg.MaxRetries = 5
+	r.node.cfg = cfg
+	dropped := 0
+	r.fab.SetLoss(func() bool {
+		if dropped < 1 { // the very first frame is the LayoutRequest
+			dropped++
+			return true
+		}
+		return false
+	})
+	p := r.node.NewProc(0, 1)
+	var doneAt units.Time
+	r.eng.At(0, func(units.Time) {
+		p.Read(1, 0, 128*units.KiB, func(now units.Time) { doneAt = now })
+	})
+	r.eng.RunUntilIdle()
+	if doneAt == 0 {
+		t.Fatal("read never completed after a lost layout request")
+	}
+	st := r.node.Stats()
+	if st.MetadataTrips < 2 {
+		t.Errorf("metadata trips = %d, want the retry to re-request the layout", st.MetadataTrips)
+	}
+	if st.Retries == 0 {
+		t.Error("no retry recorded for the lost open")
+	}
+	if st.BytesRead != 128*units.KiB {
+		t.Errorf("bytes = %v", st.BytesRead)
+	}
+}
+
+func TestOpenRetryExhaustionFailsParkedOps(t *testing.T) {
+	// Total blackout from t=0: the open can never resolve. Every parked
+	// operation must fail loudly — typed OpError, failure counted, and
+	// the elapsed time in the latency distribution.
+	r := newRig(t, irqsched.PolicySourceAware, 2)
+	cfg := r.node.cfg
+	cfg.RetryTimeout = 20 * units.Millisecond
+	cfg.MaxRetries = 2
+	r.node.cfg = cfg
+	r.fab.SetLoss(func() bool { return true })
+	p := r.node.NewProc(0, 0)
+	completed := false
+	r.eng.At(0, func(units.Time) {
+		p.Read(1, 0, 64*units.KiB, func(units.Time) { completed = true })
+		p.Read(1, 64*units.KiB, 64*units.KiB, func(units.Time) { completed = true })
+	})
+	r.eng.RunUntilIdle()
+	if completed {
+		t.Fatal("read completed under total loss")
+	}
+	st := r.node.Stats()
+	if st.FailedTransfers != 2 {
+		t.Errorf("failed transfers = %d, want both parked ops", st.FailedTransfers)
+	}
+	if got := len(r.node.OpErrors()); got != 2 {
+		t.Fatalf("op errors = %d, want 2", got)
+	}
+	for _, e := range r.node.OpErrors() {
+		if e.Retries != 2 || e.FailedAt <= e.IssuedAt {
+			t.Errorf("op error = %+v", e)
+		}
+	}
+	if got := len(r.node.Latencies()); got != 2 {
+		t.Errorf("latencies = %d, want the two failures' time-to-failure", got)
+	}
+	// The engine drained with the file half-open; nothing may leak into
+	// a later successful open.
+	if len(r.node.opening) != 0 || len(r.node.opens) != 0 {
+		t.Errorf("open state leaked: opening=%d opens=%d", len(r.node.opening), len(r.node.opens))
+	}
+}

@@ -1,0 +1,225 @@
+package faults
+
+import (
+	"fmt"
+
+	"sais/internal/netsim"
+	"sais/internal/pfs"
+	"sais/internal/rng"
+	"sais/internal/sim"
+	"sais/internal/units"
+)
+
+// Target is the built cluster an Injector arms against.
+type Target struct {
+	Engine  *sim.Engine
+	Fabric  *netsim.Fabric
+	Servers []*pfs.Server
+	// Clients are the fabric ids of the client nodes, for storms.
+	Clients []netsim.NodeID
+	// StormNode is a free fabric id the injector may claim for its
+	// ghost NIC when the plan contains a storm.
+	StormNode netsim.NodeID
+	// Rand is the run's root randomness; the injector derives labelled
+	// sub-streams from it so arming order never perturbs other
+	// components' draws.
+	Rand *rng.Source
+}
+
+// Stats counts what the injector actually did to the run.
+type Stats struct {
+	// StallsInjected is the number of server requests delayed, and
+	// StallTime the total delay injected.
+	StallsInjected uint64
+	StallTime      units.Time
+	// StormFrames is the number of junk frames sprayed at clients.
+	StormFrames uint64
+	// Crashes counts crash events applied to an up server.
+	Crashes int
+	// Downtime accumulates, per server index, the time spent down.
+	// Open intervals are closed by Finish.
+	Downtime []units.Time
+	// LastReviveAt is the time of the last revive event (0 = none).
+	LastReviveAt units.Time
+}
+
+// Injector is an armed Plan. Arm installs every hook and schedules the
+// timeline; Finish closes open fault intervals and returns the stats.
+type Injector struct {
+	plan  *Plan
+	eng   *sim.Engine
+	srvs  []*pfs.Server
+	stats Stats
+	// downSince holds the crash time of currently-down servers.
+	downSince map[int]units.Time
+}
+
+// storm is one armed storm interval.
+type storm struct {
+	targets []netsim.NodeID
+	period  units.Time
+	payload units.Bytes
+	stopAt  units.Time
+}
+
+// Arm validates p against the target shape and installs it: fabric
+// loss/corruption predicates, per-server stall sources, and one engine
+// event per timeline entry. It must be called before the run starts
+// (events are scheduled at absolute plan times). A nil or empty plan
+// arms to a no-op injector without touching the target or drawing any
+// randomness, so fault-free runs stay byte-identical to an unarmed
+// simulator.
+func (p *Plan) Arm(t Target) (*Injector, error) {
+	inj := &Injector{
+		plan:      p,
+		eng:       t.Engine,
+		srvs:      t.Servers,
+		downSince: make(map[int]units.Time),
+	}
+	inj.stats.Downtime = make([]units.Time, len(t.Servers))
+	if p.Empty() {
+		return inj, nil
+	}
+	if t.Engine == nil || t.Fabric == nil {
+		return nil, fmt.Errorf("faults: Arm needs an engine and a fabric")
+	}
+	if err := p.Validate(len(t.Servers), len(t.Clients)); err != nil {
+		return nil, err
+	}
+
+	if p.Loss > 0 {
+		lossRnd := t.Rand.Split("faults/loss")
+		rate := p.Loss
+		t.Fabric.SetLoss(func() bool { return lossRnd.Bool(rate) })
+	}
+	if p.Corrupt > 0 {
+		corruptRnd := t.Rand.Split("faults/corrupt")
+		rate := p.Corrupt
+		t.Fabric.SetCorruption(func(*netsim.Frame) bool { return corruptRnd.Bool(rate) })
+	}
+	for _, s := range p.Stalls {
+		lo, hi := s.Server, s.Server
+		if s.Server == -1 {
+			lo, hi = 0, len(t.Servers)-1
+		}
+		for srv := lo; srv <= hi; srv++ {
+			inj.armStall(t.Servers[srv], s, t.Rand.Split(fmt.Sprintf("faults/stall%d", srv)))
+		}
+	}
+
+	timeline := p.sortedTimeline()
+	var ghost *netsim.NIC
+	for _, ev := range timeline {
+		if ev.Kind == KindStormStart {
+			ghost = netsim.NewNIC(t.Engine, t.StormNode, netsim.DefaultNICConfig(10*units.Gigabit))
+			t.Fabric.Attach(ghost)
+			break
+		}
+	}
+	for i, ev := range timeline {
+		switch ev.Kind {
+		case KindCrash:
+			srv := ev.Server
+			t.Engine.At(ev.At, func(now units.Time) { inj.crash(srv, now) })
+		case KindRevive:
+			srv := ev.Server
+			t.Engine.At(ev.At, func(now units.Time) { inj.revive(srv, now) })
+		case KindDegradeLink:
+			factor := ev.Factor
+			t.Engine.At(ev.At, func(units.Time) { t.Fabric.SetLatencyScale(factor) })
+		case KindStormStart:
+			st := &storm{period: ev.Period, payload: ev.Payload}
+			if ev.Client == -1 {
+				st.targets = append(st.targets, t.Clients...)
+			} else {
+				st.targets = []netsim.NodeID{t.Clients[ev.Client]}
+			}
+			// Validate guarantees a later storm-stop exists.
+			for _, later := range timeline[i+1:] {
+				if later.Kind == KindStormStop {
+					st.stopAt = later.At
+					break
+				}
+			}
+			nic := ghost
+			t.Engine.At(ev.At, func(now units.Time) { inj.stormTick(nic, st, now) })
+		case KindStormStop:
+			// The storm's tick loop checks stopAt itself; nothing to
+			// schedule.
+		}
+	}
+	return inj, nil
+}
+
+// armStall installs one stall distribution on one server.
+func (inj *Injector) armStall(srv *pfs.Server, s Stall, rnd *rng.Source) {
+	srv.SetStall(func() units.Time {
+		if !rnd.Bool(s.Rate) {
+			return 0
+		}
+		d := s.Mean
+		if s.Jitter > 0 {
+			hi := s.Mean + 4*s.Jitter
+			if hi < s.Mean { // int64 overflow on extreme plans
+				hi = units.Forever
+			}
+			d = units.Time(rnd.TruncNormal(float64(s.Mean), float64(s.Jitter), 0, float64(hi)))
+		}
+		if d > 0 {
+			inj.stats.StallsInjected++
+			inj.stats.StallTime += d
+		}
+		return d
+	})
+}
+
+// crash takes server srv down and opens its downtime interval.
+func (inj *Injector) crash(srv int, now units.Time) {
+	if _, down := inj.downSince[srv]; down {
+		return // idempotent: already down
+	}
+	inj.downSince[srv] = now
+	inj.stats.Crashes++
+	inj.srvs[srv].SetDown(true)
+}
+
+// revive brings server srv back and closes its downtime interval.
+func (inj *Injector) revive(srv int, now units.Time) {
+	since, down := inj.downSince[srv]
+	if !down {
+		return // idempotent: not down
+	}
+	delete(inj.downSince, srv)
+	inj.stats.Downtime[srv] += now - since
+	inj.stats.LastReviveAt = now
+	inj.srvs[srv].SetDown(false)
+}
+
+// stormTick sprays one junk frame per target and re-arms until stopAt.
+// The frames carry no hint and no body: the victim NIC raises an
+// interrupt per frame and the client's softirq path discards them as
+// stray traffic — pure overhead, exactly what an interrupt storm is.
+func (inj *Injector) stormTick(nic *netsim.NIC, st *storm, now units.Time) {
+	if now >= st.stopAt {
+		return
+	}
+	for _, dst := range st.targets {
+		nic.Send(dst, st.payload, netsim.AffHint{}, nil)
+		inj.stats.StormFrames++
+	}
+	inj.eng.After(st.period, func(at units.Time) { inj.stormTick(nic, st, at) })
+}
+
+// Finish closes the downtime of servers still down at now (a crash
+// without a revive) and returns the final stats. Call it once, after
+// the run drains.
+func (inj *Injector) Finish(now units.Time) Stats {
+	for srv, since := range inj.downSince {
+		inj.stats.Downtime[srv] += now - since
+	}
+	inj.downSince = make(map[int]units.Time)
+	return inj.stats
+}
+
+// Stats returns a snapshot of the counters without closing intervals.
+func (inj *Injector) Stats() Stats { return inj.stats }

@@ -20,10 +20,13 @@ type Fabric struct {
 	// loss injects random frame drops for failure testing; nil = none.
 	loss func() bool
 	// corrupt injects header bit-flips; nil = none.
-	corrupt   func(*Frame) bool
-	forwarded uint64
-	dropped   uint64
-	corrupted uint64
+	corrupt func(*Frame) bool
+	// latencyScale multiplies the forwarding latency when > 0 — the
+	// degraded-switch injection hook.
+	latencyScale float64
+	forwarded    uint64
+	dropped      uint64
+	corrupted    uint64
 }
 
 // NewFabric creates an empty fabric with the given one-way switch
@@ -71,6 +74,16 @@ func (f *Fabric) SetCorruption(fn func(*Frame) bool) { f.corrupt = fn }
 // Corrupted returns the number of frames whose headers were damaged.
 func (f *Fabric) Corrupted() uint64 { return f.corrupted }
 
+// SetLatencyScale scales the switch forwarding latency for frames
+// forwarded from now on — the degraded-link injection hook. Scale 1 (or
+// 0) restores the configured latency; scale must not be negative.
+func (f *Fabric) SetLatencyScale(scale float64) {
+	if scale < 0 {
+		panic("netsim: negative latency scale")
+	}
+	f.latencyScale = scale
+}
+
 // forward is called by a NIC when egress serialization of a frame
 // completes.
 func (f *Fabric) forward(fr *Frame, wire units.Bytes) {
@@ -92,7 +105,16 @@ func (f *Fabric) forward(fr *Frame, wire units.Bytes) {
 		f.corrupted++
 	}
 	f.forwarded++
-	f.eng.After(f.latency, func(units.Time) {
+	latency := f.latency
+	if f.latencyScale > 0 {
+		scaled := float64(latency) * f.latencyScale
+		// Clamp instead of overflowing into a negative delay.
+		if scaled > float64(units.Forever/2) {
+			scaled = float64(units.Forever / 2)
+		}
+		latency = units.Time(scaled)
+	}
+	f.eng.After(latency, func(units.Time) {
 		dst.receive(fr, wire)
 	})
 }

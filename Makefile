@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-short bench experiments figures chaos cover clean
+.PHONY: all build vet test race race-short bench bench-record bench-check experiments figures chaos cover clean
 
-all: build vet test race-short
+all: build vet test race-short bench-check
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,18 @@ bench:
 
 bench-output:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Event-engine hot-path benchmark baseline. bench-record snapshots the
+# current numbers into BENCH_sim.json (commit it); bench-check compares
+# a fresh run against the committed baseline and warns — never fails —
+# on regressions, so `all` stays green on noisy machines.
+BENCH_COUNT ?= 5
+
+bench-record:
+	$(GO) test -run '^$$' -bench EngineHot -benchmem -count $(BENCH_COUNT) ./internal/sim | $(GO) run ./cmd/benchcheck -record BENCH_sim.json
+
+bench-check:
+	$(GO) test -run '^$$' -bench EngineHot -benchmem -count $(BENCH_COUNT) ./internal/sim | $(GO) run ./cmd/benchcheck -baseline BENCH_sim.json
 
 # Regenerate every figure of the paper (tables to stdout).
 experiments:

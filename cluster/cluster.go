@@ -147,6 +147,14 @@ type Config struct {
 	Faults *faults.Plan
 
 	Seed uint64
+
+	// Progress, when set, is invoked at the engine's stop-poll cadence
+	// (every few dozen events) with the events fired so far and the
+	// events still live in the queue. The live count excludes cancelled
+	// timers — retry- and fault-heavy runs cancel timers in bulk, and
+	// counting those corpses would inflate the denominator of any
+	// progress estimate. Not serialized with the config.
+	Progress func(fired uint64, live int) `json:"-"`
 }
 
 // DefaultConfig is the paper's single-client testbed: 8 cores at
@@ -503,8 +511,16 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node)) (*Res
 	if instrument != nil {
 		instrument(nodes)
 	}
-	if ctx != nil && ctx.Done() != nil {
-		eng.SetStop(func() bool { return ctx.Err() != nil })
+	cancellable := ctx != nil && ctx.Done() != nil
+	if cancellable || cfg.Progress != nil {
+		// One stop-poll closure serves both jobs: cancellation check and
+		// the progress heartbeat, at the engine's poll cadence.
+		eng.SetStop(func() bool {
+			if cfg.Progress != nil {
+				cfg.Progress(eng.Fired(), eng.Live())
+			}
+			return cancellable && ctx.Err() != nil
+		})
 	}
 	eng.RunUntilIdle()
 	res := collect(cfg, eng, fab, nodes, loads, srvs, inj)

@@ -1,0 +1,199 @@
+// Command benchcheck records and compares Go benchmark results so the
+// repository carries a perf trajectory (benchstat is not vendored; this
+// covers the record/compare workflow with no dependencies).
+//
+// It reads `go test -bench` output on stdin. With -record it writes a
+// JSON baseline (per-benchmark median ns/op plus allocation counters);
+// with -baseline it compares the run against a committed baseline and
+// prints a table of deltas. Comparison is warn-only — it always exits
+// zero — because micro-benchmark noise across machines should not fail
+// a build; the table is for humans and for PR review.
+//
+//	go test -bench EngineHot -benchmem -count 5 ./internal/sim | benchcheck -record BENCH_sim.json
+//	go test -bench EngineHot -benchmem -count 5 ./internal/sim | benchcheck -baseline BENCH_sim.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is the recorded shape of one benchmark.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`     // median across -count runs
+	BytesPerOp  float64 `json:"bytes_per_op"`  // median B/op (with -benchmem)
+	AllocsPerOp float64 `json:"allocs_per_op"` // median allocs/op
+	Runs        int     `json:"runs"`          // samples aggregated
+}
+
+// Baseline is the committed JSON file.
+type Baseline struct {
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// threshold is the relative ns/op regression that triggers a warning.
+const threshold = 0.20
+
+func main() {
+	record := flag.String("record", "", "write the parsed results as a JSON baseline to this file")
+	baseline := flag.String("baseline", "", "compare the parsed results against this JSON baseline (warn-only)")
+	flag.Parse()
+	if (*record == "") == (*baseline == "") {
+		fmt.Fprintln(os.Stderr, "benchcheck: exactly one of -record or -baseline is required")
+		os.Exit(2)
+	}
+
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+
+	if *record != "" {
+		b := Baseline{
+			Note:       "Recorded by `make bench-record`; compared warn-only by `make bench-check`.",
+			Benchmarks: results,
+		}
+		buf, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*record, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchcheck:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchcheck: recorded %d benchmarks to %s\n", len(results), *record)
+		return
+	}
+
+	compare(*baseline, results)
+}
+
+// compare prints per-benchmark deltas against the committed baseline.
+// Warn-only by design: exit status is always zero.
+func compare(path string, got map[string]Result) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: no baseline (%v); run `make bench-record` to create one\n", err)
+		return
+	}
+	var base Baseline
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		return
+	}
+	names := make([]string, 0, len(got))
+	for name := range got {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	warned := 0
+	fmt.Printf("%-36s %12s %12s %8s\n", "benchmark", "base ns/op", "now ns/op", "delta")
+	for _, name := range names {
+		cur := got[name]
+		old, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Printf("%-36s %12s %12.1f %8s\n", name, "(new)", cur.NsPerOp, "")
+			continue
+		}
+		delta := (cur.NsPerOp - old.NsPerOp) / old.NsPerOp
+		mark := ""
+		if delta > threshold {
+			mark = "  WARN: slower than baseline"
+			warned++
+		}
+		if cur.AllocsPerOp > old.AllocsPerOp {
+			mark += fmt.Sprintf("  WARN: allocs/op %.0f -> %.0f", old.AllocsPerOp, cur.AllocsPerOp)
+			warned++
+		}
+		fmt.Printf("%-36s %12.1f %12.1f %+7.1f%%%s\n", name, old.NsPerOp, cur.NsPerOp, delta*100, mark)
+	}
+	if warned > 0 {
+		fmt.Printf("benchcheck: %d warning(s); not failing the build (warn-only)\n", warned)
+	}
+}
+
+// parse aggregates `go test -bench` output lines by benchmark name
+// (GOMAXPROCS suffix stripped), taking the median of each metric.
+func parse(f *os.File) (map[string]Result, error) {
+	type samples struct{ ns, bytes, allocs []float64 }
+	agg := map[string]*samples{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		s := agg[name]
+		if s == nil {
+			s = &samples{}
+			agg[name] = s
+		}
+		s.ns = append(s.ns, ns)
+		// Optional -benchmem columns: "N B/op  M allocs/op".
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "B/op":
+				s.bytes = append(s.bytes, v)
+			case "allocs/op":
+				s.allocs = append(s.allocs, v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]Result, len(agg))
+	for name, s := range agg {
+		out[name] = Result{
+			NsPerOp:     median(s.ns),
+			BytesPerOp:  median(s.bytes),
+			AllocsPerOp: median(s.allocs),
+			Runs:        len(s.ns),
+		}
+	}
+	return out, nil
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}

@@ -30,8 +30,13 @@ import (
 
 	"sais/experiments"
 	"sais/internal/faults"
+	"sais/internal/prof"
 	"sais/internal/units"
 )
+
+// profiler is package-level so fatal (which exits without running
+// defers) can flush profiles too.
+var profiler *prof.Profiler
 
 func main() {
 	var (
@@ -49,8 +54,18 @@ func main() {
 		faultPlan = flag.String("fault-plan", "", "with -chaos: load the scenario's fault plan from a JSON file")
 		loss      = flag.Float64("loss", 0, "with -degraded: run only this loss rate instead of the default grid")
 		crashAt   = flag.Duration("crash-at", 0, "with -chaos: override the crash time (revive stays 30ms later)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	var err error
+	profiler, err = prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer profiler.Stop()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
@@ -80,8 +95,7 @@ func main() {
 		}
 		rep, err := sweep.RunContext(ctx)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if *csv {
 			fmt.Print(rep.CSV())
@@ -111,8 +125,7 @@ func main() {
 		}
 		rep, err := sc.RunContext(ctx)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		if *csv {
 			fmt.Print(rep.CSV())
@@ -132,8 +145,7 @@ func main() {
 		}
 		e, err := experiments.ByID(id)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		toRun = []experiments.Experiment{e}
 	} else {
@@ -175,19 +187,24 @@ func main() {
 	if *html != "" {
 		f, err := os.Create(*html)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		if err := experiments.WriteHTML(f, reports); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("HTML report written to %s\n", *html)
 	}
 	if interrupted {
+		profiler.Stop()
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	profiler.Stop() // os.Exit skips defers; flush profiles first
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
 }
 
 // render prints one report in the selected format.
@@ -200,8 +217,7 @@ func render(rep *experiments.Report, csv, plot bool) {
 	if plot {
 		chart, err := rep.Chart()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Println(chart)
 	}

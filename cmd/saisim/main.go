@@ -26,12 +26,18 @@ import (
 	"os/signal"
 	"sort"
 	"syscall"
+	"time"
 
 	"sais/cluster"
 	"sais/internal/faults"
 	"sais/internal/irqsched"
+	"sais/internal/prof"
 	"sais/internal/units"
 )
+
+// profiler is package-level so fatal (which exits without running
+// defers) can flush profiles too.
+var profiler *prof.Profiler
 
 func main() {
 	var (
@@ -60,8 +66,19 @@ func main() {
 		reviveAt   = flag.Duration("revive-at", 0, "revive the crashed server at this simulated time (0 = stays down)")
 		retry      = flag.Duration("retry", 0, "client retry timeout for lost transfers (0 = retries off)")
 		maxRetries = flag.Int("max-retries", 0, "retries per transfer before abandoning it")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		progress   = flag.Bool("progress", false, "print a progress heartbeat to stderr while the run executes")
 	)
 	flag.Parse()
+
+	var err error
+	profiler, err = prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer profiler.Stop()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
@@ -140,6 +157,17 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *progress {
+		// Throttled wall-clock heartbeat; stderr only, so the simulated
+		// results stay byte-identical with and without it.
+		last := time.Now()
+		cfg.Progress = func(fired uint64, live int) {
+			if now := time.Now(); now.Sub(last) >= 500*time.Millisecond {
+				last = now
+				fmt.Fprintf(os.Stderr, "saisim: %d events fired, %d live\n", fired, live)
+			}
+		}
+	}
 	if *traceN > 0 {
 		printTraced(ctx, cfg, *traceN)
 		return
@@ -163,6 +191,7 @@ func main() {
 			fatal(err)
 		}
 		if partial {
+			profiler.Stop()
 			os.Exit(1)
 		}
 		return
@@ -206,6 +235,7 @@ func main() {
 		}
 	}
 	if partial {
+		profiler.Stop()
 		os.Exit(1)
 	}
 }
@@ -223,6 +253,7 @@ func printTraced(ctx context.Context, cfg cluster.Config, n int) {
 }
 
 func fatal(err error) {
+	profiler.Stop() // os.Exit skips defers; flush profiles first
 	fmt.Fprintln(os.Stderr, "saisim:", err)
 	os.Exit(1)
 }

@@ -241,7 +241,7 @@ type read struct {
 	bytes     units.Bytes
 	blocks    []blockRef
 	retries   int
-	timer     *sim.Timer
+	timer     sim.Timer
 	done      sim.Event
 }
 
@@ -263,7 +263,7 @@ type writeOp struct {
 	remaining int
 	bytes     units.Bytes
 	retries   int
-	timer     *sim.Timer
+	timer     sim.Timer
 	done      sim.Event
 }
 
@@ -283,7 +283,7 @@ type openState struct {
 	tag      uint64
 	retries  int
 	issuedAt units.Time
-	timer    *sim.Timer
+	timer    sim.Timer
 }
 
 // Node is the client node instance.
@@ -307,6 +307,13 @@ type Node struct {
 	writes    map[uint64]*writeOp
 	nextTag   uint64
 	nextBlock cache.BlockID
+	// freeReads/freeWrites recycle transfer records (and their interior
+	// map/slice capacity): one record per strip-bearing transfer is the
+	// client's highest allocation churn after frames. A record is freed
+	// only at the end of its final event (completion compute closure or
+	// retry-exhaustion abandon), when no timer or closure references it.
+	freeReads  []*read
+	freeWrites []*writeOp
 	// frameq holds frames routed to each core, consumed by the local
 	// APIC handler in FIFO order.
 	frameq [][]*netsim.Frame
@@ -590,8 +597,9 @@ func (n *Node) issueWrite(p *Proc, file pfs.FileID, offset, length units.Bytes, 
 	}
 	n.nextTag++
 	tag := n.nextTag
-	w := &writeOp{proc: p, issuedAt: n.eng.Now(), file: file, tag: tag, plans: plans, hint: hint,
-		acked: make(map[int]bool), done: done}
+	w := n.newWrite()
+	w.proc, w.issuedAt, w.file, w.tag = p, n.eng.Now(), file, tag
+	w.plans, w.hint, w.done = plans, hint, done
 	for _, plan := range plans {
 		w.remaining += len(plan.Pieces)
 		for _, piece := range plan.Pieces {
@@ -636,6 +644,7 @@ func (n *Node) retryWrite(w *writeOp) {
 		delete(n.writes, w.tag)
 		n.abandon(OpError{Write: true, File: w.file, Tag: w.tag, Retries: w.retries,
 			IssuedAt: w.issuedAt, FailedAt: n.eng.Now()})
+		n.freeWrite(w)
 		return
 	}
 	w.retries++
@@ -665,12 +674,10 @@ func (n *Node) issue(p *Proc, file pfs.FileID, offset, length units.Bytes, done 
 	}
 	n.nextTag++
 	tag := n.nextTag
-	rd := &read{
-		proc: p, issuedAt: n.eng.Now(), file: file, tag: tag, plans: plans, hint: hint,
-		localEOF: func(idx int) units.Bytes { return layout.LocalBytes(idx) },
-		got:      make(map[int]bool),
-		done:     done,
-	}
+	rd := n.newRead()
+	rd.proc, rd.issuedAt, rd.file, rd.tag = p, n.eng.Now(), file, tag
+	rd.plans, rd.hint, rd.done = plans, hint, done
+	rd.localEOF = func(idx int) units.Bytes { return layout.LocalBytes(idx) }
 	for _, plan := range plans {
 		rd.remaining += len(plan.Pieces)
 	}
@@ -713,6 +720,7 @@ func (n *Node) retryRead(rd *read) {
 		}
 		n.abandon(OpError{File: rd.file, Tag: rd.tag, Retries: rd.retries,
 			IssuedAt: rd.issuedAt, FailedAt: n.eng.Now()})
+		n.freeRead(rd)
 		return
 	}
 	rd.retries++
@@ -775,6 +783,7 @@ func missingPlans(plans []pfs.ServerPlan, got map[int]bool) []pfs.ServerPlan {
 func (n *Node) onNICQueueInterrupt(q int, _ units.Time) {
 	for _, f := range n.nic.DrainQueue(q) {
 		if !n.headerOK(f) {
+			n.nic.Free(f)
 			continue
 		}
 		dest := n.ioapic.Raise(DataVector+apic.Vector(q), apic.NoHint, uint64(f.Src))
@@ -789,6 +798,7 @@ func (n *Node) onNICQueueInterrupt(q int, _ units.Time) {
 func (n *Node) onNICInterrupt(units.Time) {
 	for _, f := range n.nic.Drain() {
 		if !n.headerOK(f) {
+			n.nic.Free(f)
 			continue
 		}
 		hint := netsim.ParseHint(f)
@@ -853,6 +863,9 @@ func (n *Node) handleIRQ(core int, _ units.Time) {
 		cost := units.Microsecond + units.Time(float64(f.Payload)*n.cfg.Costs.SoftirqPerByte)
 		c.Submit(cpu.PrioSoftirq, cpu.CatSoftirq, cost, nil)
 	}
+	// The body pointer and payload size were captured above; the frame
+	// itself is consumed and can be recycled.
+	n.nic.Free(f)
 }
 
 // stripArrived deposits the strip into the handling core's cache and
@@ -877,9 +890,7 @@ func (n *Node) stripArrived(core int, sd *pfs.StripData, now units.Time) {
 	rd.remaining--
 	if rd.remaining == 0 {
 		delete(n.reads, sd.Tag)
-		if rd.timer != nil {
-			rd.timer.Cancel()
-		}
+		rd.timer.Cancel()
 		n.tracef("client", "transfer tag=%d complete (%v), waking proc %d on core %d",
 			sd.Tag, rd.bytes, rd.proc.id, rd.proc.core)
 		n.wake(rd, now)
@@ -903,9 +914,7 @@ func (n *Node) ackArrived(ack *pfs.WriteAck, _ units.Time) {
 		return
 	}
 	delete(n.writes, ack.Tag)
-	if w.timer != nil {
-		w.timer.Cancel()
-	}
+	w.timer.Cancel()
 	p := w.proc
 	n.tracef("client", "write tag=%d complete (%v) on core %d", ack.Tag, w.bytes, p.core)
 	n.cpu.Core(p.core).Submit(cpu.PrioSoftirq, cpu.CatIRQ, n.cfg.Costs.WakeIPI, func(now units.Time) {
@@ -915,6 +924,7 @@ func (n *Node) ackArrived(ack *pfs.WriteAck, _ units.Time) {
 		if w.done != nil {
 			w.done(now)
 		}
+		n.freeWrite(w)
 	})
 }
 
@@ -926,9 +936,7 @@ func (n *Node) layoutArrived(rep *pfs.LayoutReply) {
 	}
 	delete(n.openTags, rep.Tag)
 	if st := n.opens[file]; st != nil {
-		if st.timer != nil {
-			st.timer.Cancel()
-		}
+		st.timer.Cancel()
 		delete(n.opens, file)
 	}
 	n.layouts[file] = rep.Layout
@@ -941,6 +949,46 @@ func (n *Node) layoutArrived(rep *pfs.LayoutReply) {
 			n.issue(po.proc, file, po.offset, po.length, po.done)
 		}
 	}
+}
+
+// newRead returns a recycled (or fresh) read record.
+func (n *Node) newRead() *read {
+	if k := len(n.freeReads); k > 0 {
+		rd := n.freeReads[k-1]
+		n.freeReads = n.freeReads[:k-1]
+		return rd
+	}
+	return &read{got: make(map[int]bool)}
+}
+
+// freeRead recycles a finished read record, keeping its map and slice
+// capacity. Callers guarantee no timer or pending closure still refers
+// to it: the transfer is out of n.reads and its retry timer has fired
+// or been cancelled.
+func (n *Node) freeRead(rd *read) {
+	clear(rd.got)
+	got, blocks := rd.got, rd.blocks[:0]
+	*rd = read{got: got, blocks: blocks}
+	n.freeReads = append(n.freeReads, rd)
+}
+
+// newWrite returns a recycled (or fresh) write record.
+func (n *Node) newWrite() *writeOp {
+	if k := len(n.freeWrites); k > 0 {
+		w := n.freeWrites[k-1]
+		n.freeWrites = n.freeWrites[:k-1]
+		return w
+	}
+	return &writeOp{acked: make(map[int]bool)}
+}
+
+// freeWrite recycles a finished write record under the same contract
+// as freeRead.
+func (n *Node) freeWrite(w *writeOp) {
+	clear(w.acked)
+	acked := w.acked
+	*w = writeOp{acked: acked}
+	n.freeWrites = append(n.freeWrites, w)
 }
 
 // wake delivers the wakeup IPI to the process's core and schedules
@@ -1015,6 +1063,7 @@ func (n *Node) consume(rd *read) {
 		if rd.done != nil {
 			rd.done(now)
 		}
+		n.freeRead(rd)
 	})
 }
 

@@ -90,7 +90,7 @@ type Core struct {
 	// runRotating records whether the current slice ends in a rotation
 	// (timeslice expiry) rather than completion.
 	runRotating bool
-	runTm       *sim.Timer
+	runTm       sim.Timer
 	ranAt       units.Time
 
 	stats CoreStats

@@ -27,6 +27,13 @@ type Fabric struct {
 	forwarded    uint64
 	dropped      uint64
 	corrupted    uint64
+	// framePool recycles Frame structs (and their Header capacity)
+	// between transfers. The engine is single-threaded per run, so a
+	// plain LIFO free list is both lock-free and deterministic. Frames
+	// are returned explicitly by their final owner — the fabric on a
+	// drop, the NIC on a full ring, the consumer after dispatching the
+	// body — and never referenced again after FreeFrame.
+	framePool []*Frame
 }
 
 // NewFabric creates an empty fabric with the given one-way switch
@@ -84,24 +91,41 @@ func (f *Fabric) SetLatencyScale(scale float64) {
 	f.latencyScale = scale
 }
 
+// NewFrame returns a zeroed frame from the pool (retaining recycled
+// Header capacity), allocating only when the pool is empty.
+func (f *Fabric) NewFrame() *Frame {
+	if n := len(f.framePool); n > 0 {
+		fr := f.framePool[n-1]
+		f.framePool = f.framePool[:n-1]
+		return fr
+	}
+	return &Frame{}
+}
+
+// FreeFrame returns a frame to the pool. Only the frame's single final
+// owner may call it; the frame must not be referenced afterwards.
+func (f *Fabric) FreeFrame(fr *Frame) {
+	hdr := fr.Header[:0]
+	*fr = Frame{Header: hdr}
+	f.framePool = append(f.framePool, fr)
+}
+
 // forward is called by a NIC when egress serialization of a frame
 // completes.
 func (f *Fabric) forward(fr *Frame, wire units.Bytes) {
 	dst, ok := f.nics[fr.Dst]
 	if !ok {
 		f.dropped++
+		f.FreeFrame(fr)
 		return
 	}
 	if f.loss != nil && f.loss() {
 		f.dropped++
+		f.FreeFrame(fr)
 		return
 	}
 	if f.corrupt != nil && f.corrupt(fr) && len(fr.Header) > 12 {
-		// Damage a copy: other references to the frame stay intact.
-		cp := *fr
-		cp.Header = append([]byte(nil), fr.Header...)
-		cp.Header[12] ^= 0xff // source-address byte: checksum now fails
-		fr = &cp
+		fr.Header[12] ^= 0xff // source-address byte: checksum now fails
 		f.corrupted++
 	}
 	f.forwarded++

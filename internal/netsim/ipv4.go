@@ -46,7 +46,12 @@ type IPv4Header struct {
 func (h *IPv4Header) HeaderLen() int { return minHeaderLen + len(h.Options) }
 
 // Marshal encodes the header (with a correct checksum) into wire bytes.
-func (h *IPv4Header) Marshal() ([]byte, error) {
+func (h *IPv4Header) Marshal() ([]byte, error) { return h.MarshalAppend(nil) }
+
+// MarshalAppend encodes the header onto the end of buf and returns the
+// extended slice — the allocation-free path for pooled frames, which
+// reuse a recycled frame's Header capacity.
+func (h *IPv4Header) MarshalAppend(buf []byte) ([]byte, error) {
 	if len(h.Options) > maxOptionsLen {
 		return nil, fmt.Errorf("%w: %d bytes", ErrOptionsLong, len(h.Options))
 	}
@@ -57,7 +62,11 @@ func (h *IPv4Header) Marshal() ([]byte, error) {
 	if int(h.TotalLen) < hlen {
 		return nil, fmt.Errorf("%w: total %d < header %d", ErrLengthField, h.TotalLen, hlen)
 	}
-	b := make([]byte, hlen)
+	start := len(buf)
+	for i := 0; i < hlen; i++ {
+		buf = append(buf, 0)
+	}
+	b := buf[start:]
 	b[0] = ipVersion<<4 | byte(hlen/4)
 	binary.BigEndian.PutUint16(b[2:], h.TotalLen)
 	binary.BigEndian.PutUint16(b[4:], h.ID)
@@ -67,7 +76,7 @@ func (h *IPv4Header) Marshal() ([]byte, error) {
 	binary.BigEndian.PutUint32(b[16:], h.DstIP)
 	copy(b[minHeaderLen:], h.Options)
 	binary.BigEndian.PutUint16(b[10:], checksum(b))
-	return b, nil
+	return buf, nil
 }
 
 // UnmarshalIPv4 decodes and validates a header from wire bytes,

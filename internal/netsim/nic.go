@@ -144,13 +144,15 @@ type NIC struct {
 	// Per-receive-queue state: descriptor ring and coalescing.
 	rings      [][]*Frame
 	pending    []int
-	coalesceTm []*sim.Timer
+	coalesceTm []sim.Timer
+	drainBuf   []*Frame // reused backing store for Drain/DrainQueue
 	stats      NICStats
 
 	raise      func(now units.Time)        // single-queue interrupt line
 	raiseQueue func(q int, now units.Time) // MSI-X per-queue line
 
 	nextIPID uint16
+	optBuf   [4]byte // scratch for the aff_core_id options field
 }
 
 // NewNIC builds a NIC for node id. It panics on invalid configuration.
@@ -166,7 +168,7 @@ func NewNIC(eng *sim.Engine, id NodeID, cfg NICConfig) *NIC {
 	q := cfg.rxQueues()
 	n.rings = make([][]*Frame, q)
 	n.pending = make([]int, q)
-	n.coalesceTm = make([]*sim.Timer, q)
+	n.coalesceTm = make([]sim.Timer, q)
 	return n
 }
 
@@ -232,13 +234,17 @@ func (n *NIC) SetInterruptHandler(fn func(now units.Time)) { n.raise = fn }
 // it takes precedence over the single handler when set.
 func (n *NIC) SetQueueHandler(fn func(q int, now units.Time)) { n.raiseQueue = fn }
 
-// buildHeader marshals an IPv4 header carrying the hint; the simulator
-// treats it as the authoritative carrier of aff_core_id (SrcParser
-// re-parses it on receive).
-func (n *NIC) buildHeader(payload units.Bytes, hint AffHint) []byte {
-	opts, err := hint.OptionsBytes()
-	if err != nil {
-		panic(err) // hint cores are validated upstream
+// buildHeader marshals an IPv4 header carrying the hint into buf
+// (reusing a recycled frame's Header capacity); the simulator treats
+// the bytes as the authoritative carrier of aff_core_id (SrcParser
+// re-parses them on receive).
+func (n *NIC) buildHeader(buf []byte, payload units.Bytes, hint AffHint) []byte {
+	if hint.Valid {
+		op, err := EncodeAffOption(hint.Core)
+		if err != nil {
+			panic(err) // hint cores are validated upstream
+		}
+		n.optBuf = [4]byte{op, optionEOL, optionEOL, optionEOL}
 	}
 	total := payload
 	if max := units.Bytes(65535 - 60); total > max {
@@ -250,11 +256,13 @@ func (n *NIC) buildHeader(payload units.Bytes, hint AffHint) []byte {
 		Protocol: 6, // TCP
 		SrcIP:    0x0a000000 | uint32(n.id),
 		DstIP:    0x0a000000,
-		Options:  opts,
+	}
+	if hint.Valid {
+		h.Options = n.optBuf[:]
 	}
 	h.TotalLen = uint16(int(total) + h.HeaderLen())
 	n.nextIPID++
-	b, err := h.Marshal()
+	b, err := h.MarshalAppend(buf)
 	if err != nil {
 		panic(err)
 	}
@@ -274,8 +282,7 @@ func (n *NIC) Send(dst NodeID, payload units.Bytes, hint AffHint, body any) {
 		panic("netsim: negative payload")
 	}
 	if !n.cfg.Fragment {
-		n.sendFrame(&Frame{Src: n.id, Dst: dst, Payload: payload, Hint: hint,
-			Header: n.buildHeader(payload, hint), Body: body})
+		n.sendFrame(n.newFrame(dst, payload, hint, body))
 		return
 	}
 	remaining := payload
@@ -289,12 +296,28 @@ func (n *NIC) Send(dst NodeID, payload units.Bytes, hint AffHint, body any) {
 		if remaining == 0 {
 			b = body // descriptor rides on the final fragment
 		}
-		n.sendFrame(&Frame{Src: n.id, Dst: dst, Payload: sz, Hint: hint,
-			Header: n.buildHeader(sz, hint), Body: b})
+		n.sendFrame(n.newFrame(dst, sz, hint, b))
 	}
 	if payload == 0 {
-		n.sendFrame(&Frame{Src: n.id, Dst: dst, Hint: hint,
-			Header: n.buildHeader(0, hint), Body: body})
+		n.sendFrame(n.newFrame(dst, 0, hint, body))
+	}
+}
+
+// newFrame assembles an outbound frame from the fabric pool.
+func (n *NIC) newFrame(dst NodeID, payload units.Bytes, hint AffHint, body any) *Frame {
+	f := n.fab.NewFrame()
+	f.Src, f.Dst, f.Payload, f.Hint, f.Body = n.id, dst, payload, hint, body
+	f.Header = n.buildHeader(f.Header[:0], payload, hint)
+	return f
+}
+
+// Free returns a consumed frame to the fabric pool. The NIC driver's
+// rx loop calls it once the frame's body has been dispatched; the
+// frame must not be referenced afterwards. A nil fabric (unattached
+// NIC) or nil frame is a no-op.
+func (n *NIC) Free(f *Frame) {
+	if n.fab != nil && f != nil {
+		n.fab.FreeFrame(f)
 	}
 }
 
@@ -322,6 +345,7 @@ func (n *NIC) deliver(f *Frame, now units.Time) {
 	q := n.queueFor(f.Src)
 	if len(n.rings[q]) >= n.cfg.RingSize {
 		n.stats.RingDrops++
+		n.fab.FreeFrame(f)
 		return
 	}
 	n.rings[q] = append(n.rings[q], f)
@@ -332,7 +356,7 @@ func (n *NIC) deliver(f *Frame, now units.Time) {
 		n.fire(q, now)
 		return
 	}
-	if n.coalesceTm[q] == nil || !n.coalesceTm[q].Pending() {
+	if !n.coalesceTm[q].Pending() {
 		n.coalesceTm[q] = n.eng.After(n.cfg.CoalesceDelay, func(at units.Time) {
 			n.fire(q, at)
 		})
@@ -343,9 +367,7 @@ func (n *NIC) fire(q int, now units.Time) {
 	if n.pending[q] == 0 {
 		return
 	}
-	if n.coalesceTm[q] != nil {
-		n.coalesceTm[q].Cancel()
-	}
+	n.coalesceTm[q].Cancel()
 	n.pending[q] = 0
 	n.stats.Interrupts++
 	if n.raiseQueue != nil {
@@ -359,22 +381,27 @@ func (n *NIC) fire(q int, now units.Time) {
 
 // Drain removes and returns every frame across all rx rings — the NIC
 // driver's rx loop. Parsing the hint out of the header bytes (the
-// SrcParser step) is the caller's job via ParseHint.
+// SrcParser step) is the caller's job via ParseHint. The returned
+// slice is reused: it is valid only until the next Drain/DrainQueue
+// call on this NIC.
 func (n *NIC) Drain() []*Frame {
-	var out []*Frame
+	out := n.drainBuf[:0]
 	for q := range n.rings {
 		out = append(out, n.rings[q]...)
-		n.rings[q] = nil
+		n.rings[q] = n.rings[q][:0]
 		n.pending[q] = 0
 	}
+	n.drainBuf = out
 	return out
 }
 
-// DrainQueue removes and returns the frames of one rx queue.
+// DrainQueue removes and returns the frames of one rx queue. The
+// returned slice is reused, like Drain's.
 func (n *NIC) DrainQueue(q int) []*Frame {
-	out := n.rings[q]
-	n.rings[q] = nil
+	out := append(n.drainBuf[:0], n.rings[q]...)
+	n.rings[q] = n.rings[q][:0]
 	n.pending[q] = 0
+	n.drainBuf = out
 	return out
 }
 

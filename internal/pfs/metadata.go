@@ -69,5 +69,6 @@ func (m *MetadataServer) onInterrupt(units.Time) {
 		if q, ok := f.Body.(*LayoutRequest); ok {
 			m.serve(q)
 		}
+		m.nic.Free(f)
 	}
 }

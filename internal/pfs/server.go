@@ -136,7 +136,10 @@ func (s *Server) defaultPlacement(f FileID) units.Bytes {
 func (s *Server) onInterrupt(units.Time) {
 	frames := s.nic.Drain()
 	if s.down {
-		return // crashed: everything received is lost
+		for _, f := range frames {
+			s.nic.Free(f) // crashed: everything received is lost
+		}
+		return
 	}
 	for _, f := range frames {
 		switch body := f.Body.(type) {
@@ -147,6 +150,7 @@ func (s *Server) onInterrupt(units.Time) {
 		default:
 			// stray traffic
 		}
+		s.nic.Free(f)
 	}
 }
 

@@ -1,0 +1,65 @@
+// Package prof wires the standard -cpuprofile/-memprofile flags into
+// the command front-ends. The commands exit through os.Exit on error
+// paths (which skips defers), so Stop is idempotent and must be called
+// explicitly before every exit as well as deferred from main.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiler owns the open profile files of one process.
+type Profiler struct {
+	cpuFile *os.File
+	memPath string
+	stopped bool
+}
+
+// Start begins CPU profiling to cpuPath (if non-empty) and records
+// memPath for the heap snapshot Stop writes. Empty paths disable the
+// corresponding profile.
+func Start(cpuPath, memPath string) (*Profiler, error) {
+	p := &Profiler{memPath: memPath}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		p.cpuFile = f
+	}
+	return p, nil
+}
+
+// Stop finishes the CPU profile and writes the heap profile. It is
+// safe to call more than once; only the first call acts.
+func (p *Profiler) Stop() error {
+	if p == nil || p.stopped {
+		return nil
+	}
+	p.stopped = true
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+	}
+	if p.memPath != "" {
+		f, err := os.Create(p.memPath)
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize final live-heap state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,12 +1,22 @@
 // Package sim implements the discrete-event simulation engine that every
 // SAIs subsystem runs on.
 //
-// The engine is a single-threaded binary-heap event queue over a virtual
-// nanosecond clock (units.Time). Determinism is a hard requirement —
-// the paper's experiments are reproduced as exact functions of (config,
-// seed) — so ties in event time are broken by a monotonically increasing
-// sequence number: two events scheduled for the same instant always fire
-// in the order they were scheduled.
+// The engine is a single-threaded event queue over a virtual nanosecond
+// clock (units.Time). Determinism is a hard requirement — the paper's
+// experiments are reproduced as exact functions of (config, seed) — so
+// ties in event time are broken by a monotonically increasing sequence
+// number: two events scheduled for the same instant always fire in the
+// order they were scheduled.
+//
+// The hot path is allocation-free in steady state. Scheduled events
+// live by value in a slab arena recycled through a free list; the
+// binary heap orders int32 arena indices, not pointers; and events
+// scheduled for the current instant (the Immediately chains of
+// NIC→APIC→core hand-offs) bypass the heap entirely through a FIFO
+// ring. Timers are generation-checked {index, generation} handles, so
+// Cancel is O(1) and safe across slot reuse; cancelled events are
+// removed lazily and compacted in bulk once they outnumber the live
+// ones. See DESIGN.md §9 for the layout and the determinism argument.
 package sim
 
 import (
@@ -18,31 +28,54 @@ import (
 // Event is a callback scheduled to run at a point in simulated time.
 type Event func(now units.Time)
 
-// item is a scheduled event in the heap.
+// item is a scheduled event in the arena slab.
 type item struct {
 	at   units.Time
 	seq  uint64
 	fn   Event
-	dead bool // cancelled
+	gen  uint32
+	dead bool // cancelled (still queued) or freed
 }
 
-// Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct{ it *item }
+// Timer is a handle to a scheduled event that can be cancelled. It is a
+// value: copy it freely, the zero value is an inert handle. A handle
+// holds the arena slot and the generation observed at scheduling time,
+// so a handle kept across its event's firing (and the slot's reuse)
+// can never cancel the slot's next tenant.
+type Timer struct {
+	eng *Engine
+	idx int32
+	gen uint32
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled timer is a no-op. It reports whether the event was
-// still pending.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.it == nil || t.it.dead {
+// already-cancelled timer — or the zero Timer — is a no-op. It reports
+// whether the event was still pending. Cancellation is O(1): the arena
+// slot is marked dead and reaped lazily (or in bulk by compaction).
+func (t Timer) Cancel() bool {
+	e := t.eng
+	if e == nil {
 		return false
 	}
-	t.it.dead = true
-	t.it.fn = nil
+	it := &e.arena[t.idx]
+	if it.gen != t.gen || it.dead {
+		return false
+	}
+	it.dead = true
+	it.fn = nil
+	e.deadCount++
+	e.maybeCompact()
 	return true
 }
 
 // Pending reports whether the event has neither fired nor been cancelled.
-func (t *Timer) Pending() bool { return t != nil && t.it != nil && !t.it.dead }
+func (t Timer) Pending() bool {
+	if t.eng == nil {
+		return false
+	}
+	it := &t.eng.arena[t.idx]
+	return it.gen == t.gen && !it.dead
+}
 
 // stopPollInterval is how many events Run executes between polls of
 // the stop condition. Polling per event would put a closure call (for
@@ -51,21 +84,43 @@ func (t *Timer) Pending() bool { return t != nil && t.it != nil && !t.it.dead }
 // bounding cancellation latency to a sliver of simulated work.
 const stopPollInterval = 64
 
+// compactMin is the dead-item floor below which compaction never runs:
+// rebuilding a tiny queue costs more than lazily skipping its corpses.
+const compactMin = 64
+
 // Engine is the event queue and clock. The zero value is not usable;
 // call NewEngine.
 type Engine struct {
-	now     units.Time
-	seq     uint64
-	heap    []*item
+	now units.Time
+	seq uint64
+
+	// arena is the slab of scheduled events; free lists its recyclable
+	// slots. heap orders arena indices by (at, seq). fifo is the
+	// same-instant fast path: events scheduled for exactly the current
+	// instant are appended here (seq order = FIFO order) and never
+	// touch the heap. fifoHead is the ring's consume cursor.
+	arena    []item
+	free     []int32
+	heap     []int32
+	fifo     []int32
+	fifoHead int
+	// deadCount tracks cancelled events still occupying heap or fifo
+	// slots, awaiting lazy removal or compaction.
+	deadCount int
+
 	fired   uint64
 	halted  bool
 	stop    func() bool
+	pollNow bool // poll the stop condition at the next loop iteration
 	stopped bool
 }
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{heap: make([]*item, 0, 1024)}
+	return &Engine{
+		arena: make([]item, 0, 1024),
+		heap:  make([]int32, 0, 1024),
+	}
 }
 
 // Now returns the current simulated time.
@@ -75,28 +130,71 @@ func (e *Engine) Now() units.Time { return e.now }
 // progress measure and a determinism check in tests.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events waiting in the queue, including
-// cancelled ones not yet popped.
-func (e *Engine) Pending() int { return len(e.heap) }
+// Pending returns the number of events occupying queue slots, including
+// cancelled events that have not been lazily removed or compacted yet.
+// It is a capacity gauge, not a work gauge — use Live for the number of
+// events that will actually fire.
+func (e *Engine) Pending() int { return len(e.heap) + len(e.fifo) - e.fifoHead }
+
+// Live returns the number of events that are scheduled and not
+// cancelled — Pending minus the cancelled events awaiting removal.
+// Progress estimates should use Live: a retry/fault-heavy run cancels
+// timers in bulk, and counting those corpses inflates the denominator.
+func (e *Engine) Live() int { return e.Pending() - e.deadCount }
+
+// alloc claims an arena slot for (at, fn) and returns its index.
+func (e *Engine) alloc(at units.Time, fn Event) int32 {
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.arena = append(e.arena, item{})
+		idx = int32(len(e.arena) - 1)
+	}
+	it := &e.arena[idx]
+	it.at = at
+	it.seq = e.seq
+	it.fn = fn
+	it.dead = false
+	e.seq++
+	return idx
+}
+
+// release returns an arena slot to the free list, bumping its
+// generation so stale Timer handles can never touch the next tenant.
+func (e *Engine) release(idx int32) {
+	it := &e.arena[idx]
+	it.fn = nil
+	it.dead = true
+	it.gen++
+	e.free = append(e.free, idx)
+}
 
 // At schedules fn to run at absolute time at. Scheduling in the past
 // panics: it always indicates a modelling bug, and silently clamping
 // would hide causality violations.
-func (e *Engine) At(at units.Time, fn Event) *Timer {
+func (e *Engine) At(at units.Time, fn Event) Timer {
 	if fn == nil {
 		panic("sim: nil event")
 	}
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past (now=%v at=%v)", e.now, at))
 	}
-	it := &item{at: at, seq: e.seq, fn: fn}
-	e.seq++
-	e.push(it)
-	return &Timer{it: it}
+	idx := e.alloc(at, fn)
+	if at == e.now {
+		// Same-instant fast path: seq order is FIFO order, and the
+		// fifo ring drains before the clock can advance, so the heap
+		// never sees these events at all.
+		e.fifo = append(e.fifo, idx)
+	} else {
+		e.heapPush(idx)
+	}
+	return Timer{eng: e, idx: idx, gen: e.arena[idx].gen}
 }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d units.Time, fn Event) *Timer {
+func (e *Engine) After(d units.Time, fn Event) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
 	}
@@ -105,46 +203,119 @@ func (e *Engine) After(d units.Time, fn Event) *Timer {
 
 // Immediately schedules fn to run at the current instant, after all
 // events already scheduled for this instant.
-func (e *Engine) Immediately(fn Event) *Timer { return e.At(e.now, fn) }
+func (e *Engine) Immediately(fn Event) Timer { return e.At(e.now, fn) }
 
 // Halt stops the run loop after the currently executing event returns.
 func (e *Engine) Halt() { e.halted = true }
 
 // SetStop installs a stop condition polled by Run at event-loop
-// granularity (once on entry, then every stopPollInterval events).
-// When cond returns true the loop returns early and Stopped reports
-// true. The canonical use is context cancellation:
+// granularity (immediately at the next loop iteration — even when
+// installed mid-run from inside an event — then every
+// stopPollInterval events). When cond returns true the loop returns
+// early and Stopped reports true. The canonical use is context
+// cancellation:
 //
 //	eng.SetStop(func() bool { return ctx.Err() != nil })
 //
 // A nil cond removes the condition.
-func (e *Engine) SetStop(cond func() bool) { e.stop = cond }
+func (e *Engine) SetStop(cond func() bool) {
+	e.stop = cond
+	e.pollNow = cond != nil
+}
 
 // Stopped reports whether the most recent Run returned because the
 // stop condition fired (as opposed to draining the queue, hitting the
 // deadline, or Halt).
 func (e *Engine) Stopped() bool { return e.stopped }
 
-// Step pops and executes the single earliest pending event. It reports
-// whether an event was executed (false means the queue was empty).
-func (e *Engine) Step() bool {
-	for len(e.heap) > 0 {
-		it := e.pop()
-		if it.dead {
-			continue
+// next locates the earliest live event without removing it, lazily
+// discarding cancelled entries at the queue fronts. It reports whether
+// the event sits in the fifo ring (true) or the heap (false), and
+// whether any live event exists at all.
+func (e *Engine) next() (fromFifo, ok bool) {
+	for e.fifoHead < len(e.fifo) {
+		idx := e.fifo[e.fifoHead]
+		if !e.arena[idx].dead {
+			break
 		}
-		if it.at < e.now {
-			panic("sim: heap produced an event from the past")
-		}
-		e.now = it.at
-		fn := it.fn
-		it.dead = true
-		it.fn = nil
-		e.fired++
-		fn(e.now)
-		return true
+		e.fifoHead++
+		e.deadCount--
+		e.release(idx)
 	}
-	return false
+	if e.fifoHead == len(e.fifo) && len(e.fifo) > 0 {
+		e.fifo = e.fifo[:0]
+		e.fifoHead = 0
+	}
+	for len(e.heap) > 0 {
+		idx := e.heap[0]
+		if !e.arena[idx].dead {
+			break
+		}
+		e.heapPop()
+		e.deadCount--
+		e.release(idx)
+	}
+	hasFifo := e.fifoHead < len(e.fifo)
+	hasHeap := len(e.heap) > 0
+	switch {
+	case !hasFifo && !hasHeap:
+		return false, false
+	case !hasFifo:
+		return false, true
+	case !hasHeap:
+		return true, true
+	}
+	f, h := &e.arena[e.fifo[e.fifoHead]], &e.arena[e.heap[0]]
+	if h.at < f.at || (h.at == f.at && h.seq < f.seq) {
+		return false, true
+	}
+	return true, true
+}
+
+// nextAt returns the (at) of the live event next() located; call only
+// after next() reported ok.
+func (e *Engine) nextAt(fromFifo bool) units.Time {
+	if fromFifo {
+		return e.arena[e.fifo[e.fifoHead]].at
+	}
+	return e.arena[e.heap[0]].at
+}
+
+// fire pops and executes the live event next() located.
+func (e *Engine) fire(fromFifo bool) {
+	var idx int32
+	if fromFifo {
+		idx = e.fifo[e.fifoHead]
+		e.fifoHead++
+		if e.fifoHead == len(e.fifo) {
+			e.fifo = e.fifo[:0]
+			e.fifoHead = 0
+		}
+	} else {
+		idx = e.heapPop()
+	}
+	it := &e.arena[idx]
+	if it.at < e.now {
+		panic("sim: queue produced an event from the past")
+	}
+	e.now = it.at
+	fn := it.fn
+	e.release(idx)
+	e.fired++
+	// The slot is already recycled: fn may schedule freely (growing the
+	// arena) without invalidating anything we still hold.
+	fn(e.now)
+}
+
+// Step pops and executes the single earliest pending event. It reports
+// whether an event was executed (false means no live event remained).
+func (e *Engine) Step() bool {
+	fromFifo, ok := e.next()
+	if !ok {
+		return false
+	}
+	e.fire(fromFifo)
+	return true
 }
 
 // Run executes events until the queue is empty, Halt is called, the
@@ -156,21 +327,26 @@ func (e *Engine) Run(deadline units.Time) units.Time {
 	e.stopped = false
 	sincePoll := 0
 	for !e.halted {
-		if e.stop != nil && sincePoll == 0 && e.stop() {
-			e.stopped = true
-			return e.now
+		if e.stop != nil && (sincePoll == 0 || e.pollNow) {
+			e.pollNow = false
+			sincePoll = 0
+			if e.stop() {
+				e.stopped = true
+				return e.now
+			}
 		}
 		if sincePoll++; sincePoll == stopPollInterval {
 			sincePoll = 0
 		}
-		if len(e.heap) == 0 {
+		fromFifo, ok := e.next()
+		if !ok {
 			return e.now
 		}
-		if e.peek().at > deadline {
+		if e.nextAt(fromFifo) > deadline {
 			e.now = deadline
 			return e.now
 		}
-		e.Step()
+		e.fire(fromFifo)
 	}
 	return e.now
 }
@@ -178,22 +354,64 @@ func (e *Engine) Run(deadline units.Time) units.Time {
 // RunUntilIdle executes events until the queue is empty.
 func (e *Engine) RunUntilIdle() units.Time { return e.Run(units.Forever) }
 
-// --- binary heap ordered by (at, seq) ---
+// --- cancellation compaction ---
 
-func (e *Engine) less(i, j int) bool {
-	a, b := e.heap[i], e.heap[j]
-	if a.at != b.at {
-		return a.at < b.at
+// maybeCompact triggers a bulk sweep of cancelled events once they
+// outnumber the live ones (and exceed a floor that keeps tiny queues
+// lazy). Retry- and fault-heavy runs cancel timers wholesale; without
+// compaction those corpses deepen the heap and linger until their
+// nominal expiry wanders to the front.
+func (e *Engine) maybeCompact() {
+	if e.deadCount < compactMin || e.deadCount*2 <= e.Pending() {
+		return
 	}
-	return a.seq < b.seq
+	e.compact()
 }
 
-func (e *Engine) push(it *item) {
-	e.heap = append(e.heap, it)
+// compact removes every cancelled event from the heap and fifo in one
+// O(n) pass and restores the heap property.
+func (e *Engine) compact() {
+	live := e.heap[:0]
+	for _, idx := range e.heap {
+		if e.arena[idx].dead {
+			e.release(idx)
+		} else {
+			live = append(live, idx)
+		}
+	}
+	e.heap = live
+	for i := len(e.heap)/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
+	out := e.fifo[:0]
+	for _, idx := range e.fifo[e.fifoHead:] {
+		if e.arena[idx].dead {
+			e.release(idx)
+		} else {
+			out = append(out, idx)
+		}
+	}
+	e.fifo = out
+	e.fifoHead = 0
+	e.deadCount = 0
+}
+
+// --- binary heap of arena indices ordered by (at, seq) ---
+
+func (e *Engine) less(a, b int32) bool {
+	x, y := &e.arena[a], &e.arena[b]
+	if x.at != y.at {
+		return x.at < y.at
+	}
+	return x.seq < y.seq
+}
+
+func (e *Engine) heapPush(idx int32) {
+	e.heap = append(e.heap, idx)
 	i := len(e.heap) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !e.less(i, parent) {
+		if !e.less(e.heap[i], e.heap[parent]) {
 			break
 		}
 		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
@@ -201,29 +419,31 @@ func (e *Engine) push(it *item) {
 	}
 }
 
-func (e *Engine) peek() *item { return e.heap[0] }
-
-func (e *Engine) pop() *item {
+func (e *Engine) heapPop() int32 {
 	top := e.heap[0]
 	last := len(e.heap) - 1
 	e.heap[0] = e.heap[last]
-	e.heap[last] = nil
 	e.heap = e.heap[:last]
-	i := 0
+	if last > 0 {
+		e.siftDown(0)
+	}
+	return top
+}
+
+func (e *Engine) siftDown(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
-		if l < len(e.heap) && e.less(l, smallest) {
+		if l < len(e.heap) && e.less(e.heap[l], e.heap[smallest]) {
 			smallest = l
 		}
-		if r < len(e.heap) && e.less(r, smallest) {
+		if r < len(e.heap) && e.less(e.heap[r], e.heap[smallest]) {
 			smallest = r
 		}
 		if smallest == i {
-			break
+			return
 		}
 		e.heap[i], e.heap[smallest] = e.heap[smallest], e.heap[i]
 		i = smallest
 	}
-	return top
 }

@@ -20,10 +20,10 @@ race:
 	$(GO) test -race ./...
 
 # Short race pass of the orchestration-critical packages (the worker
-# pool, the fault injector, and their heaviest consumer); cheap enough
-# to run in `all`.
+# pool, the fault injector, their heaviest consumer, and the span/trace
+# recorder they share); cheap enough to run in `all`.
 race-short:
-	$(GO) test -race ./internal/runner ./internal/faults ./experiments
+	$(GO) test -race ./internal/runner ./internal/faults ./experiments ./internal/trace
 
 # Record the canonical outputs the repository ships with.
 test-output:

@@ -305,6 +305,17 @@ type Result struct {
 	WriteLatencyP50 units.Time
 	WriteLatencyP99 units.Time
 
+	// Per-strip issue→arrival latency distribution, merged over all
+	// clients: how long each individual strip took from the read() that
+	// requested it to its softirq deposit into a core's cache. Finer
+	// grained than the transfer latencies above — a transfer spans many
+	// strips — and the tail columns the experiment tables report.
+	StripCount       uint64
+	StripLatencyMean units.Time
+	StripLatencyP50  units.Time
+	StripLatencyP95  units.Time
+	StripLatencyP99  units.Time
+
 	// Faults is the degraded-mode rollup: what the fault injector did
 	// to the run and what the recovery paths did about it. All zero
 	// for a healthy cluster.
@@ -375,10 +386,10 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	return run(ctx, cfg, nil)
 }
 
-// run is the shared body of RunContext and RunTraced; instrument
-// (optional) sees the client nodes after construction, before the
-// workload starts.
-func run(ctx context.Context, cfg Config, instrument func([]*client.Node)) (*Result, error) {
+// run is the shared body of RunContext, RunTraced, and RunSpanned;
+// instrument (optional) sees the client nodes and servers after
+// construction, before the workload starts.
+func run(ctx context.Context, cfg Config, instrument func([]*client.Node, []*pfs.Server)) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -427,7 +438,10 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node)) (*Res
 		ccfg.IrqbalancePeriod = cfg.IrqbalancePeriod
 		ccfg.DedicatedCore = cfg.DedicatedCore
 		ccfg.MDS = mdsNode
-		ccfg.Seed = cfg.Seed + uint64(i)
+		// Child seeds are derived, not offset: cfg.Seed+i would make run
+		// seed S node i draw the same stream as run seed S+1 node i-1,
+		// correlating "independent" repeats (see rng.Derive).
+		ccfg.Seed = rng.Derive(cfg.Seed, uint64(2*i))
 		if cfg.ClientNICPorts > 1 {
 			ccfg.NIC.Ports = cfg.ClientNICPorts
 			ccfg.NIC.Rate = cfg.ClientNICRate / units.Rate(cfg.ClientNICPorts)
@@ -460,7 +474,7 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node)) (*Res
 			Segmented:    cfg.Segmented,
 			ThinkTime:    cfg.ThinkTime,
 			Aggregators:  cfg.Aggregators,
-			Seed:         cfg.Seed,
+			Seed:         rng.Derive(cfg.Seed, uint64(2*i+1)),
 		}
 		w, err := workload.NewIOR(node, wcfg, onLoadDone)
 		if err != nil {
@@ -509,7 +523,7 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node)) (*Res
 		}
 	}
 	if instrument != nil {
-		instrument(nodes)
+		instrument(nodes, srvs)
 	}
 	cancellable := ctx != nil && ctx.Done() != nil
 	if cancellable || cfg.Progress != nil {
@@ -600,6 +614,17 @@ func collect(cfg Config, eng *sim.Engine, fab *netsim.Fabric, nodes []*client.No
 		res.WriteLatencyP50 = units.Time(metrics.Percentile(wlats, 50))
 		res.WriteLatencyP99 = units.Time(metrics.Percentile(wlats, 99))
 	}
+	var strips metrics.Histogram
+	for _, n := range nodes {
+		strips.Merge(n.StripLatencies())
+	}
+	if strips.Count() > 0 {
+		res.StripCount = strips.Count()
+		res.StripLatencyMean = units.Time(strips.Mean())
+		res.StripLatencyP50 = units.Time(strips.Percentile(50))
+		res.StripLatencyP95 = units.Time(strips.Percentile(95))
+		res.StripLatencyP99 = units.Time(strips.Percentile(99))
+	}
 	for _, s := range srvs {
 		res.ServerBytes = append(res.ServerBytes, s.Stats().BytesSent+s.Stats().BytesWritten)
 		res.Faults.StallsInjected += s.Stats().Stalled
@@ -658,8 +683,37 @@ func RunTracedContext(ctx context.Context, cfg Config, traceCap int) (*Result, *
 		traceCap = 64
 	}
 	ring := trace.NewRing(traceCap)
-	res, err := run(ctx, cfg, func(nodes []*client.Node) {
+	res, err := run(ctx, cfg, func(nodes []*client.Node, _ []*pfs.Server) {
 		nodes[0].SetTracer(ring)
 	})
 	return res, ring, err
+}
+
+// RunSpanned is Run with full per-strip lifecycle tracing: every client
+// and server records typed spans (issue → service → fabric → ring →
+// steer → irq → consume) plus per-core busy slices into one SpanLog,
+// returned alongside the result for Chrome-trace export
+// (cmd/saisim -trace-out).
+func RunSpanned(cfg Config) (*Result, *trace.SpanLog, error) {
+	return RunSpannedContext(context.Background(), cfg)
+}
+
+// RunSpannedContext is RunSpanned with RunContext's cancellation
+// semantics.
+func RunSpannedContext(ctx context.Context, cfg Config) (*Result, *trace.SpanLog, error) {
+	log := trace.NewSpanLog()
+	res, err := run(ctx, cfg, func(nodes []*client.Node, srvs []*pfs.Server) {
+		for _, n := range nodes {
+			n.SetSpanLog(log)
+			id := int(n.Config().Node)
+			n.CPU().SetSpanHook(func(core int, cat cpu.Category, start, end units.Time) {
+				log.AddCoreSpan(trace.CoreSpan{Node: id, Core: core,
+					Name: cat.String(), Start: start, End: end})
+			})
+		}
+		for _, s := range srvs {
+			s.SetSpanLog(log)
+		}
+	})
+	return res, log, err
 }

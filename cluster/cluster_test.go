@@ -1,8 +1,11 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -10,6 +13,7 @@ import (
 	"sais/internal/analytic"
 	"sais/internal/irqsched"
 	"sais/internal/netsim"
+	"sais/internal/trace"
 	"sais/internal/units"
 )
 
@@ -766,6 +770,28 @@ func TestConfigRoundTrip(t *testing.T) {
 	}
 }
 
+// errWriter fails every write — the io.Writer a full disk looks like.
+type errWriter struct{}
+
+func (errWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestWriteConfigPropagatesWriterError(t *testing.T) {
+	if err := WriteConfig(errWriter{}, DefaultConfig()); err == nil {
+		t.Error("WriteConfig to a failing writer returned nil")
+	}
+}
+
+func TestSaveConfigReportsWriteFailure(t *testing.T) {
+	// /dev/full accepts the open and fails every write with ENOSPC —
+	// the exact failure SaveConfig used to swallow via `defer f.Close()`.
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("/dev/full not available")
+	}
+	if err := SaveConfig("/dev/full", DefaultConfig()); err == nil {
+		t.Error("SaveConfig to a full disk returned nil")
+	}
+}
+
 func TestReadConfigRejectsGarbage(t *testing.T) {
 	if _, err := ReadConfig(strings.NewReader(`{"Servers": 0}`)); err == nil {
 		t.Error("invalid config accepted")
@@ -959,5 +985,129 @@ func TestRunContextCompleteRunMatchesRun(t *testing.T) {
 	if plain.Duration != withCtx.Duration || plain.Bandwidth != withCtx.Bandwidth ||
 		plain.LineAccesses != withCtx.LineAccesses || plain.UnhaltedCycles != withCtx.UnhaltedCycles {
 		t.Errorf("context plumbing changed the simulation: %+v vs %+v", plain, withCtx)
+	}
+}
+
+// spanTestCfg is a small lossless run with a known strip population:
+// 2 procs x 2MiB / 1MiB transfers striped at 64KiB over 4 servers
+// = 64 strips, no retries, no faults — every strip completes exactly
+// one lifecycle chain.
+func spanTestCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Servers = 4
+	cfg.BytesPerProc = 2 * units.MiB
+	cfg.TransferSize = units.MiB
+	return cfg
+}
+
+func TestRunSpannedRecordsFullLifecycle(t *testing.T) {
+	res, spans, err := RunSpanned(spanTestCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantStrips = 64 // 2 procs x 2MiB/64KiB strips
+	if res.StripCount != wantStrips {
+		t.Fatalf("StripCount = %d, want %d", res.StripCount, wantStrips)
+	}
+	if got := spans.OpenCount(); got != 0 {
+		t.Errorf("%d spans still open after a lossless run", got)
+	}
+	if got := spans.Orphans(); got != 0 {
+		t.Errorf("%d orphan End calls", got)
+	}
+	// Every phase appears exactly once per strip.
+	perPhase := make(map[trace.Phase]int)
+	chains := make(map[[3]int][]trace.Span) // (client, tag-less strip key) -> spans
+	for _, s := range spans.Spans() {
+		perPhase[s.Phase]++
+		k := [3]int{s.Client, int(s.Tag), s.Strip}
+		chains[k] = append(chains[k], s)
+		if s.End < s.Start {
+			t.Errorf("span %v ends before it starts: %v < %v", s.Phase, s.End, s.Start)
+		}
+	}
+	for p := trace.PhaseIssue; p < trace.NumPhases; p++ {
+		if perPhase[p] != wantStrips {
+			t.Errorf("phase %v has %d spans, want %d", p, perPhase[p], wantStrips)
+		}
+	}
+	// Each strip's chain is gap-free through the handoff points:
+	// issue.End == service.Start, service.End == fabric.Start,
+	// fabric.End == ring.Start, ring.End == steer.Start,
+	// steer.End == irq.Start.
+	for k, chain := range chains {
+		by := make(map[trace.Phase]trace.Span)
+		for _, s := range chain {
+			by[s.Phase] = s
+		}
+		links := [][2]trace.Phase{
+			{trace.PhaseIssue, trace.PhaseService},
+			{trace.PhaseService, trace.PhaseFabric},
+			{trace.PhaseFabric, trace.PhaseRing},
+			{trace.PhaseRing, trace.PhaseSteer},
+			{trace.PhaseSteer, trace.PhaseIRQ},
+		}
+		for _, l := range links {
+			a, aok := by[l[0]]
+			b, bok := by[l[1]]
+			if !aok || !bok {
+				t.Fatalf("strip %v missing phase %v or %v", k, l[0], l[1])
+			}
+			if a.End != b.Start {
+				t.Errorf("strip %v: %v.End %v != %v.Start %v", k, l[0], a.End, l[1], b.Start)
+			}
+		}
+		// Consumption happens at or after IRQ completion.
+		if by[trace.PhaseConsume].Start < by[trace.PhaseIRQ].End {
+			t.Errorf("strip %v consumed before its IRQ finished", k)
+		}
+	}
+}
+
+func TestRunSpannedChromeExport(t *testing.T) {
+	_, spans, err := RunSpanned(spanTestCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := spans.ExportChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var complete int
+	lastTS := make(map[[2]int]float64)
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "X":
+			complete++
+			if e.Dur < 0 {
+				t.Errorf("event %q has negative duration %v", e.Name, e.Dur)
+			}
+			k := [2]int{e.PID, e.TID}
+			if e.TS < lastTS[k] {
+				t.Errorf("track %v not monotonic: %v after %v", k, e.TS, lastTS[k])
+			}
+			lastTS[k] = e.TS
+		case "M":
+		default:
+			t.Errorf("unexpected event phase %q", e.Ph)
+		}
+	}
+	// 64 strips x 7 lifecycle phases, plus the client core-activity spans.
+	if complete < 64*7 {
+		t.Errorf("%d complete events, want at least %d", complete, 64*7)
 	}
 }

@@ -43,12 +43,19 @@ func LoadConfig(path string) (Config, error) {
 	return ReadConfig(f)
 }
 
-// SaveConfig writes a configuration file.
-func SaveConfig(path string, c Config) error {
+// SaveConfig writes a configuration file. The close error is checked:
+// for a freshly written file, Close is where buffered write failures
+// (full disk, quota) surface, and dropping it would report success for
+// a truncated file.
+func SaveConfig(path string, c Config) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	return WriteConfig(f, c)
 }

@@ -189,9 +189,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		if err := experiments.WriteHTML(f, reports); err != nil {
-			fatal(err)
+		werr := experiments.WriteHTML(f, reports)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr // a dropped close error would hide a truncated report
+		}
+		if werr != nil {
+			fatal(werr)
 		}
 		fmt.Printf("HTML report written to %s\n", *html)
 	}

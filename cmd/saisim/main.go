@@ -32,6 +32,7 @@ import (
 	"sais/internal/faults"
 	"sais/internal/irqsched"
 	"sais/internal/prof"
+	"sais/internal/trace"
 	"sais/internal/units"
 )
 
@@ -54,6 +55,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		verbose    = flag.Bool("v", false, "print the busy-time breakdown")
 		traceN     = flag.Int("trace", 0, "print the last N client trace events")
+		traceOut   = flag.String("trace-out", "", "record per-strip lifecycle spans and write a Chrome trace-event JSON file (load in Perfetto or chrome://tracing)")
 		asJSON     = flag.Bool("json", false, "emit the result as JSON")
 		configPath = flag.String("config", "", "load the cluster configuration from a JSON file (flags below still override)")
 		saveConfig = flag.String("save-config", "", "write the effective configuration to a JSON file")
@@ -172,7 +174,19 @@ func main() {
 		printTraced(ctx, cfg, *traceN)
 		return
 	}
-	res, err := cluster.RunContext(ctx, cfg)
+	var res *cluster.Result
+	if *traceOut != "" {
+		var spans *trace.SpanLog
+		res, spans, err = cluster.RunSpannedContext(ctx, cfg)
+		if spans != nil {
+			if werr := writeTrace(*traceOut, spans); werr != nil {
+				fatal(werr)
+			}
+			fmt.Fprintf(os.Stderr, "saisim: wrote %d spans to %s\n", spans.Len(), *traceOut)
+		}
+	} else {
+		res, err = cluster.RunContext(ctx, cfg)
+	}
 	partial := false
 	if err != nil {
 		if res == nil {
@@ -208,6 +222,11 @@ func main() {
 	fmt.Printf("CLK_UNHALTED    %d cycles\n", res.UnhaltedCycles)
 	fmt.Printf("interrupts      %d (%d hinted), ring drops %d\n",
 		res.Interrupts, res.HintedIRQs, res.RingDrops)
+	if res.StripCount > 0 {
+		fmt.Printf("strip latency   mean %v, p50 %v, p95 %v, p99 %v (%d strips)\n",
+			res.StripLatencyMean, res.StripLatencyP50, res.StripLatencyP95,
+			res.StripLatencyP99, res.StripCount)
+	}
 	fmt.Printf("bottlenecks     client NIC %.0f%%, server disks %.0f%%, server CPUs %.0f%%\n",
 		res.ClientNICBusy*100, res.DiskBusy*100, res.ServerCPUBusy*100)
 	if f := res.Faults; f.FramesDropped+f.FramesCorrupted+f.RingDrops+f.StallsInjected+f.StormFrames > 0 || f.Crashes > 0 {
@@ -250,6 +269,22 @@ func printTraced(ctx context.Context, cfg cluster.Config, n int) {
 	fmt.Printf("bandwidth %.1f MB/s under %s; last %d trace events:\n",
 		float64(res.Bandwidth)/1e6, res.Policy, ring.Len())
 	fmt.Println(ring.Render())
+}
+
+// writeTrace exports the span log as Chrome trace-event JSON. The close
+// error is returned: for a file just written, Close is where a full
+// disk or quota error surfaces.
+func writeTrace(path string, spans *trace.SpanLog) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return spans.ExportChrome(f)
 }
 
 func fatal(err error) {

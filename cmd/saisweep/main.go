@@ -37,6 +37,7 @@ func main() {
 		bytes   = flag.String("bytes", "16MiB", "per-process byte budget for every point")
 		par     = flag.Int("parallel", 1, "run up to N sweep points concurrently")
 		timeout = flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
+		outPath = flag.String("out", "", "write the CSV to this file instead of stdout")
 	)
 	flag.Parse()
 
@@ -82,16 +83,45 @@ func main() {
 	}
 
 	rows, err := sweep.Rows(ctx, dims, points, *par)
-	fmt.Println(sweep.CSVHeader(dims))
-	done := 0
-	for _, row := range rows {
-		if row != "" { // unfinished slots of an interrupted sweep are empty
-			fmt.Println(row)
-			done++
-		}
+	done, werr := writeCSV(*outPath, dims, rows)
+	if werr != nil {
+		fmt.Fprintln(os.Stderr, "saisweep:", werr)
+		os.Exit(1)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "saisweep: sweep stopped after %d/%d points: %v\n", done, len(points), err)
 		os.Exit(1)
 	}
+}
+
+// writeCSV emits the header and completed rows to path (stdout when
+// empty) and returns the row count. The file's close error is checked —
+// that is where a short write to a full disk surfaces.
+func writeCSV(path string, dims []sweep.Dim, rows []string) (done int, err error) {
+	var w *os.File = os.Stdout
+	if path != "" {
+		f, ferr := os.Create(path)
+		if ferr != nil {
+			return 0, ferr
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
+	if _, err := fmt.Fprintln(w, sweep.CSVHeader(dims)); err != nil {
+		return 0, err
+	}
+	for _, row := range rows {
+		if row == "" { // unfinished slots of an interrupted sweep are empty
+			continue
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return done, err
+		}
+		done++
+	}
+	return done, nil
 }

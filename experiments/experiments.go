@@ -94,6 +94,15 @@ type CellResult struct {
 	// Change is the treatment's relative improvement: speed-up for
 	// higher-is-better metrics, reduction for lower-is-better ones.
 	Change float64
+	// Per-strip end-to-end latency percentiles (µs, averaged over
+	// seeds), from the client-side issue→arrival histogram. Zero for
+	// workloads that return no strips (writes).
+	BaseStripP50  metrics.Summary
+	BaseStripP95  metrics.Summary
+	BaseStripP99  metrics.Summary
+	TreatStripP50 metrics.Summary
+	TreatStripP95 metrics.Summary
+	TreatStripP99 metrics.Summary
 }
 
 // Report is a completed experiment.
@@ -173,6 +182,12 @@ func (e Experiment) runCell(ctx context.Context, i, seeds int) (CellResult, erro
 		}
 		cr.Baseline.Add(e.Metric.value(base))
 		cr.Treatment.Add(e.Metric.value(treat))
+		cr.BaseStripP50.Add(float64(base.StripLatencyP50) / 1e3)
+		cr.BaseStripP95.Add(float64(base.StripLatencyP95) / 1e3)
+		cr.BaseStripP99.Add(float64(base.StripLatencyP99) / 1e3)
+		cr.TreatStripP50.Add(float64(treat.StripLatencyP50) / 1e3)
+		cr.TreatStripP95.Add(float64(treat.StripLatencyP95) / 1e3)
+		cr.TreatStripP99.Add(float64(treat.StripLatencyP99) / 1e3)
 	}
 	if e.Metric.HigherIsBetter() {
 		cr.Change = metrics.Speedup(cr.Treatment.Mean(), cr.Baseline.Mean())
@@ -207,27 +222,38 @@ func (r *Report) Table() string {
 	if r.PaperNote != "" {
 		fmt.Fprintf(&b, "paper: %s\n", r.PaperNote)
 	}
-	fmt.Fprintf(&b, "%-22s %16s %16s %10s\n", "cell", r.Baseline, r.Treatment, "change")
+	fmt.Fprintf(&b, "%-22s %16s %16s %10s %20s %20s\n",
+		"cell", r.Baseline, r.Treatment, "change", "b strip p50/95/99us", "t strip p50/95/99us")
 	for _, c := range r.Cells {
-		fmt.Fprintf(&b, "%-22s %16s %16s %10s\n",
-			c.Label, c.Baseline.String(), c.Treatment.String(), metrics.Percent(c.Change))
+		fmt.Fprintf(&b, "%-22s %16s %16s %10s %20s %20s\n",
+			c.Label, c.Baseline.String(), c.Treatment.String(), metrics.Percent(c.Change),
+			stripCol(c.BaseStripP50, c.BaseStripP95, c.BaseStripP99),
+			stripCol(c.TreatStripP50, c.TreatStripP95, c.TreatStripP99))
 	}
 	best, label := r.BestChange()
 	fmt.Fprintf(&b, "peak change: %s at %s\n", metrics.Percent(best), label)
 	return b.String()
 }
 
+// stripCol formats a cell's per-strip latency percentiles as one
+// compact p50/p95/p99 column in microseconds.
+func stripCol(p50, p95, p99 metrics.Summary) string {
+	return fmt.Sprintf("%.0f/%.0f/%.0f", p50.Mean(), p95.Mean(), p99.Mean())
+}
+
 // CSV renders the report as comma-separated rows (one per cell) with a
 // header line, for spreadsheet or plotting pipelines.
 func (r *Report) CSV() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "experiment,cell,metric,%s_mean,%s_ci95,%s_mean,%s_ci95,change\n",
+	fmt.Fprintf(&b, "experiment,cell,metric,%s_mean,%s_ci95,%s_mean,%s_ci95,change,base_strip_p50_us,base_strip_p95_us,base_strip_p99_us,treat_strip_p50_us,treat_strip_p95_us,treat_strip_p99_us\n",
 		r.Baseline, r.Baseline, r.Treatment, r.Treatment)
 	for _, c := range r.Cells {
-		fmt.Fprintf(&b, "%s,%q,%q,%g,%g,%g,%g,%.6f\n",
+		fmt.Fprintf(&b, "%s,%q,%q,%g,%g,%g,%g,%.6f,%g,%g,%g,%g,%g,%g\n",
 			r.ID, c.Label, r.Metric.String(),
 			c.Baseline.Mean(), c.Baseline.CI95(),
-			c.Treatment.Mean(), c.Treatment.CI95(), c.Change)
+			c.Treatment.Mean(), c.Treatment.CI95(), c.Change,
+			c.BaseStripP50.Mean(), c.BaseStripP95.Mean(), c.BaseStripP99.Mean(),
+			c.TreatStripP50.Mean(), c.TreatStripP95.Mean(), c.TreatStripP99.Mean())
 	}
 	return b.String()
 }

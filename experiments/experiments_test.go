@@ -282,8 +282,8 @@ func TestReportCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[1], "figure5,") {
 		t.Errorf("row = %q", lines[1])
 	}
-	if got := strings.Count(lines[1], ","); got != 7 {
-		t.Errorf("row has %d commas, want 7", got)
+	if got := strings.Count(lines[1], ","); got != 13 {
+		t.Errorf("row has %d commas, want 13", got)
 	}
 }
 
@@ -304,6 +304,18 @@ func TestWriteHTML(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("html missing %q", want)
 		}
+	}
+}
+
+// failingWriter errors on every write, like a full disk.
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestWriteHTMLPropagatesWriterError(t *testing.T) {
+	rep := &Report{ID: "x", Title: "x", Cells: []CellResult{{Label: "c"}}}
+	if err := WriteHTML(failingWriter{}, []*Report{rep}); err == nil {
+		t.Error("WriteHTML to a failing writer returned nil")
 	}
 }
 

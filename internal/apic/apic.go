@@ -123,6 +123,7 @@ type IOAPIC struct {
 	redir  map[Vector]RedirEntry
 	router Router
 	stats  IOAPICStats
+	routed []uint64 // interrupts steered to each core
 }
 
 // NewIOAPIC builds an I/O APIC over the given local APICs.
@@ -130,7 +131,11 @@ func NewIOAPIC(eng *sim.Engine, locals []*LocalAPIC) *IOAPIC {
 	if len(locals) == 0 {
 		panic("apic: IOAPIC needs at least one local APIC")
 	}
-	return &IOAPIC{eng: eng, locals: locals, redir: make(map[Vector]RedirEntry)}
+	return &IOAPIC{
+		eng: eng, locals: locals,
+		redir:  make(map[Vector]RedirEntry),
+		routed: make([]uint64, len(locals)),
+	}
 }
 
 // SetRouter installs the scheduling policy.
@@ -141,6 +146,12 @@ func (io *IOAPIC) Router() Router { return io.router }
 
 // Stats returns a copy of the counters.
 func (io *IOAPIC) Stats() IOAPICStats { return io.stats }
+
+// RoutedPerCore returns how many interrupts were steered to each core —
+// the observable distribution of the installed policy's decisions.
+func (io *IOAPIC) RoutedPerCore() []uint64 {
+	return append([]uint64(nil), io.routed...)
+}
 
 // Program writes a redirection-table entry for vec. An empty allowed
 // set means "any core".
@@ -186,6 +197,7 @@ func (io *IOAPIC) Raise(vec Vector, hint int, flow uint64) int {
 		dest = allowed[0]
 	}
 	io.stats.Raised++
+	io.routed[dest]++
 	io.locals[dest].Accept(vec)
 	return dest
 }

@@ -18,6 +18,7 @@ import (
 	"sais/internal/cache"
 	"sais/internal/cpu"
 	"sais/internal/irqsched"
+	"sais/internal/metrics"
 	"sais/internal/netsim"
 	"sais/internal/pfs"
 	"sais/internal/rng"
@@ -246,8 +247,9 @@ type read struct {
 }
 
 type blockRef struct {
-	id   cache.BlockID
-	size units.Bytes
+	id    cache.BlockID
+	size  units.Bytes
+	strip int // global strip index, for span identity
 }
 
 // writeOp tracks one in-flight write transfer: strips are pushed to the
@@ -326,6 +328,12 @@ type Node struct {
 	writeLatencies []float64
 	opErrors       []OpError
 	tracer         *trace.Ring
+	// spans, when non-nil, records the full lifecycle of every strip.
+	spans *trace.SpanLog
+	// stripHist accumulates per-strip issue→arrival latency (ns); it is
+	// always on — the fixed-shape histogram costs one array index per
+	// strip.
+	stripHist metrics.Histogram
 }
 
 // Latencies returns the completed read-transfer latencies (ns).
@@ -340,6 +348,14 @@ func (n *Node) OpErrors() []OpError { return n.opErrors }
 
 // SetTracer installs an optional event trace; nil disables tracing.
 func (n *Node) SetTracer(tr *trace.Ring) { n.tracer = tr }
+
+// SetSpanLog attaches the lifecycle span recorder; nil (the default)
+// disables span tracing entirely — no allocation on any hot path.
+func (n *Node) SetSpanLog(l *trace.SpanLog) { n.spans = l }
+
+// StripLatencies returns the per-strip issue→arrival latency histogram
+// (nanoseconds).
+func (n *Node) StripLatencies() *metrics.Histogram { return &n.stripHist }
 
 func (n *Node) tracef(component, format string, args ...any) {
 	if n.tracer != nil {
@@ -681,6 +697,17 @@ func (n *Node) issue(p *Proc, file pfs.FileID, offset, length units.Bytes, done 
 	for _, plan := range plans {
 		rd.remaining += len(plan.Pieces)
 	}
+	if n.spans != nil {
+		// The issue span opens here (post-migration, so the recorded core
+		// is the one the request actually left from) and is closed by the
+		// server when the request arrives.
+		for _, plan := range plans {
+			for _, piece := range plan.Pieces {
+				n.spans.Begin(trace.PhaseIssue, rd.issuedAt,
+					int(n.cfg.Node), int(plan.Server), tag, piece.GlobalStrip, p.core)
+			}
+		}
+	}
 	n.reads[tag] = rd
 	n.sendReadRequests(rd, plans)
 	n.armReadTimer(rd)
@@ -780,13 +807,14 @@ func missingPlans(plans []pfs.ServerPlan, got map[int]bool) []pfs.ServerPlan {
 // RSS): the queue's vector is raised and the redirection table — not a
 // software policy — decides the core. Hints are ignored, as static
 // vector assignment cannot follow them.
-func (n *Node) onNICQueueInterrupt(q int, _ units.Time) {
+func (n *Node) onNICQueueInterrupt(q int, now units.Time) {
 	for _, f := range n.nic.DrainQueue(q) {
 		if !n.headerOK(f) {
 			n.nic.Free(f)
 			continue
 		}
 		dest := n.ioapic.Raise(DataVector+apic.Vector(q), apic.NoHint, uint64(f.Src))
+		n.recordTransit(f, now, dest)
 		n.frameq[dest] = append(n.frameq[dest], f)
 		n.tracef("apic", "msix q%d frame from node %d routed to core %d", q, f.Src, dest)
 	}
@@ -795,7 +823,7 @@ func (n *Node) onNICQueueInterrupt(q int, _ units.Time) {
 // onNICInterrupt is the NIC interrupt line: for every drained frame the
 // I/O APIC (under the installed policy) picks a handling core, and the
 // frame is queued for that core's local-APIC delivery.
-func (n *Node) onNICInterrupt(units.Time) {
+func (n *Node) onNICInterrupt(now units.Time) {
 	for _, f := range n.nic.Drain() {
 		if !n.headerOK(f) {
 			n.nic.Free(f)
@@ -816,9 +844,30 @@ func (n *Node) onNICInterrupt(units.Time) {
 			}
 		}
 		dest := n.ioapic.Raise(DataVector, h, uint64(f.Src))
+		n.recordTransit(f, now, dest)
 		n.frameq[dest] = append(n.frameq[dest], f)
 		n.tracef("apic", "frame from node %d (%v) routed to core %d", f.Src, hint, dest)
 	}
+}
+
+// recordTransit emits the frame's fabric and ring-dwell spans (from the
+// stamps the NIC layer left on it) and opens the steering span, which
+// the local-APIC delivery closes. Only strip data is tracked — layout
+// and ack traffic has no per-strip identity.
+func (n *Node) recordTransit(f *netsim.Frame, now units.Time, dest int) {
+	if n.spans == nil {
+		return
+	}
+	sd, ok := f.Body.(*pfs.StripData)
+	if !ok {
+		return
+	}
+	cl, srv := int(n.cfg.Node), int(f.Src)
+	n.spans.Emit(trace.Span{Phase: trace.PhaseFabric, Start: f.SentAt, End: f.DeliveredAt,
+		Client: cl, Server: srv, Tag: sd.Tag, Strip: sd.GlobalStrip, Core: -1})
+	n.spans.Emit(trace.Span{Phase: trace.PhaseRing, Start: f.DeliveredAt, End: now,
+		Client: cl, Server: srv, Tag: sd.Tag, Strip: sd.GlobalStrip, Core: -1})
+	n.spans.Begin(trace.PhaseSteer, now, cl, srv, sd.Tag, sd.GlobalStrip, dest)
 }
 
 // headerOK validates the frame's IPv4 header; a corrupted header is
@@ -834,7 +883,7 @@ func (n *Node) headerOK(f *netsim.Frame) bool {
 
 // handleIRQ runs when a local APIC delivers the vector to a core: pop
 // one frame and process it in interrupt context on that core.
-func (n *Node) handleIRQ(core int, _ units.Time) {
+func (n *Node) handleIRQ(core int, now units.Time) {
 	if len(n.frameq[core]) == 0 {
 		return // spurious (frame dropped by ring overflow)
 	}
@@ -845,6 +894,13 @@ func (n *Node) handleIRQ(core int, _ units.Time) {
 	c.Submit(cpu.PrioSoftirq, cpu.CatIRQ, n.cfg.Costs.IRQEntry, nil)
 	switch body := f.Body.(type) {
 	case *pfs.StripData:
+		if n.spans != nil {
+			// The local APIC has delivered: the steering decision is
+			// realized, interrupt handling starts.
+			cl := int(n.cfg.Node)
+			n.spans.End(trace.PhaseSteer, now, cl, body.Tag, body.GlobalStrip, core)
+			n.spans.Begin(trace.PhaseIRQ, now, cl, int(f.Src), body.Tag, body.GlobalStrip, core)
+		}
 		cost := units.Time(float64(f.Payload) * n.cfg.Costs.SoftirqPerByte)
 		c.Submit(cpu.PrioSoftirq, cpu.CatSoftirq, cost, func(now units.Time) {
 			n.stripArrived(core, body, now)
@@ -882,10 +938,14 @@ func (n *Node) stripArrived(core int, sd *pfs.StripData, now units.Time) {
 		return // duplicate from a retry race
 	}
 	rd.got[sd.GlobalStrip] = true
+	if n.spans != nil {
+		n.spans.End(trace.PhaseIRQ, now, int(n.cfg.Node), sd.Tag, sd.GlobalStrip, core)
+	}
+	n.stripHist.Add(float64(now - rd.issuedAt))
 	n.nextBlock++
 	id := n.nextBlock
 	n.caches.Fill(core, id, sd.Size)
-	rd.blocks = append(rd.blocks, blockRef{id: id, size: sd.Size})
+	rd.blocks = append(rd.blocks, blockRef{id: id, size: sd.Size, strip: sd.GlobalStrip})
 	rd.bytes += sd.Size
 	rd.remaining--
 	if rd.remaining == 0 {
@@ -1007,6 +1067,7 @@ func (n *Node) wake(rd *read, _ units.Time) {
 func (n *Node) consume(rd *read) {
 	p := rd.proc
 	c := n.cpu.Core(p.core)
+	consumeStart := n.eng.Now()
 	lineSize := n.caches.LineSize()
 	var remoteLines, farLines, l3Lines, l3FarLines, memLines, localLines int64
 	for _, b := range rd.blocks {
@@ -1060,6 +1121,17 @@ func (n *Node) consume(rd *read) {
 		n.stats.BytesRead += rd.bytes
 		n.stats.Transfers++
 		n.latencies = append(n.latencies, float64(now-rd.issuedAt))
+		if n.spans != nil {
+			// The whole transfer is consumed as one batch; every strip's
+			// consume span covers the wake→compute-done window on the
+			// process's core.
+			for _, b := range rd.blocks {
+				n.spans.Emit(trace.Span{Phase: trace.PhaseConsume,
+					Start: consumeStart, End: now,
+					Client: int(n.cfg.Node), Server: -1, Tag: rd.tag,
+					Strip: b.strip, Core: p.core})
+			}
+		}
 		if rd.done != nil {
 			rd.done(now)
 		}

@@ -77,6 +77,11 @@ func (s CoreStats) UnhaltedCycles(f units.Hertz) units.Cycles {
 	return f.CyclesIn(s.Busy)
 }
 
+// SpanHook observes every banked busy slice of a core: the slice ran on
+// core in category cat over [start, end). Used by the span tracer to
+// build per-core activity tracks; nil when tracing is off.
+type SpanHook func(core int, cat Category, start, end units.Time)
+
 // Core is one processor core: a preemptive two-level priority queue
 // over simulated time.
 type Core struct {
@@ -92,6 +97,8 @@ type Core struct {
 	runRotating bool
 	runTm       sim.Timer
 	ranAt       units.Time
+
+	spanHook SpanHook
 
 	stats CoreStats
 }
@@ -121,6 +128,9 @@ func (c *Core) SetQuantum(d units.Time) {
 
 // Freq returns the clock frequency.
 func (c *Core) Freq() units.Hertz { return c.freq }
+
+// SetSpanHook installs (or clears, with nil) the busy-slice observer.
+func (c *Core) SetSpanHook(h SpanHook) { c.spanHook = h }
 
 // Stats returns a snapshot of the accounting, charging the in-flight
 // slice of any currently running task so mid-run reads are exact.
@@ -208,9 +218,13 @@ func (c *Core) reschedule() {
 // bankAndRequeueFront charges the elapsed slice of the running task and
 // puts it back at the head of its queue.
 func (c *Core) bankAndRequeueFront() {
-	elapsed := c.eng.Now() - c.ranAt
+	now := c.eng.Now()
+	elapsed := now - c.ranAt
 	c.stats.Busy += elapsed
 	c.stats.ByCategory[c.run.cat] += elapsed
+	if c.spanHook != nil && elapsed > 0 {
+		c.spanHook(c.id, c.run.cat, c.ranAt, now)
+	}
 	c.run.remaining -= elapsed
 	if c.run.remaining < 0 {
 		c.run.remaining = 0
@@ -269,6 +283,9 @@ func (c *Core) rotate(now units.Time) {
 	elapsed := now - c.ranAt
 	c.stats.Busy += elapsed
 	c.stats.ByCategory[t.cat] += elapsed
+	if c.spanHook != nil && elapsed > 0 {
+		c.spanHook(c.id, t.cat, c.ranAt, now)
+	}
 	t.remaining -= elapsed
 	if t.remaining < 0 {
 		t.remaining = 0
@@ -284,6 +301,9 @@ func (c *Core) finish(now units.Time) {
 	elapsed := now - c.ranAt
 	c.stats.Busy += elapsed
 	c.stats.ByCategory[t.cat] += elapsed
+	if c.spanHook != nil && elapsed > 0 {
+		c.spanHook(c.id, t.cat, c.ranAt, now)
+	}
 	c.stats.Completed++
 	c.run = nil
 	c.start()
@@ -318,6 +338,13 @@ func (p *CPU) NumCores() int { return len(p.cores) }
 func (p *CPU) SetQuantum(d units.Time) {
 	for _, c := range p.cores {
 		c.SetQuantum(d)
+	}
+}
+
+// SetSpanHook installs the busy-slice observer on every core.
+func (p *CPU) SetSpanHook(h SpanHook) {
+	for _, c := range p.cores {
+		c.SetSpanHook(h)
 	}
 }
 

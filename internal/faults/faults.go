@@ -228,12 +228,17 @@ func LoadPlan(path string) (*Plan, error) {
 	return ReadPlan(f)
 }
 
-// SavePlan writes a fault-plan file.
-func SavePlan(path string, p *Plan) error {
+// SavePlan writes a fault-plan file. The close error is checked so a
+// truncated plan (full disk) is reported instead of silently saved.
+func SavePlan(path string, p *Plan) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	return WritePlan(f, p)
 }

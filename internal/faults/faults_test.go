@@ -2,12 +2,24 @@ package faults
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
 
 	"sais/internal/units"
 )
+
+// errWriter fails every write — the io.Writer a full disk looks like.
+type errWriter struct{}
+
+func (errWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestWritePlanPropagatesWriterError(t *testing.T) {
+	if err := WritePlan(errWriter{}, samplePlan()); err == nil {
+		t.Error("WritePlan to a failing writer returned nil")
+	}
+}
 
 // samplePlan exercises every field of the spec.
 func samplePlan() *Plan {

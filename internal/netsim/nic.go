@@ -21,6 +21,13 @@ type Frame struct {
 	Hint     AffHint     // aff_core_id carried in the IP options
 	Header   []byte      // marshaled IPv4 header (wire truth for the hint)
 	Body     any         // opaque upper-layer descriptor (strip, request)
+
+	// Lifecycle stamps for span tracing: when the frame entered the
+	// sender's egress queue and when it landed in the receiver's rx
+	// ring. Two plain stores per frame; consumed only when a SpanLog is
+	// attached downstream.
+	SentAt      units.Time
+	DeliveredAt units.Time
 }
 
 // WireBytes returns the bytes the frame occupies on the wire given the
@@ -308,6 +315,7 @@ func (n *NIC) newFrame(dst NodeID, payload units.Bytes, hint AffHint, body any) 
 	f := n.fab.NewFrame()
 	f.Src, f.Dst, f.Payload, f.Hint, f.Body = n.id, dst, payload, hint, body
 	f.Header = n.buildHeader(f.Header[:0], payload, hint)
+	f.SentAt = n.eng.Now()
 	return f
 }
 
@@ -348,6 +356,7 @@ func (n *NIC) deliver(f *Frame, now units.Time) {
 		n.fab.FreeFrame(f)
 		return
 	}
+	f.DeliveredAt = now
 	n.rings[q] = append(n.rings[q], f)
 	n.stats.RxFrames++
 	n.stats.RxPayload += f.Payload

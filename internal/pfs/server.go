@@ -8,6 +8,7 @@ import (
 	"sais/internal/netsim"
 	"sais/internal/rng"
 	"sais/internal/sim"
+	"sais/internal/trace"
 	"sais/internal/units"
 )
 
@@ -73,6 +74,8 @@ type Server struct {
 	stall func() units.Time
 	// down makes the server drop all traffic (crash injection).
 	down bool
+	// spans, when non-nil, records the service phase of every strip.
+	spans *trace.SpanLog
 }
 
 // NewServer builds a server on node id and attaches its NIC to fab.
@@ -122,6 +125,9 @@ func (s *Server) SetDown(down bool) { s.down = down }
 
 // Down reports the crash state.
 func (s *Server) Down() bool { return s.down }
+
+// SetSpanLog attaches the lifecycle span recorder; nil disables.
+func (s *Server) SetSpanLog(l *trace.SpanLog) { s.spans = l }
 
 // defaultPlacement spreads files across the disk deterministically,
 // 1 MiB aligned, so different files force real seeks.
@@ -197,14 +203,26 @@ func (s *Server) handle(req *ReadRequest, hint netsim.AffHint) {
 			s.stats.Stalled++
 		}
 	}
+	if s.spans != nil {
+		// The request has arrived: close each strip's issue span and open
+		// its service span at the same instant so the chain is gap-free.
+		now := s.eng.Now()
+		for _, p := range req.Pieces {
+			s.spans.End(trace.PhaseIssue, now, int(req.Client), req.Tag, p.GlobalStrip, -1)
+			s.spans.Begin(trace.PhaseService, now, int(req.Client), int(s.node), req.Tag, p.GlobalStrip, -1)
+		}
+	}
 	s.cpu.Submit(s.cfg.RequestCPU+extra, func(units.Time) {
 		echo := s.capsuler.Echo(hint)
 		for _, p := range req.Pieces {
 			p := p
 			s.readPiece(req.File, p, req.LocalEOF, func(units.Time) {
-				s.cpu.Submit(s.cfg.PerStripCPU, func(units.Time) {
+				s.cpu.Submit(s.cfg.PerStripCPU, func(now units.Time) {
 					s.stats.StripsSent++
 					s.stats.BytesSent += p.Size
+					if s.spans != nil {
+						s.spans.End(trace.PhaseService, now, int(req.Client), req.Tag, p.GlobalStrip, -1)
+					}
 					s.nic.Send(req.Client, p.Size, echo, &StripData{
 						File:        req.File,
 						Tag:         req.Tag,

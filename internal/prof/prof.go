@@ -55,10 +55,13 @@ func (p *Profiler) Stop() error {
 		if err != nil {
 			return fmt.Errorf("prof: %w", err)
 		}
-		defer f.Close()
 		runtime.GC() // materialize final live-heap state
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			return fmt.Errorf("prof: %w", err)
+		werr := pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr // close failure = profile truncated on disk
+		}
+		if werr != nil {
+			return fmt.Errorf("prof: %w", werr)
 		}
 	}
 	return nil

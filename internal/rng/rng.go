@@ -34,6 +34,17 @@ func splitmix64(x *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Derive maps a (seed, stream) pair to an independent child seed with a
+// splitmix64-style finalizer. Unlike naive `seed + stream`, adjacent
+// (seed, stream) pairs never alias: Derive(s, i) != Derive(s+1, i-1),
+// so repeat runs with consecutive root seeds stay uncorrelated.
+func Derive(seed, stream uint64) uint64 {
+	x := seed + (stream+1)*0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // New returns a Source seeded from seed. Distinct seeds give
 // independent-looking streams; the zero seed is valid.
 func New(seed uint64) *Source {

@@ -1,6 +1,7 @@
 package rng
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -292,5 +293,32 @@ func TestZipfValidation(t *testing.T) {
 			}()
 			f()
 		}()
+	}
+}
+
+func TestDeriveNoDiagonalAliasing(t *testing.T) {
+	// The bug Derive fixes: seed+stream addition makes run seed S,
+	// stream i collide with run seed S+1, stream i-1. Check a grid.
+	seen := map[uint64]string{}
+	for seed := uint64(1); seed <= 8; seed++ {
+		for stream := uint64(0); stream < 64; stream++ {
+			d := Derive(seed, stream)
+			if prev, ok := seen[d]; ok {
+				t.Fatalf("Derive(%d,%d) collides with %s", seed, stream, prev)
+			}
+			seen[d] = fmt.Sprintf("Derive(%d,%d)", seed, stream)
+			if naive := seed + stream; d == naive {
+				t.Errorf("Derive(%d,%d) equals the naive sum %d", seed, stream, naive)
+			}
+		}
+	}
+}
+
+func TestDeriveDeterministic(t *testing.T) {
+	if Derive(42, 3) != Derive(42, 3) {
+		t.Error("Derive is not a pure function")
+	}
+	if Derive(42, 3) == Derive(42, 4) || Derive(42, 3) == Derive(43, 3) {
+		t.Error("adjacent inputs should map to distinct outputs")
 	}
 }

@@ -1,0 +1,302 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"sais/internal/units"
+)
+
+// Phase identifies one stage of a strip's lifecycle through the
+// simulated cluster. The phases chain: a strip's Issue span ends where
+// its Service span starts, and so on through Consume.
+type Phase uint8
+
+// Lifecycle phases, in chain order.
+const (
+	PhaseIssue   Phase = iota // client issue → request arrives at the server
+	PhaseService              // server: request arrival → strip handed to the NIC
+	PhaseFabric               // NIC egress enqueue → delivery into the client rx ring
+	PhaseRing                 // rx ring dwell: delivery → driver drain
+	PhaseSteer                // IOAPIC routing decision → local-APIC delivery on the chosen core
+	PhaseIRQ                  // interrupt entry + softirq protocol processing
+	PhaseConsume              // wake, cache migration, and compute on the consuming core
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"issue", "service", "fabric", "ring", "steer", "irq", "consume",
+}
+
+// String returns the phase's track label.
+func (p Phase) String() string {
+	if p < NumPhases {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// Span is one completed phase of one strip's journey, carrying the
+// strip's full identity so per-strip timelines can be reassembled
+// across components.
+type Span struct {
+	Phase  Phase
+	Start  units.Time
+	End    units.Time
+	Client int    // client node id
+	Server int    // serving node id (-1 when not applicable)
+	Tag    uint64 // transfer tag (unique per client)
+	Strip  int    // global strip index within the transfer
+	Core   int    // client core involved (-1 when not core-bound)
+}
+
+// CoreSpan is one contiguous busy slice of a client core, labelled with
+// its accounting category — the per-core activity tracks of the Chrome
+// export.
+type CoreSpan struct {
+	Node  int // client node id
+	Core  int
+	Name  string // busy-time category ("softirq", "compute", ...)
+	Start units.Time
+	End   units.Time
+}
+
+// spanKey matches a Begin with its End across components: the server
+// closes the Issue span the client opened, the softirq closes the Steer
+// span the driver opened.
+type spanKey struct {
+	client int
+	tag    uint64
+	strip  int
+	phase  Phase
+}
+
+// SpanLog collects the typed spans of one run. A nil *SpanLog is the
+// disabled state: every instrumentation site nil-checks its log before
+// touching it, so an uninstrumented run allocates nothing. Spans are
+// stored by value in one growing slab; the pending map only holds the
+// handful of open spans in flight.
+type SpanLog struct {
+	spans   []Span
+	cores   []CoreSpan
+	pending map[spanKey]Span
+	orphans uint64
+}
+
+// NewSpanLog returns an empty span log.
+func NewSpanLog() *SpanLog {
+	return &SpanLog{pending: make(map[spanKey]Span)}
+}
+
+// Begin opens a span: the phase has started for the identified strip.
+// A second Begin for the same strip and phase (a retry) replaces the
+// open span.
+func (l *SpanLog) Begin(p Phase, at units.Time, client, server int, tag uint64, strip, core int) {
+	l.pending[spanKey{client, tag, strip, p}] = Span{
+		Phase: p, Start: at, Client: client, Server: server, Tag: tag, Strip: strip, Core: core,
+	}
+}
+
+// End closes the matching open span at the given time and records it.
+// core overrides the span's core when >= 0 (the steering decision is
+// only known at delivery). An End with no matching Begin is counted in
+// Orphans and otherwise ignored.
+func (l *SpanLog) End(p Phase, at units.Time, client int, tag uint64, strip, core int) {
+	k := spanKey{client, tag, strip, p}
+	s, ok := l.pending[k]
+	if !ok {
+		l.orphans++
+		return
+	}
+	delete(l.pending, k)
+	s.End = at
+	if core >= 0 {
+		s.Core = core
+	}
+	l.spans = append(l.spans, s)
+}
+
+// Emit records an already-complete span (both endpoints known at the
+// same instrumentation site).
+func (l *SpanLog) Emit(s Span) { l.spans = append(l.spans, s) }
+
+// AddCoreSpan records one busy slice of a client core.
+func (l *SpanLog) AddCoreSpan(cs CoreSpan) { l.cores = append(l.cores, cs) }
+
+// Spans returns the completed strip spans in completion order.
+func (l *SpanLog) Spans() []Span { return l.spans }
+
+// CoreSpans returns the recorded core busy slices.
+func (l *SpanLog) CoreSpans() []CoreSpan { return l.cores }
+
+// Len returns the number of completed strip spans.
+func (l *SpanLog) Len() int { return len(l.spans) }
+
+// OpenCount returns the spans begun but never ended — non-zero means
+// strips died mid-flight (loss, abandon) or instrumentation is
+// incomplete.
+func (l *SpanLog) OpenCount() int { return len(l.pending) }
+
+// Orphans returns the count of End calls that matched no open span
+// (late duplicates from the retry path).
+func (l *SpanLog) Orphans() uint64 { return l.orphans }
+
+// Chrome-export track layout. Client and server node ids become
+// Chrome pids directly; the fabric gets a pid far outside the node-id
+// space, and each client's NIC rx ring gets a tid above any plausible
+// core count.
+const (
+	// ChromeFabricPID is the Chrome process id of the fabric-transit
+	// track group (one thread per server).
+	ChromeFabricPID = 1 << 20
+	// ChromeRingTID is the Chrome thread id of a client's "nic ring"
+	// track.
+	ChromeRingTID = 1000
+)
+
+// chromeSpanEvent is one Chrome trace-event record ("X" = complete
+// span, "M" = metadata).
+type chromeSpanEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object trace container Perfetto and
+// chrome://tracing both accept.
+type chromeTrace struct {
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	TraceEvents     []chromeSpanEvent `json:"traceEvents"`
+}
+
+// track resolves the (pid, tid) pair a span renders on.
+func (s Span) track() (pid, tid int) {
+	switch s.Phase {
+	case PhaseService:
+		return s.Server, 0
+	case PhaseFabric:
+		return ChromeFabricPID, s.Server
+	case PhaseRing:
+		return s.Client, ChromeRingTID
+	default: // issue, steer, irq, consume: a client-core track
+		core := s.Core
+		if core < 0 {
+			core = 0
+		}
+		return s.Client, core
+	}
+}
+
+// ExportChrome writes the log as Chrome trace-event JSON: one complete
+// ("X") event per span, per-core tracks for each client, one track per
+// server's service path, a fabric-transit track group, and per-core
+// busy-slice tracks. The file loads in Perfetto or chrome://tracing.
+func (l *SpanLog) ExportChrome(w io.Writer) error {
+	us := func(t units.Time) float64 { return float64(t) / float64(units.Microsecond) }
+	events := make([]chromeSpanEvent, 0, len(l.spans)+len(l.cores))
+	type trackKey struct{ pid, tid int }
+	// Track naming is derived from how each track is used.
+	procNames := map[int]string{}
+	threadNames := map[trackKey]string{}
+	for _, s := range l.spans {
+		pid, tid := s.track()
+		switch s.Phase {
+		case PhaseService:
+			procNames[pid] = "server " + itoa(s.Server)
+			threadNames[trackKey{pid, tid}] = "service"
+		case PhaseFabric:
+			procNames[pid] = "fabric"
+			threadNames[trackKey{pid, tid}] = "from server " + itoa(s.Server)
+		case PhaseRing:
+			procNames[pid] = "client " + itoa(s.Client)
+			threadNames[trackKey{pid, tid}] = "nic ring"
+		default:
+			procNames[pid] = "client " + itoa(s.Client)
+			threadNames[trackKey{pid, tid}] = "core " + itoa(tid)
+		}
+		dur := us(s.End - s.Start)
+		events = append(events, chromeSpanEvent{
+			Name: s.Phase.String(),
+			Cat:  "strip",
+			Ph:   "X",
+			TS:   us(s.Start),
+			Dur:  &dur,
+			PID:  pid,
+			TID:  tid,
+			Args: map[string]any{
+				"tag": s.Tag, "strip": s.Strip, "server": s.Server, "core": s.Core,
+			},
+		})
+	}
+	for _, cs := range l.cores {
+		procNames[cs.Node] = "client " + itoa(cs.Node)
+		threadNames[trackKey{cs.Node, cs.Core}] = "core " + itoa(cs.Core)
+		dur := us(cs.End - cs.Start)
+		events = append(events, chromeSpanEvent{
+			Name: cs.Name,
+			Cat:  "cpu",
+			Ph:   "X",
+			TS:   us(cs.Start),
+			Dur:  &dur,
+			PID:  cs.Node,
+			TID:  cs.Core,
+		})
+	}
+	// Sorting by start time makes every (pid, tid) track's timestamps
+	// monotonic, which the Perfetto importer expects.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+
+	meta := make([]chromeSpanEvent, 0, len(procNames)+len(threadNames))
+	for pid, name := range procNames {
+		meta = append(meta, chromeSpanEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for tk, name := range threadNames {
+		meta = append(meta, chromeSpanEvent{
+			Name: "thread_name", Ph: "M", PID: tk.pid, TID: tk.tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	sort.Slice(meta, func(i, j int) bool {
+		a, b := meta[i], meta[j]
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		return a.Name < b.Name
+	})
+
+	return json.NewEncoder(w).Encode(chromeTrace{
+		DisplayTimeUnit: "ns",
+		TraceEvents:     append(meta, events...),
+	})
+}
+
+// itoa is a minimal non-negative integer formatter (avoids pulling
+// strconv into the hot import path for two call sites).
+func itoa(v int) string {
+	if v < 0 {
+		return "-" + itoa(-v)
+	}
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

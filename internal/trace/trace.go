@@ -32,6 +32,7 @@ type Ring struct {
 	next    int
 	wrapped bool
 	dropped uint64
+	evicted uint64
 	filter  func(component string) bool
 }
 
@@ -62,6 +63,7 @@ func (r *Ring) Add(at units.Time, component, format string, args ...any) {
 	r.buf[r.next] = rec
 	r.next = (r.next + 1) % cap(r.buf)
 	r.wrapped = true
+	r.evicted++
 }
 
 // Len returns the number of stored records.
@@ -69,6 +71,11 @@ func (r *Ring) Len() int { return len(r.buf) }
 
 // Dropped returns records rejected by the filter.
 func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Evicted returns records overwritten because the ring was full — a
+// non-zero value means the rendered trace is a suffix of the run, not
+// the whole story.
+func (r *Ring) Evicted() uint64 { return r.evicted }
 
 // Records returns the stored records oldest-first.
 func (r *Ring) Records() []Record {
@@ -81,12 +88,17 @@ func (r *Ring) Records() []Record {
 	return out
 }
 
-// Render returns the whole trace as a newline-joined string.
+// Render returns the whole trace as a newline-joined string. When any
+// records were filtered out or overwritten, a footer line reports both
+// counts so a truncated trace is never mistaken for a complete one.
 func (r *Ring) Render() string {
 	recs := r.Records()
-	lines := make([]string, len(recs))
+	lines := make([]string, len(recs), len(recs)+1)
 	for i, rec := range recs {
 		lines[i] = rec.String()
+	}
+	if r.dropped > 0 || r.evicted > 0 {
+		lines = append(lines, fmt.Sprintf("(%d records filtered, %d evicted by capacity)", r.dropped, r.evicted))
 	}
 	return strings.Join(lines, "\n")
 }

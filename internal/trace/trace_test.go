@@ -69,6 +69,42 @@ func TestRender(t *testing.T) {
 	}
 }
 
+func TestEvictedCountsWrap(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 7; i++ {
+		r.Add(units.Time(i), "x", "e%d", i)
+	}
+	if got := r.Evicted(); got != 4 {
+		t.Errorf("Evicted() = %d, want 4", got)
+	}
+	if got := r.Dropped(); got != 0 {
+		t.Errorf("Dropped() = %d, want 0 (evictions must not count as filter drops)", got)
+	}
+	out := r.Render()
+	if !strings.Contains(out, "4 evicted by capacity") {
+		t.Errorf("render footer missing eviction count:\n%s", out)
+	}
+}
+
+func TestRenderFooterReportsDropsAndEvictions(t *testing.T) {
+	r := NewRing(2)
+	r.SetFilter(func(c string) bool { return c != "noisy" })
+	r.Add(1, "noisy", "rejected")
+	r.Add(2, "nic", "a")
+	r.Add(3, "nic", "b")
+	r.Add(4, "nic", "c") // evicts "a"
+	out := r.Render()
+	if !strings.Contains(out, "(1 records filtered, 1 evicted by capacity)") {
+		t.Errorf("footer = %q", out)
+	}
+	// A quiet ring renders no footer at all (TestRender relies on this).
+	quiet := NewRing(4)
+	quiet.Add(1, "nic", "only")
+	if strings.Contains(quiet.Render(), "filtered") {
+		t.Errorf("quiet ring grew a footer: %q", quiet.Render())
+	}
+}
+
 func TestZeroCapacityPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -103,21 +103,25 @@ func (r Rate) String() string { return fmt.Sprintf("%.4gMB/s", float64(r)/float6
 
 // TimeFor returns the time needed to move n bytes at rate r, rounded up
 // to a whole nanosecond so a positive transfer never takes zero time.
+// A rate that is zero, negative, or NaN means the link can never finish:
+// the result is Forever, never a garbage conversion of NaN/Inf.
 func (r Rate) TimeFor(n Bytes) Time {
-	if r <= 0 {
+	if !(r > 0) { // also catches NaN, which fails every comparison
 		return Forever
 	}
 	if n <= 0 {
 		return 0
 	}
 	t := math.Ceil(float64(n) / float64(r) * float64(Second))
-	if t >= float64(math.MaxInt64) {
+	if !(t < float64(math.MaxInt64)) { // +Inf and NaN both land here
 		return Forever
 	}
 	return Time(t)
 }
 
-// Over returns the average rate achieved moving n bytes in span t.
+// Over returns the average rate achieved moving n bytes in span t. A
+// zero or negative span yields 0 — an undefined average, reported as
+// "no throughput" rather than Inf.
 func Over(n Bytes, t Time) Rate {
 	if t <= 0 {
 		return 0
@@ -138,23 +142,34 @@ const (
 type Cycles int64
 
 // Duration converts a cycle count at frequency f into simulated time,
-// rounding up so positive work always advances the clock.
+// rounding up so positive work always advances the clock. A stopped
+// clock (zero, negative, or NaN frequency) never finishes: Forever.
 func (f Hertz) Duration(c Cycles) Time {
-	if f <= 0 {
+	if !(f > 0) { // also catches NaN
 		return Forever
 	}
 	if c <= 0 {
 		return 0
 	}
-	return Time(math.Ceil(float64(c) / float64(f) * float64(Second)))
+	t := math.Ceil(float64(c) / float64(f) * float64(Second))
+	if !(t < float64(math.MaxInt64)) { // +Inf and NaN both land here
+		return Forever
+	}
+	return Time(t)
 }
 
 // CyclesIn returns how many cycles elapse at frequency f during span t.
+// A stopped clock accumulates no cycles, and an overflowing product
+// saturates instead of converting Inf to a negative count.
 func (f Hertz) CyclesIn(t Time) Cycles {
-	if t <= 0 {
+	if t <= 0 || !(f > 0) {
 		return 0
 	}
-	return Cycles(float64(f) * t.Seconds())
+	c := float64(f) * t.Seconds()
+	if !(c < float64(math.MaxInt64)) {
+		return Cycles(math.MaxInt64)
+	}
+	return Cycles(c)
 }
 
 // String renders the frequency in GHz.

@@ -116,6 +116,39 @@ func TestCyclesInInverse(t *testing.T) {
 	}
 }
 
+func TestDegenerateDenominators(t *testing.T) {
+	nan := Rate(math.NaN())
+	cases := []struct {
+		name string
+		got  Time
+		want Time
+	}{
+		{"NaN rate", nan.TimeFor(KiB), Forever},
+		{"negative rate", Rate(-1).TimeFor(KiB), Forever},
+		{"overflowing transfer", Rate(math.SmallestNonzeroFloat64).TimeFor(GiB), Forever},
+		{"NaN frequency", Hertz(math.NaN()).Duration(100), Forever},
+		{"negative frequency", Hertz(-2e9).Duration(100), Forever},
+		{"overflowing duration", Hertz(math.SmallestNonzeroFloat64).Duration(1), Forever},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: got %v (%d), want %v", c.name, c.got, int64(c.got), c.want)
+		}
+	}
+	if got := Hertz(math.NaN()).CyclesIn(Second); got != 0 {
+		t.Errorf("NaN frequency CyclesIn = %d, want 0", got)
+	}
+	if got := Hertz(-1).CyclesIn(Second); got != 0 {
+		t.Errorf("negative frequency CyclesIn = %d, want 0", got)
+	}
+	if got := Hertz(math.Inf(1)).CyclesIn(Second); got != Cycles(math.MaxInt64) {
+		t.Errorf("Inf frequency CyclesIn = %d, want saturation at MaxInt64", got)
+	}
+	if got := Over(KiB, -Second); got != 0 {
+		t.Errorf("Over with negative time = %v, want 0", got)
+	}
+}
+
 func TestOver(t *testing.T) {
 	if got := Over(Bytes(250e6), 2*Second); got != Rate(125e6) {
 		t.Errorf("Over(250MB, 2s) = %v, want 125MB/s", got)

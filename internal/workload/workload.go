@@ -125,7 +125,7 @@ func (w *IOR) Start(eng *sim.Engine) {
 			order[k] = k
 		}
 		if w.cfg.RandomAccess {
-			r := rng.New(w.cfg.Seed + uint64(i)*7919)
+			r := rng.New(rng.Derive(w.cfg.Seed, uint64(i)))
 			r.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
 		}
 		offset := func(k int) units.Bytes {

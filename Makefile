@@ -2,15 +2,26 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-short bench bench-record bench-check experiments figures chaos cover clean
+.PHONY: all build vet lint test race race-short bench bench-record bench-check experiments figures chaos cover clean
 
-all: build vet test race-short bench-check
+all: build vet lint test race-short bench-check
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (DESIGN.md §11): build the saisvet
+# multichecker once, then run its analyzers (simdeterminism, seedderive,
+# unitsafety, closecheck) over the whole module through the standard
+# `go vet -vettool` protocol. Keep this warn-free — CI fails hard on
+# any finding.
+SAISVET := .bin/saisvet
+
+lint:
+	$(GO) build -o $(SAISVET) ./cmd/saisvet
+	$(GO) vet -vettool=$(SAISVET) ./...
 
 test:
 	$(GO) test ./...

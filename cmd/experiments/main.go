@@ -159,7 +159,7 @@ func main() {
 			e.Seeds = *seeds
 		}
 		e.Parallel = *par
-		start := time.Now()
+		start := time.Now() //lint:wallclock operator-facing elapsed-time note, not a figure input
 		rep, err := e.RunContext(ctx)
 		if err != nil {
 			if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
@@ -172,8 +172,9 @@ func main() {
 			if rep != nil && len(rep.Cells) > 0 {
 				reports = append(reports, rep)
 				render(rep, *csv, *plot)
+				elapsed := time.Since(start).Round(time.Millisecond) //lint:wallclock operator-facing elapsed-time note, not a figure input
 				fmt.Printf("(%s interrupted after %v with %d/%d cells)\n\n",
-					e.ID, time.Since(start).Round(time.Millisecond), len(rep.Cells), len(e.Cells))
+					e.ID, elapsed, len(rep.Cells), len(e.Cells))
 			}
 			fmt.Fprintln(os.Stderr, "experiments: run cancelled:", err)
 			break
@@ -181,6 +182,7 @@ func main() {
 		reports = append(reports, rep)
 		render(rep, *csv, *plot)
 		if !*csv {
+			//lint:wallclock operator-facing elapsed-time note, not a figure input
 			fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		}
 	}
@@ -189,7 +191,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		werr := experiments.WriteHTML(f, reports)
+		//lint:wallclock report header timestamp; injected here so the experiments package stays deterministic
+		generated := time.Now().Format(time.RFC1123)
+		werr := experiments.WriteHTML(f, reports, generated)
 		if cerr := f.Close(); werr == nil {
 			werr = cerr // a dropped close error would hide a truncated report
 		}

@@ -1,0 +1,219 @@
+// Command saisvet is the repository's static-analysis multichecker: it
+// runs the internal/lint analyzers (simdeterminism, seedderive,
+// unitsafety, closecheck) over one package at a time under the
+// `go vet -vettool` protocol:
+//
+//	go build -o .bin/saisvet ./cmd/saisvet
+//	go vet -vettool=.bin/saisvet ./...
+//
+// (`make lint` does exactly that.) The go command hands the tool a JSON
+// config file describing a single type-checked package — source files
+// plus export data for every dependency — and the tool prints findings
+// to stderr in file:line:col form, exiting 2 when there are any.
+//
+// The protocol implementation mirrors x/tools' unitchecker but is
+// built purely on the standard library's go/importer, because this
+// module deliberately has no external dependencies.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"go/version"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"sais/internal/lint"
+	"sais/internal/lint/analysis"
+)
+
+// vetConfig is the per-package configuration the go command writes for
+// a -vettool. Field set and meaning follow cmd/go/internal/work.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+	GoVersion     string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// Protocol endpoints the go command may probe before vetting.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			printVersion()
+			return
+		case args[0] == "-flags":
+			// We accept no analyzer flags; report an empty flag set so
+			// `go vet -vettool` rejects any it is given.
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr, "usage: saisvet <package>.cfg\n\n"+
+			"saisvet is a go vet -vettool; run it through `make lint` or\n"+
+			"`go vet -vettool=$(go env GOPATH)/bin/saisvet ./...`.\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+		os.Exit(1)
+	}
+
+	diags, err := checkPackage(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "saisvet: %v\n", err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(2)
+	}
+}
+
+// printVersion answers -V=full in the form cmd/go's buildID parser
+// expects: "<tool> version devel ... buildID=<content-hash>". Hashing
+// our own executable makes the go command re-vet cached packages
+// whenever the tool's analyzers change.
+func printVersion() {
+	h := sha256.New()
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f) // a short hash only weakens caching, not correctness
+			//lint:close (read-only executable handle)
+			_ = f.Close()
+		}
+	}
+	fmt.Printf("saisvet version devel buildID=%x\n", h.Sum(nil)[:16])
+}
+
+// checkPackage loads one vet config, type-checks the package it
+// describes, and runs every analyzer, returning rendered diagnostics.
+func checkPackage(cfgPath string) ([]string, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+
+	// The go command caches our (empty) fact output and feeds it back
+	// via PackageVetx; writing it first keeps the cache primed even
+	// when the package is vetted only for its dependents (VetxOnly).
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("saisvet-no-facts\n"), 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// path is a canonical package path; the go command supplies
+		// export data for every import.
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tconf := types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return compilerImporter.Import(path)
+		}),
+		Sizes: types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+	}
+	if cfg.GoVersion != "" {
+		tconf.GoVersion = version.Lang(cfg.GoVersion)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	var diags []string
+	for _, a := range lint.Analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			diags = append(diags, fmt.Sprintf("%s: %s (%s)", fset.Position(d.Pos), d.Message, name))
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.Strings(diags)
+	return diags, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCheckPackageFindsViolation drives the unitchecker entry point
+// directly: a hand-built vet.cfg describing a one-file package with a
+// seed+i bug must produce a seedderive diagnostic and an (empty) vetx
+// facts file.
+func TestCheckPackageFindsViolation(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "p.go")
+	const code = `package p
+
+func fanOut(seed uint64, i uint64) uint64 { return seed + i }
+`
+	if err := os.WriteFile(src, []byte(code), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "vet.out")
+	cfg := vetConfig{
+		Compiler:   "gc",
+		Dir:        dir,
+		ImportPath: "sais/internal/sim",
+		GoFiles:    []string{src},
+		ImportMap:  map[string]string{},
+		VetxOutput: vetx,
+	}
+	js, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, js, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	diags, err := checkPackage(cfgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0], "seedderive") || !strings.Contains(diags[0], "rng.Derive") {
+		t.Errorf("diagnostics = %q, want one seedderive finding suggesting rng.Derive", diags)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("vetx facts file not written: %v", err)
+	}
+}
+
+// TestCheckPackageVetxOnly: dependency-only invocations must write the
+// facts file and report nothing, without even parsing the package.
+func TestCheckPackageVetxOnly(t *testing.T) {
+	dir := t.TempDir()
+	vetx := filepath.Join(dir, "vet.out")
+	cfg := vetConfig{
+		Compiler:   "gc",
+		ImportPath: "sais/internal/sim",
+		GoFiles:    []string{filepath.Join(dir, "does-not-exist.go")},
+		VetxOnly:   true,
+		VetxOutput: vetx,
+	}
+	js, _ := json.Marshal(cfg)
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, js, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := checkPackage(cfgPath)
+	if err != nil || len(diags) != 0 {
+		t.Errorf("VetxOnly run: diags=%v err=%v, want none", diags, err)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("vetx facts file not written: %v", err)
+	}
+}
+
+// TestVetToolCleanOnRepo is the acceptance smoke test: build saisvet
+// and run it through the real `go vet -vettool` protocol over the whole
+// module, which must be finding-free. This also exercises the -V=full
+// buildID handshake, the per-package cfg runs, and the export-data
+// importer against every package in the tree.
+func TestVetToolCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module go vet in -short mode")
+	}
+	repoRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "saisvet")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/saisvet")
+	build.Dir = repoRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building saisvet: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = repoRoot
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("go vet -vettool reported findings or failed: %v\n%s", err, out)
+	}
+}

@@ -43,9 +43,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer out.Close()
-	if err := ring.ExportChromeTrace(out); err != nil {
-		log.Fatal(err)
+	werr := ring.ExportChromeTrace(out)
+	if cerr := out.Close(); werr == nil {
+		werr = cerr // a dropped close error would hide a truncated trace
+	}
+	if werr != nil {
+		log.Fatal(werr)
 	}
 	fmt.Printf("\nChrome trace written to %s (load in chrome://tracing)\n", out.Name())
 }

@@ -296,14 +296,23 @@ func TestWriteHTML(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf strings.Builder
-	if err := WriteHTML(&buf, []*Report{rep}); err != nil {
+	if err := WriteHTML(&buf, []*Report{rep}, "2012-05-21 (injected)"); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"<!DOCTYPE html>", "figure5", "irqbalance", "sais", "128KiB/8 nodes", "peak change"} {
+	for _, want := range []string{"<!DOCTYPE html>", "figure5", "irqbalance", "sais", "128KiB/8 nodes", "peak change", "2012-05-21 (injected)"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("html missing %q", want)
 		}
+	}
+	// With the timestamp injected, the report is a pure function of its
+	// inputs: rendering the same reports again must be byte-identical.
+	var again strings.Builder
+	if err := WriteHTML(&again, []*Report{rep}, "2012-05-21 (injected)"); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out {
+		t.Error("WriteHTML is not byte-stable across identical inputs")
 	}
 }
 
@@ -314,7 +323,7 @@ func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("disk ful
 
 func TestWriteHTMLPropagatesWriterError(t *testing.T) {
 	rep := &Report{ID: "x", Title: "x", Cells: []CellResult{{Label: "c"}}}
-	if err := WriteHTML(failingWriter{}, []*Report{rep}); err == nil {
+	if err := WriteHTML(failingWriter{}, []*Report{rep}, "now"); err == nil {
 		t.Error("WriteHTML to a failing writer returned nil")
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"html/template"
 	"io"
-	"time"
 )
 
 // htmlReport is the template context for WriteHTML.
@@ -79,8 +78,12 @@ paper: {{.PaperNote}}<br>peak change: <span class="pos">{{.Peak}}</span></p>
 `))
 
 // WriteHTML renders the reports as one self-contained HTML document.
-func WriteHTML(w io.Writer, reports []*Report) error {
-	ctx := htmlReport{Generated: time.Now().Format(time.RFC1123)}
+// generated is the caller-supplied report timestamp (cmd/experiments
+// passes the wall clock, tests pass a constant): keeping the clock out
+// of this package makes the report byte-stable for a given input, the
+// same property every other simulator output has.
+func WriteHTML(w io.Writer, reports []*Report, generated string) error {
+	ctx := htmlReport{Generated: generated}
 	const barMax = 180.0
 	for _, r := range reports {
 		fig := &htmlFigure{

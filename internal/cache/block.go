@@ -417,6 +417,7 @@ func (s *System) CheckInvariants() error {
 			return fmt.Errorf("cache: core %d over capacity: %v > %v", ci, cc.used, cc.capacity)
 		}
 	}
+	//lint:maporder order-independent invariant sweep: every entry must hold, any violation fails
 	for id, c := range s.where {
 		if seen[id] != c {
 			return fmt.Errorf("cache: directory block %d on core %d missing from list", id, c)

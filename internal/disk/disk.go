@@ -208,7 +208,11 @@ func (d *Disk) serviceTime(req request) units.Time {
 		// if event interleaving differs.
 		var rot units.Time
 		if d.cfg.RotationPeriod > 0 {
-			x := d.rotSeed + d.stats.Requests
+			// The inline mix below is a full murmur3 finalizer over
+			// (rotSeed, ordinal) — the same avalanche quality as
+			// rng.Derive, kept verbatim because swapping the constants
+			// would reshuffle every rotation-enabled figure baseline.
+			x := d.rotSeed + d.stats.Requests //lint:seedarith murmur3 finalizer applied on the next lines
 			x ^= x >> 33
 			x *= 0xff51afd7ed558ccd
 			x ^= x >> 33

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"fmt"
+	"sort"
 
 	"sais/internal/netsim"
 	"sais/internal/pfs"
@@ -214,8 +215,14 @@ func (inj *Injector) stormTick(nic *netsim.NIC, st *storm, now units.Time) {
 // without a revive) and returns the final stats. Call it once, after
 // the run drains.
 func (inj *Injector) Finish(now units.Time) Stats {
-	for srv, since := range inj.downSince {
-		inj.stats.Downtime[srv] += now - since
+	open := make([]int, 0, len(inj.downSince))
+	//lint:maporder key collection only; sorted before use below
+	for srv := range inj.downSince {
+		open = append(open, srv)
+	}
+	sort.Ints(open)
+	for _, srv := range open {
+		inj.stats.Downtime[srv] += now - inj.downSince[srv]
 	}
 	inj.downSince = make(map[int]units.Time)
 	return inj.stats

@@ -11,6 +11,7 @@ package irqsched
 
 import (
 	"fmt"
+	"maps"
 
 	"sais/internal/apic"
 	"sais/internal/units"
@@ -57,6 +58,7 @@ func (k PolicyKind) String() string {
 
 // ParsePolicy resolves a policy name (as used by command-line tools).
 func ParsePolicy(name string) (PolicyKind, error) {
+	//lint:maporder order-independent lookup: names are unique, at most one key matches
 	for k, n := range policyNames {
 		if n == name {
 			return k, nil
@@ -355,11 +357,7 @@ func NewStaticTable(table map[apic.Vector]int, fallback apic.Router) *StaticTabl
 	if fallback == nil {
 		fallback = NewRoundRobin()
 	}
-	cp := make(map[apic.Vector]int, len(table))
-	for v, c := range table {
-		cp[v] = c
-	}
-	return &StaticTable{table: cp, fallback: fallback}
+	return &StaticTable{table: maps.Clone(table), fallback: fallback}
 }
 
 // Name implements apic.Router.

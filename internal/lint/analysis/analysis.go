@@ -1,0 +1,61 @@
+// Package analysis is a minimal, dependency-free core of the
+// golang.org/x/tools/go/analysis API: an Analyzer owns a Run function
+// that inspects one type-checked package through a Pass and reports
+// Diagnostics.
+//
+// The repository cannot assume x/tools is available (the module has no
+// external dependencies by policy), so this package re-creates the
+// small surface the saisvet analyzers need. The shapes intentionally
+// mirror x/tools so the analyzers could be ported to the real framework
+// by changing one import line.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:
+	// suppression directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the one-paragraph help text: first sentence states the
+	// invariant, the rest explains why it exists and how to suppress.
+	Doc string
+
+	// Run applies the check to a single package.
+	Run func(*Pass) (any, error)
+}
+
+// Pass presents one type-checked package to an Analyzer and collects
+// its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver fills this in.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}

@@ -1,0 +1,218 @@
+// Package analysistest runs a lint analyzer over a fixture package and
+// checks its diagnostics against expectations written in the fixture
+// source, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	time.Sleep(1) // want "wall clock"
+//
+// Each string after "// want" is a regular expression that must match
+// the message of one diagnostic reported on that line; diagnostics with
+// no matching expectation, and expectations with no matching
+// diagnostic, fail the test.
+//
+// Fixture packages live under a src root (conventionally
+// internal/lint/testdata/src/<fixture>). Imports are resolved first
+// against sibling directories of that root (so a fixture can import a
+// stand-in "units" package), then from the standard library via the
+// source importer — no compiled export data required.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sais/internal/lint/analysis"
+)
+
+// Run type-checks the fixture package in srcRoot/pkg under the package
+// path importPath, applies a, and reports expectation mismatches as
+// test errors. importPath matters: analyzers scope rules by package
+// path (e.g. simdeterminism's strict set only fires inside the
+// deterministic simulator packages).
+func Run(t *testing.T, a *analysis.Analyzer, srcRoot, pkg, importPath string) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:     fset,
+		srcRoot:  srcRoot,
+		packages: make(map[string]*types.Package),
+		fallback: importer.ForCompiler(fset, "source", nil),
+	}
+	files, tpkg, info, err := ld.check(filepath.Join(srcRoot, pkg), importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkg, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	checkExpectations(t, fset, files, diags)
+}
+
+// expectation is one "// want" regexp awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				i := strings.Index(text, "want ")
+				if i < 0 || strings.TrimSpace(text[:i]) != "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				res, err := parseWants(text[i+len("want "):])
+				if err != nil {
+					t.Errorf("%s: malformed want comment: %v", pos, err)
+					continue
+				}
+				for _, re := range res {
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts the quoted regexps from the tail of a want
+// comment. Both "double-quoted" and `backquoted` forms are accepted.
+func parseWants(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		q, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return nil, fmt.Errorf("expected quoted regexp at %q", s)
+		}
+		lit, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, re)
+		s = s[len(q):]
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no regexps in want comment")
+	}
+	return out, nil
+}
+
+// loader type-checks fixture packages, resolving imports from the src
+// root first and the real standard library second.
+type loader struct {
+	fset     *token.FileSet
+	srcRoot  string
+	packages map[string]*types.Package
+	fallback types.Importer
+}
+
+// Import implements types.Importer for fixture-local packages.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := ld.packages[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ld.srcRoot, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		_, pkg, _, err := ld.check(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		ld.packages[path] = pkg
+		return pkg, nil
+	}
+	return ld.fallback.Import(path)
+}
+
+// check parses and type-checks every .go file in dir as the package
+// importPath.
+func (ld *loader) check(dir, importPath string) ([]*ast.File, *types.Package, *types.Info, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(importPath, ld.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return files, pkg, info, nil
+}

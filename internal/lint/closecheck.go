@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sais/internal/lint/analysis"
+)
+
+// CloseCheck enforces that buffered-output teardown errors reach the
+// caller. A dropped error from Close or Flush on a writer is silent
+// data loss: the OS reports short writes and full disks at close time,
+// so `defer f.Close()` after os.Create can leave a truncated file on
+// disk while the program reports success — the bug class PR 4 fixed in
+// SaveConfig, SavePlan, and the profile writers.
+//
+// The analyzer flags any statement that discards the error result of
+// Close or Flush — an expression statement, a defer, or a blank
+// assignment — when the receiver is a writer: its static type
+// implements io.WriteCloser (for Flush: has Flush() error), and it is
+// not provably a read-only handle. A *os.File whose every definition in
+// the enclosing function comes from os.Open is read-only and exempt;
+// one from os.Create/os.OpenFile is not. Route the error through the
+// `if cerr := f.Close(); err == nil { err = cerr }` pattern or a named
+// helper. Suppress with //lint:close and a reason.
+var CloseCheck = &analysis.Analyzer{
+	Name: "closecheck",
+	Doc: "Close/Flush errors on writers must be checked, not discarded " +
+		"(suppress: //lint:close)",
+	Run: runCloseCheck,
+}
+
+// writeCloser is io.WriteCloser, constructed directly so the analyzer
+// does not depend on the "io" package being in the import graph of the
+// package under analysis.
+var writeCloser = func() *types.Interface {
+	errType := types.Universe.Lookup("error").Type()
+	byteSlice := types.NewSlice(types.Typ[types.Byte])
+	sig := func(params, results []*types.Var) *types.Signature {
+		return types.NewSignatureType(nil, nil, nil,
+			types.NewTuple(params...), types.NewTuple(results...), false)
+	}
+	v := func(name string, t types.Type) *types.Var {
+		return types.NewVar(token.NoPos, nil, name, t)
+	}
+	iface := types.NewInterfaceType([]*types.Func{
+		types.NewFunc(token.NoPos, nil, "Write", sig(
+			[]*types.Var{v("p", byteSlice)},
+			[]*types.Var{v("n", types.Typ[types.Int]), v("err", errType)})),
+		types.NewFunc(token.NoPos, nil, "Close", sig(nil,
+			[]*types.Var{v("err", errType)})),
+	}, nil)
+	iface.Complete()
+	return iface
+}()
+
+func runCloseCheck(pass *analysis.Pass) (any, error) {
+	dirs := newDirectiveIndex(pass.Fset, pass.Files)
+
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		file := f
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			case *ast.AssignStmt:
+				if n.Tok == token.ASSIGN && len(n.Rhs) == 1 && allBlank(n.Lhs) {
+					call, _ = n.Rhs[0].(*ast.CallExpr)
+				}
+			}
+			if call == nil {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name != "Close" && name != "Flush" {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || !isErrOnlySignature(fn) {
+				return true
+			}
+			recv := pass.TypeOf(sel.X)
+			if recv == nil {
+				return true
+			}
+			if name == "Close" {
+				if !types.Implements(recv, writeCloser) &&
+					!types.Implements(types.NewPointer(recv), writeCloser) {
+					return true // read-side closer: error carries no data loss
+				}
+				if openedReadOnly(pass, file, sel.X) {
+					return true
+				}
+			}
+			if dirs.suppressed(n.Pos(), "close") {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s error discarded on writer %s: a failed %s is silent data loss; capture it (if cerr := x.%s(); err == nil { err = cerr })",
+				name, types.ExprString(sel.X), name, name)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// allBlank reports whether every expression is the blank identifier.
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(exprs) > 0
+}
+
+// isErrOnlySignature reports whether fn is func() error.
+func isErrOnlySignature(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	t, ok := sig.Results().At(0).Type().(*types.Named)
+	return ok && t.Obj().Pkg() == nil && t.Obj().Name() == "error"
+}
+
+// openedReadOnly reports whether x is a local variable whose every
+// definition in file comes from os.Open — a read-only handle whose
+// Close error carries no data-loss signal.
+func openedReadOnly(pass *analysis.Pass, file *ast.File, x ast.Expr) bool {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	sawOpen := false
+	sawOther := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			lid, ok := lhs.(*ast.Ident)
+			if !ok || pass.TypesInfo.ObjectOf(lid) != obj {
+				continue
+			}
+			if len(assign.Rhs) == 1 && isOsOpenCall(pass, assign.Rhs[0]) {
+				sawOpen = true
+			} else {
+				sawOther = true
+			}
+		}
+		return true
+	})
+	return sawOpen && !sawOther
+}
+
+// isOsOpenCall reports whether e is a call to os.Open (the read-only
+// constructor; os.Create and os.OpenFile do not qualify).
+func isOsOpenCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Open" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "os"
+}

@@ -1,0 +1,52 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"sais/internal/lint"
+	"sais/internal/lint/analysistest"
+)
+
+var srcRoot = filepath.Join("testdata", "src")
+
+// TestSimDeterminismInSimPackage checks the strict rule set under a
+// deterministic package path: wall clocks, math/rand, goroutines, and
+// map iteration are all findings, and both escape hatches
+// (//lint:wallclock, //lint:maporder) are honored.
+func TestSimDeterminismInSimPackage(t *testing.T) {
+	analysistest.Run(t, lint.SimDeterminism, srcRoot, "simdeterminism", "sais/internal/sim")
+}
+
+// TestSimDeterminismOutsideSim checks the relaxed scope: wall clocks
+// stay banned everywhere, but goroutines and map ranges are legal
+// outside the deterministic packages.
+func TestSimDeterminismOutsideSim(t *testing.T) {
+	analysistest.Run(t, lint.SimDeterminism, srcRoot, "simdeterminism_cmd", "sais/cmd/faketool")
+}
+
+// TestSeedDerive checks the seed-arithmetic rule, including the
+// historical cfg.Seed+i fan-out bug, and the //lint:seedarith hatch.
+func TestSeedDerive(t *testing.T) {
+	analysistest.Run(t, lint.SeedDerive, srcRoot, "seedderive", "sais/cluster")
+}
+
+// TestSeedDeriveExemptsRngPackage: the rng package implements Derive
+// and is the one place seed-mixing arithmetic is legal. Its fixture
+// contains raw seed arithmetic and zero want comments — the test fails
+// if the analyzer reports anything under the .../rng path.
+func TestSeedDeriveExemptsRngPackage(t *testing.T) {
+	analysistest.Run(t, lint.SeedDerive, srcRoot, "seedderive_rng", "sais/internal/rng")
+}
+
+// TestUnitSafety checks dimension mixing through conversions and the
+// raw-division-with-helper findings, plus the //lint:unitmix hatch.
+func TestUnitSafety(t *testing.T) {
+	analysistest.Run(t, lint.UnitSafety, srcRoot, "unitsafety", "sais/internal/pfs")
+}
+
+// TestCloseCheck checks discarded Close/Flush shapes, the os.Open
+// read-only exemption, and the //lint:close hatch.
+func TestCloseCheck(t *testing.T) {
+	analysistest.Run(t, lint.CloseCheck, srcRoot, "closecheck", "sais/cmd/faketool")
+}

@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"sais/internal/lint/analysis"
+)
+
+// SeedDerive outlaws raw arithmetic on seed values. Child seeds built
+// as seed+i produce correlated streams: runs with consecutive root
+// seeds share entire component streams on the diagonal
+// (seed=41,stream=3 aliases seed=42,stream=2), which silently couples
+// "independent" repetitions. Every derived seed must go through
+// rng.Derive (a splitmix64 finalizer) or rng.Source.Split.
+//
+// A value is treated as a seed when it is a field or variable whose
+// name is "seed" or ends in "Seed" (cfg.Seed, rootSeed, ...), looking
+// through parentheses and numeric conversions. Any binary arithmetic,
+// compound assignment, or ++/-- on such a value is flagged; comparisons
+// are fine. The rng package itself is exempt (it implements Derive).
+// Suppress with //lint:seedarith and a reason.
+var SeedDerive = &analysis.Analyzer{
+	Name: "seedderive",
+	Doc: "derive child seeds with rng.Derive, never seed arithmetic like seed+i " +
+		"(suppress: //lint:seedarith)",
+	Run: runSeedDerive,
+}
+
+// seedArithOps are the operators that combine or perturb a seed value.
+var seedArithOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	token.REM: true, token.AND: true, token.OR: true, token.XOR: true,
+	token.SHL: true, token.SHR: true, token.AND_NOT: true,
+}
+
+// seedAssignOps are the compound-assignment forms of seedArithOps.
+var seedAssignOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true, token.REM_ASSIGN: true, token.AND_ASSIGN: true,
+	token.OR_ASSIGN: true, token.XOR_ASSIGN: true, token.SHL_ASSIGN: true,
+	token.SHR_ASSIGN: true, token.AND_NOT_ASSIGN: true,
+}
+
+func runSeedDerive(pass *analysis.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	if path == "rng" || strings.HasSuffix(path, "/rng") {
+		return nil, nil // the one place seed-mixing arithmetic is the point
+	}
+	dirs := newDirectiveIndex(pass.Fset, pass.Files)
+
+	seedish := func(e ast.Expr) (string, bool) {
+		for {
+			switch x := e.(type) {
+			case *ast.ParenExpr:
+				e = x.X
+				continue
+			case *ast.CallExpr:
+				// Look through numeric conversions: uint64(cfg.Seed).
+				if len(x.Args) == 1 && pass.TypesInfo.Types[x.Fun].IsType() {
+					e = x.Args[0]
+					continue
+				}
+				return "", false
+			case *ast.SelectorExpr:
+				return x.Sel.Name, isSeedName(x.Sel.Name)
+			case *ast.Ident:
+				return x.Name, isSeedName(x.Name)
+			default:
+				return "", false
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if !seedArithOps[n.Op] {
+					return true
+				}
+				for _, op := range []ast.Expr{n.X, n.Y} {
+					if name, ok := seedish(op); ok {
+						if !dirs.suppressed(n.Pos(), "seedarith") {
+							pass.Reportf(n.Pos(), "arithmetic on seed value %s: derive child seeds with rng.Derive(seed, stream) so consecutive root seeds stay uncorrelated", name)
+						}
+						break
+					}
+				}
+			case *ast.AssignStmt:
+				if !seedAssignOps[n.Tok] {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if name, ok := seedish(lhs); ok {
+						if !dirs.suppressed(n.Pos(), "seedarith") {
+							pass.Reportf(n.Pos(), "compound assignment mutates seed value %s: derive child seeds with rng.Derive instead", name)
+						}
+						break
+					}
+				}
+			case *ast.IncDecStmt:
+				if name, ok := seedish(n.X); ok {
+					if !dirs.suppressed(n.Pos(), "seedarith") {
+						pass.Reportf(n.Pos(), "%s on seed value %s: derive child seeds with rng.Derive instead", n.Tok, name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isSeedName reports whether name denotes a seed by the repository's
+// naming convention: "seed" itself or any camelCase *Seed suffix.
+func isSeedName(name string) bool {
+	return name == "seed" || name == "Seed" || strings.HasSuffix(name, "Seed")
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sais/internal/lint/analysis"
+)
+
+// SimDeterminism enforces the replayability ground rules. Three of its
+// checks apply to all non-test code in the module, one only to the
+// deterministic packages:
+//
+//   - wall clock (everywhere): calls to time.Now, time.Sleep,
+//     time.Since, and friends make output depend on host timing.
+//     Suppress a legitimate site (a stderr progress heartbeat, a
+//     host-benchmark stopwatch) with //lint:wallclock.
+//   - global math/rand (everywhere): the global generator is shared
+//     mutable state outside the seed tree; all randomness must come
+//     from sais/internal/rng Sources. Suppress with //lint:globalrand.
+//   - go statements (deterministic packages only): goroutines
+//     interleave nondeterministically; concurrency belongs in
+//     internal/runner, above the simulator. Suppress with
+//     //lint:goroutine.
+//   - map range (deterministic packages only): map iteration order is
+//     randomized per run, so any state mutation or output emitted from
+//     such a loop can differ between replays. Sort the keys or keep a
+//     slice; a loop whose body is genuinely order-independent (pure
+//     commutative accumulation) may be annotated //lint:maporder with
+//     the reason.
+var SimDeterminism = &analysis.Analyzer{
+	Name: "simdeterminism",
+	Doc: "forbid wall clocks, global math/rand, goroutines, and map-ordered iteration " +
+		"in the deterministic simulator packages (suppress: //lint:wallclock, " +
+		"//lint:globalrand, //lint:goroutine, //lint:maporder)",
+	Run: runSimDeterminism,
+}
+
+// wallClockFuncs are the time package entry points that observe or wait
+// on the host clock. Pure constructors and constants (time.Duration,
+// time.Millisecond) stay legal: the hazard is reading the clock, not
+// naming a unit.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+func runSimDeterminism(pass *analysis.Pass) (any, error) {
+	dirs := newDirectiveIndex(pass.Fset, pass.Files)
+	deterministic := isDeterministicPkg(pass.Pkg.Path())
+
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ImportSpec:
+				path := importPath(n)
+				if path == "math/rand" || path == "math/rand/v2" {
+					if !dirs.suppressed(n.Pos(), "globalrand") {
+						pass.Reportf(n.Pos(), "import of %s: use sais/internal/rng so every draw hangs off an explicit seed", path)
+					}
+				}
+			case *ast.SelectorExpr:
+				if obj := pass.TypesInfo.Uses[n.Sel]; obj != nil {
+					if pkg := obj.Pkg(); pkg != nil && pkg.Path() == "time" && wallClockFuncs[n.Sel.Name] {
+						if !dirs.suppressed(n.Pos(), "wallclock") {
+							pass.Reportf(n.Pos(), "time.%s reads the wall clock: simulated time must come from the event engine (suppress a legitimate site with //lint:wallclock)", n.Sel.Name)
+						}
+					}
+				}
+			case *ast.GoStmt:
+				if deterministic && !dirs.suppressed(n.Pos(), "goroutine") {
+					pass.Reportf(n.Pos(), "go statement in deterministic package %s: goroutine interleaving is not replayable; hoist concurrency into internal/runner", pass.Pkg.Path())
+				}
+			case *ast.RangeStmt:
+				if deterministic && n.X != nil {
+					if t := pass.TypeOf(n.X); t != nil {
+						if _, ok := t.Underlying().(*types.Map); ok {
+							if !dirs.suppressed(n.Pos(), "maporder") {
+								pass.Reportf(n.Pos(), "range over map in deterministic package %s: iteration order varies per run; sort the keys first or keep a slice (//lint:maporder if provably order-independent)", pass.Pkg.Path())
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// importPath returns the unquoted import path of spec.
+func importPath(spec *ast.ImportSpec) string {
+	p := spec.Path.Value
+	if len(p) >= 2 && p[0] == '"' && p[len(p)-1] == '"' {
+		return p[1 : len(p)-1]
+	}
+	return p
+}

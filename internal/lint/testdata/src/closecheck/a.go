@@ -1,0 +1,72 @@
+// Fixture for the closecheck analyzer: discarded Close/Flush errors on
+// writers — the silent-data-loss class fixed in PR 4 — versus read-only
+// handles and properly captured teardown errors.
+package main
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+// leakyCreate is the bug class from git history: defer f.Close() after
+// os.Create reports success even when the close loses buffered data.
+func leakyCreate(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `Close error discarded on writer f`
+	_, err = f.Write([]byte("x"))
+	return err
+}
+
+func discardShapes(w io.WriteCloser, bw *bufio.Writer) {
+	w.Close()      // want `Close error discarded on writer w`
+	_ = w.Close()  // want `Close error discarded on writer w`
+	bw.Flush()     // want `Flush error discarded on writer bw`
+	defer w.Close() // want `Close error discarded on writer w`
+}
+
+// checkedCreate captures the close error the sanctioned way.
+func checkedCreate(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write([]byte("x"))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// readOnly handles from os.Open carry no data-loss signal on close.
+func readOnly(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // no finding: provably read-only
+	var buf [16]byte
+	_, err = f.Read(buf[:])
+	return err
+}
+
+// readSide shows a plain io.ReadCloser is out of scope entirely.
+func readSide(r io.ReadCloser) {
+	r.Close() // no finding: not a writer
+}
+
+// flushReturned is checked by being returned.
+func flushReturned(bw *bufio.Writer) error {
+	return bw.Flush()
+}
+
+// reviewed shows the escape hatch.
+func reviewed(w io.WriteCloser) {
+	//lint:close best-effort teardown on the error path; primary error already reported
+	w.Close()
+}
+
+func main() {}

@@ -1,0 +1,61 @@
+// Fixture for the seedderive analyzer, type-checked as sais/cluster:
+// the package whose seed fan-out PR 4 had to fix. Derive stands in for
+// rng.Derive — the analyzer does not care where the helper lives, only
+// that seeds never meet raw arithmetic.
+package cluster
+
+// Config mirrors the real cluster.Config seed field.
+type Config struct {
+	Seed uint64
+}
+
+// Derive is the fixture's stand-in for rng.Derive. Parameter names
+// deliberately avoid "seed" so the finalizer body stays clean here;
+// the real implementation lives in the exempt rng package.
+func Derive(root, stream uint64) uint64 {
+	x := root + (stream+1)*0x9e3779b97f4a7c15
+	return x ^ (x >> 31)
+}
+
+// badFanOut is the exact bug class from git history: per-client streams
+// built as cfg.Seed+i, correlated across consecutive root seeds.
+func badFanOut(cfg Config, clients int) []uint64 {
+	out := make([]uint64, 0, clients)
+	for i := 0; i < clients; i++ {
+		out = append(out, cfg.Seed+uint64(i)) // want "arithmetic on seed value Seed"
+	}
+	return out
+}
+
+func moreBadShapes(cfg Config, i uint64) uint64 {
+	a := uint64(cfg.Seed) * 31 // want "arithmetic on seed value Seed"
+	b := cfg.Seed ^ i          // want "arithmetic on seed value Seed"
+	seed := cfg.Seed
+	seed++ // want `\+\+ on seed value seed`
+	var childSeed uint64
+	childSeed += i // want "compound assignment mutates seed value childSeed"
+	_ = seed
+	_ = childSeed
+	return a ^ b
+}
+
+// goodFanOut routes every child stream through Derive.
+func goodFanOut(cfg Config, clients int) []uint64 {
+	out := make([]uint64, 0, clients)
+	for i := 0; i < clients; i++ {
+		out = append(out, Derive(cfg.Seed, uint64(i)))
+	}
+	return out
+}
+
+// streamArithmetic shows arithmetic on the stream index is fine — only
+// the seed itself is protected.
+func streamArithmetic(cfg Config, i uint64) uint64 {
+	return Derive(cfg.Seed, 2*i+1)
+}
+
+// reviewed shows the escape hatch.
+func reviewed(cfg Config) uint64 {
+	//lint:seedarith reviewed: display-only checksum, never seeds a stream
+	return cfg.Seed % 1000
+}

@@ -1,0 +1,10 @@
+// Fixture proving the rng package exemption: this is raw seed
+// arithmetic that would be flagged anywhere else, silent under the
+// sais/internal/rng import path because it IS the derivation helper.
+package rng
+
+func Derive(seed, stream uint64) uint64 {
+	x := seed + (stream+1)*0x9e3779b97f4a7c15 // no finding: rng implements the finalizer
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	return x ^ (x >> 31)
+}

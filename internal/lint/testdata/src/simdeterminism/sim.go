@@ -1,0 +1,54 @@
+// Fixture for the simdeterminism analyzer, type-checked under the
+// deterministic package path sais/internal/sim: wall clocks, global
+// math/rand, goroutines, and map-ordered iteration are all hazards
+// here. The annotated sites at the bottom exercise the escape hatches.
+package sim
+
+import (
+	"math/rand" // want "use sais/internal/rng"
+	"time"
+)
+
+type state struct {
+	counts map[int]int
+}
+
+// tick is the wall-clock-in-the-sim-path bug class: host time leaking
+// into an event-driven component.
+func tick() int64 {
+	t0 := time.Now() // want "wall clock"
+	time.Sleep(1)    // want "wall clock"
+	return time.Since(t0).Nanoseconds() // want "wall clock"
+}
+
+func spawn(s state) int {
+	go tick() // want "go statement in deterministic package"
+	sum := 0
+	for k, v := range s.counts { // want "range over map in deterministic package"
+		sum += k + v
+	}
+	sum += rand.Int()
+	return sum
+}
+
+// durationConstant shows that naming time units is fine; only reading
+// the clock is forbidden.
+func durationConstant() time.Duration {
+	return 500 * time.Millisecond
+}
+
+// heartbeat is the legitimate-wall-clock shape (saisim's -progress
+// throttle): annotated, so no finding.
+func heartbeat() time.Time {
+	return time.Now() //lint:wallclock stderr-only progress heartbeat
+}
+
+// drain shows an annotated commutative map loop.
+func drain(s state) int {
+	sum := 0
+	//lint:maporder pure commutative accumulation
+	for _, v := range s.counts {
+		sum += v
+	}
+	return sum
+}

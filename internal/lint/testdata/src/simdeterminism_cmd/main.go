@@ -1,0 +1,23 @@
+// Fixture type-checked under a non-deterministic package path
+// (sais/cmd/faketool): the wall-clock rule still applies everywhere,
+// but goroutines and map iteration are legal outside the simulator
+// packages.
+package main
+
+import "time"
+
+func main() {
+	start := time.Now() // want "wall clock"
+	_ = start
+	done := make(chan struct{})
+	go worker(done) // no finding: concurrency is fine outside the sim
+	<-done
+	m := map[string]int{"a": 1}
+	sum := 0
+	for _, v := range m { // no finding: map order only matters in the sim
+		sum += v
+	}
+	_ = sum
+}
+
+func worker(done chan struct{}) { close(done) }

@@ -1,0 +1,36 @@
+// Package units is the fixture stand-in for sais/internal/units: the
+// unitsafety analyzer recognizes any package whose import path is
+// "units" or ends in "/units", so fixtures can exercise dimension
+// mixing without importing the real module.
+package units
+
+type (
+	Time   int64
+	Bytes  int64
+	Rate   float64
+	Hertz  float64
+	Cycles int64
+)
+
+// TimeFor and Duration exist so the fixture mirrors the real API; the
+// raw conversions inside this package are exempt by design.
+func (r Rate) TimeFor(n Bytes) Time {
+	if r <= 0 {
+		return 0
+	}
+	return Time(float64(n) / float64(r) * 1e9)
+}
+
+func (f Hertz) Duration(c Cycles) Time {
+	if f <= 0 {
+		return 0
+	}
+	return Time(float64(c) / float64(f) * 1e9)
+}
+
+func Over(n Bytes, t Time) Rate {
+	if t <= 0 {
+		return 0
+	}
+	return Rate(float64(n) / float64(t) * 1e9)
+}

@@ -1,0 +1,29 @@
+// Fixture for the unitsafety analyzer, type-checked under a simulator
+// package path: dimension mixing through untyped conversions, and raw
+// divisions the units package already provides safe helpers for.
+package pfs
+
+import "units"
+
+func bad(t units.Time, b units.Bytes, r units.Rate, f units.Hertz, c units.Cycles) {
+	_ = int64(t) + int64(b)     // want `mixes units.Time and units.Bytes`
+	_ = float64(b) / float64(r) // want `raw division of units.Bytes by units.Rate`
+	_ = float64(c) / float64(f) // want `raw division of units.Cycles by units.Hertz`
+	_ = float64(b) / float64(t) // want `raw division of units.Bytes by units.Time`
+	_ = int64(b) > int64(t)     // want `mixes units.Bytes and units.Time`
+}
+
+func good(t units.Time, b units.Bytes, r units.Rate, f units.Hertz, c units.Cycles) {
+	_ = r.TimeFor(b)        // the safe form of Bytes over Rate
+	_ = f.Duration(c)       // the safe form of Cycles over Hertz
+	_ = units.Over(b, t)    // the safe form of Bytes over Time
+	_ = int64(t) - int64(t) // same dimension: fine
+	_ = int64(t) + 5        // unitless operand: fine
+	d := t + 10*t           // typed arithmetic inside one dimension: fine
+	_ = d
+}
+
+func reviewed(t units.Time, b units.Bytes) {
+	//lint:unitmix reviewed: opaque progress scalar for a UI meter
+	_ = int64(t) + int64(b)
+}

@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sais/internal/lint/analysis"
+)
+
+// UnitSafety guards the dimensional integrity of internal/units. The
+// named scalar types (Time, Bytes, Rate, Hertz, Cycles) make Go's type
+// checker reject accidental mixing — until someone strips the types
+// with int64()/float64() conversions and does raw arithmetic, the exact
+// pattern behind the NaN-producing unit math PR 4 had to fix. The
+// analyzer flags:
+//
+//   - binary arithmetic or comparison whose two operands carry
+//     *different* units dimensions once conversions are looked
+//     through: int64(t) + int64(b) mixes Time and Bytes;
+//   - raw division of a dimension pair the units package already
+//     converts safely: Bytes over Rate is Rate.TimeFor (rounds up,
+//     saturates to Forever on a dead link), Cycles over Hertz is
+//     Hertz.Duration, Bytes over Time is units.Over.
+//
+// Same-dimension conversion arithmetic (int64(t1)-int64(t2)) stays
+// legal. The units package itself is exempt — it is the one place raw
+// conversions implement the safe helpers. Suppress with //lint:unitmix
+// and a reason.
+var UnitSafety = &analysis.Analyzer{
+	Name: "unitsafety",
+	Doc: "no untyped arithmetic mixing units dimensions, and no raw division " +
+		"where a units converter exists (suppress: //lint:unitmix)",
+	Run: runUnitSafety,
+}
+
+// unitMixOps are the operators whose operands must share a dimension.
+var unitMixOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	token.REM: true,
+	token.EQL: true, token.NEQ: true, token.LSS: true, token.LEQ: true,
+	token.GTR: true, token.GEQ: true,
+}
+
+// quoSuggestion maps a (numerator, denominator) dimension pair to the
+// units helper that replaces the raw division.
+var quoSuggestion = map[[2]string]string{
+	{"Bytes", "Rate"}:   "Rate.TimeFor rounds up and saturates to Forever on a zero/NaN rate",
+	{"Cycles", "Hertz"}: "Hertz.Duration rounds up and returns Forever for a stopped clock",
+	{"Bytes", "Time"}:   "units.Over reports 0 instead of Inf for an empty span",
+}
+
+func runUnitSafety(pass *analysis.Pass) (any, error) {
+	if isUnitsPkgPath(pass.Pkg.Path()) {
+		return nil, nil // the converters themselves are built from raw math
+	}
+	dirs := newDirectiveIndex(pass.Fset, pass.Files)
+
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || !unitMixOps[bin.Op] {
+				return true
+			}
+			dx := unitDim(pass, bin.X)
+			dy := unitDim(pass, bin.Y)
+			if dx == "" || dy == "" || dx == dy {
+				return true
+			}
+			if dirs.suppressed(bin.Pos(), "unitmix") {
+				return true
+			}
+			if bin.Op == token.QUO {
+				if why, ok := quoSuggestion[[2]string{dx, dy}]; ok {
+					pass.Reportf(bin.Pos(), "raw division of units.%s by units.%s: %s", dx, dy, why)
+					return true
+				}
+			}
+			pass.Reportf(bin.Pos(), "operator %s mixes units.%s and units.%s through untyped conversions; convert explicitly through a units helper", bin.Op, dx, dy)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// unitDim returns the units dimension (type name in the units package)
+// that e carries: directly, or through parentheses and a conversion to
+// a basic numeric type such as int64(t) / float64(r).
+func unitDim(pass *analysis.Pass, e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+			continue
+		case *ast.CallExpr:
+			if len(x.Args) == 1 && pass.TypesInfo.Types[x.Fun].IsType() {
+				if b, ok := pass.TypeOf(x).Underlying().(*types.Basic); ok && b.Info()&types.IsNumeric != 0 {
+					e = x.Args[0]
+					continue
+				}
+			}
+		}
+		break
+	}
+	return namedUnitsType(pass.TypeOf(e))
+}
+
+// namedUnitsType returns the name of t if it is a named type declared
+// in the units package, else "".
+func namedUnitsType(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !isUnitsPkgPath(obj.Pkg().Path()) {
+		return ""
+	}
+	return obj.Name()
+}
+
+// isUnitsPkgPath matches the scalar-quantity package wherever the tree
+// (or a test fixture) mounts it.
+func isUnitsPkgPath(path string) bool {
+	return path == "units" || strings.HasSuffix(path, "/units")
+}

@@ -29,7 +29,9 @@ func Start(cpuPath, memPath string) (*Profiler, error) {
 			return nil, fmt.Errorf("prof: %w", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
+			if cerr := f.Close(); cerr != nil {
+				return nil, fmt.Errorf("prof: %v (also failed to close %s: %v)", err, cpuPath, cerr)
+			}
 			return nil, fmt.Errorf("prof: %w", err)
 		}
 		p.cpuFile = f

@@ -10,6 +10,7 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"maps"
 	"sort"
 	"strconv"
 	"strings"
@@ -150,6 +151,7 @@ var setters = map[string]setter{
 // Names lists the settable dimension names, sorted.
 func Names() []string {
 	out := make([]string, 0, len(setters))
+	//lint:maporder key collection only; sorted on the next line
 	for n := range setters {
 		out = append(out, n)
 	}
@@ -179,9 +181,7 @@ func Product(base cluster.Config, dims []Dim) ([]Point, error) {
 					return nil, fmt.Errorf("sweep: %s=%s: %w", d.Name, v, err)
 				}
 				vals := make(map[string]string, len(p.Values)+1)
-				for k, pv := range p.Values {
-					vals[k] = pv
-				}
+				maps.Copy(vals, p.Values)
 				vals[d.Name] = v
 				next = append(next, Point{Values: vals, Config: cfg})
 			}

@@ -31,10 +31,13 @@ race:
 	$(GO) test -race ./...
 
 # Short race pass of the orchestration-critical packages (the worker
-# pool, the fault injector, their heaviest consumer, and the span/trace
-# recorder they share); cheap enough to run in `all`.
+# pool, the fault injector, their heaviest consumer, the span/trace
+# recorder they share, and the sharded executor with its cluster-level
+# differential tests under parallel workers); cheap enough to run in
+# `all`.
 race-short:
-	$(GO) test -race ./internal/runner ./internal/faults ./experiments ./internal/trace
+	$(GO) test -race ./internal/runner ./internal/faults ./experiments ./internal/trace ./internal/shard
+	$(GO) test -race -run 'TestSharded' ./cluster
 
 # Record the canonical outputs the repository ships with.
 test-output:
@@ -46,17 +49,25 @@ bench:
 bench-output:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
-# Event-engine hot-path benchmark baseline. bench-record snapshots the
+# Benchmark baseline: the event-engine hot path plus the sharded
+# executor's 256-node scaling matrix. bench-record snapshots the
 # current numbers into BENCH_sim.json (commit it); bench-check compares
-# a fresh run against the committed baseline and warns — never fails —
-# on regressions, so `all` stays green on noisy machines.
+# a fresh run against the committed baseline and fails the build on a
+# regression beyond each benchmark's tolerance band (hand-editable in
+# the baseline; the sharded macro-benchmarks carry wider bands than the
+# steady microbenchmarks).
 BENCH_COUNT ?= 5
+SHARD_BENCH_COUNT ?= 3
 
 bench-record:
-	$(GO) test -run '^$$' -bench EngineHot -benchmem -count $(BENCH_COUNT) ./internal/sim | $(GO) run ./cmd/benchcheck -record BENCH_sim.json
+	{ $(GO) test -run '^$$' -bench EngineHot -benchmem -count $(BENCH_COUNT) ./internal/sim ; \
+	  $(GO) test -run '^$$' -bench ShardedScaling -benchmem -count $(SHARD_BENCH_COUNT) . ; } \
+	| $(GO) run ./cmd/benchcheck -record BENCH_sim.json
 
 bench-check:
-	$(GO) test -run '^$$' -bench EngineHot -benchmem -count $(BENCH_COUNT) ./internal/sim | $(GO) run ./cmd/benchcheck -baseline BENCH_sim.json
+	{ $(GO) test -run '^$$' -bench EngineHot -benchmem -count $(BENCH_COUNT) ./internal/sim ; \
+	  $(GO) test -run '^$$' -bench ShardedScaling -benchmem -count $(SHARD_BENCH_COUNT) . ; } \
+	| $(GO) run ./cmd/benchcheck -baseline BENCH_sim.json -strict
 
 # Regenerate every figure of the paper (tables to stdout).
 experiments:

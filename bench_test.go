@@ -8,6 +8,7 @@
 package sais
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 
@@ -99,6 +100,46 @@ func BenchmarkMemSim(b *testing.B) {
 		speedup = float64(s.Rate)/float64(irqb.Rate) - 1
 	}
 	b.ReportMetric(speedup*100, "peak_change_%")
+}
+
+// BenchmarkShardedScaling measures the sharded executor on a 256-node
+// cluster (224 clients, 32 servers) across shard/worker layouts. Every
+// layout computes the identical result (asserted by the cluster
+// package's differential tests); the benchmark tracks what the layouts
+// cost. Worker counts above GOMAXPROCS cannot buy wall-clock speedup —
+// on a single-CPU host the parallel rounds only measure coordination
+// overhead — so treat the workers>1 numbers as overhead ceilings, not
+// speedups, unless the host has cores to spare.
+func BenchmarkShardedScaling(b *testing.B) {
+	cfg := cluster.DefaultConfig()
+	cfg.Clients = 224
+	cfg.Servers = 32
+	cfg.CoresPerClient = 2
+	cfg.ProcsPerClient = 1
+	cfg.CachePerCore = 64 * units.KiB
+	cfg.StripSize = 16 * units.KiB
+	cfg.TransferSize = 64 * units.KiB
+	cfg.BytesPerProc = 256 * units.KiB
+	cfg.Policy = irqsched.PolicySourceAware
+	layouts := []struct{ shards, workers int }{
+		{1, 1}, {4, 1}, {8, 1}, {4, 4}, {8, 4},
+	}
+	for _, l := range layouts {
+		l := l
+		b.Run(fmt.Sprintf("shards=%d/workers=%d", l.shards, l.workers), func(b *testing.B) {
+			c := cfg
+			c.Shards, c.Workers = l.shards, l.workers
+			var bw units.Rate
+			for i := 0; i < b.N; i++ {
+				res, err := cluster.Run(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				bw = res.Bandwidth
+			}
+			b.ReportMetric(float64(bw)/1e6, "sim_MB/s")
+		})
+	}
 }
 
 // --- ablation benchmarks (DESIGN.md §6) ---

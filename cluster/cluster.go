@@ -28,6 +28,7 @@ import (
 	"sais/internal/netsim"
 	"sais/internal/pfs"
 	"sais/internal/rng"
+	"sais/internal/shard"
 	"sais/internal/sim"
 	"sais/internal/trace"
 	"sais/internal/units"
@@ -146,15 +147,30 @@ type Config struct {
 	// cluster.
 	Faults *faults.Plan
 
+	// Shards partitions the cluster's nodes round-robin over this many
+	// independent event engines, run under conservative synchronization
+	// (internal/shard) with the fabric latency as lookahead. 0 or 1 is
+	// the classic single-engine run. Results are bit-identical for any
+	// shard count; Shards > 1 requires FabricLatency > 0 (zero
+	// lookahead admits no safe horizon).
+	Shards int
+	// Workers is the number of goroutines driving the shards each
+	// round, clamped to [1, Shards]. Like Shards it never changes the
+	// result, only the wall-clock cost.
+	Workers int
+
 	Seed uint64
 
 	// Progress, when set, is invoked at the engine's stop-poll cadence
-	// (every few dozen events) with the events fired so far and the
-	// events still live in the queue. The live count excludes cancelled
-	// timers — retry- and fault-heavy runs cancel timers in bulk, and
-	// counting those corpses would inflate the denominator of any
-	// progress estimate. Not serialized with the config.
-	Progress func(fired uint64, live int) `json:"-"`
+	// (every few dozen events; between rounds when sharded) with the
+	// events fired so far, the events still live in the queue, and the
+	// simulated clock — the minimum shard clock on sharded runs. The
+	// live count excludes cancelled timers — retry- and fault-heavy
+	// runs cancel timers in bulk, and counting those corpses would
+	// inflate the denominator of any progress estimate. It also counts
+	// cross-shard messages awaiting delivery. Not serialized with the
+	// config.
+	Progress func(fired uint64, live int, now units.Time) `json:"-"`
 }
 
 // DefaultConfig is the paper's single-client testbed: 8 cores at
@@ -228,6 +244,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: crash server %d out of range", c.CrashServer)
 	case c.BackgroundLoad < 0 || c.BackgroundLoad >= 1:
 		return fmt.Errorf("cluster: background load %v outside [0,1)", c.BackgroundLoad)
+	case c.Shards < 0:
+		return fmt.Errorf("cluster: negative shard count %d", c.Shards)
+	case c.Workers < 0:
+		return fmt.Errorf("cluster: negative worker count %d", c.Workers)
+	case c.Shards > 1 && c.FabricLatency <= 0:
+		return fmt.Errorf("cluster: sharded execution needs a positive fabric latency (lookahead)")
 	}
 	return c.faultPlan().Validate(c.Servers, c.Clients)
 }
@@ -393,17 +415,52 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node, []*pfs
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine()
-	fab := netsim.NewFabric(eng, cfg.FabricLatency)
+	// Shard layout: nodes are partitioned round-robin over per-shard
+	// engines and fabrics. shards == 1 is the classic single-engine
+	// path (engines[0] drives everything, no executor, no goroutines).
+	// Component construction below is identical in both cases and in
+	// the same global order — per-component rng streams are Split off
+	// the root in construction order, so the draws every component
+	// receives are layout-invariant.
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if max := cfg.Clients + cfg.Servers; shards > max {
+		shards = max
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	engines := make([]*sim.Engine, shards)
+	fabrics := make([]*netsim.Fabric, shards)
+	for i := range engines {
+		engines[i] = sim.NewEngine()
+		fabrics[i] = netsim.NewFabric(engines[i], cfg.FabricLatency)
+	}
+	// The MDS (and a storm's ghost NIC) live on shard 0.
+	eng, fab := engines[0], fabrics[0]
+	clientShard := func(i int) int { return i % shards }
+	serverShard := func(i int) int { return i % shards }
+	// Node-id layout: clients at 1..Clients, MDS at 90, servers from
+	// 100. Clusters with ≥ 90 clients outgrow the classic constants, so
+	// the MDS and the server block shift past the client range; smaller
+	// clusters keep the historical ids (and byte-identical results).
+	mds, firstServer := mdsNode, firstServerNode
+	if firstClientNode+netsim.NodeID(cfg.Clients) > mdsNode {
+		mds = firstClientNode + netsim.NodeID(cfg.Clients)
+		firstServer = mds + 10
+	}
 	root := rng.New(cfg.Seed)
 
 	// File system: one layout over all servers, shared by every file.
 	servers := make([]netsim.NodeID, cfg.Servers)
 	for i := range servers {
-		servers[i] = firstServerNode + netsim.NodeID(i)
+		servers[i] = firstServer + netsim.NodeID(i)
 	}
 	layout := pfs.Layout{StripSize: cfg.StripSize, Servers: servers, Size: cfg.BytesPerProc}
-	pfs.NewMetadataServer(eng, fab, mdsNode, pfs.DefaultMetadataConfig(units.Gigabit),
+	pfs.NewMetadataServer(eng, fab, mds, pfs.DefaultMetadataConfig(units.Gigabit),
 		func(pfs.FileID) pfs.Layout { return layout })
 
 	srvs := make([]*pfs.Server, cfg.Servers)
@@ -412,15 +469,16 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node, []*pfs
 		scfg.Disk = cfg.Disk
 		scfg.EchoHints = true // harmless for baselines: their requests carry no hint
 		scfg.NIC.Fragment = cfg.FragmentWire
-		srvs[i] = pfs.NewServer(eng, fab, servers[i], scfg, root)
+		srvs[i] = pfs.NewServer(engines[serverShard(i)], fabrics[serverShard(i)], servers[i], scfg, root)
 	}
 
 	// Clients with their workloads. Background busywork (if configured)
-	// stops once every workload has finished, so the run still drains.
+	// stops once the node's own workload has finished, so the run still
+	// drains. (The stop condition is per-node, not global: a global
+	// "any load still active" check would read cross-shard state whose
+	// mid-round value depends on the layout.)
 	nodes := make([]*client.Node, cfg.Clients)
 	loads := make([]*workload.IOR, cfg.Clients)
-	activeLoads := cfg.Clients
-	var onLoadDone sim.Event = func(units.Time) { activeLoads-- }
 	for i := 0; i < cfg.Clients; i++ {
 		ccfg := client.DefaultConfig(firstClientNode+netsim.NodeID(i), cfg.ClientNICRate, cfg.Policy)
 		ccfg.Cores = cfg.CoresPerClient
@@ -437,7 +495,7 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node, []*pfs
 		ccfg.RSSQueues = cfg.RSSQueues
 		ccfg.IrqbalancePeriod = cfg.IrqbalancePeriod
 		ccfg.DedicatedCore = cfg.DedicatedCore
-		ccfg.MDS = mdsNode
+		ccfg.MDS = mds
 		// Child seeds are derived, not offset: cfg.Seed+i would make run
 		// seed S node i draw the same stream as run seed S+1 node i-1,
 		// correlating "independent" repeats (see rng.Derive).
@@ -453,7 +511,7 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node, []*pfs
 		}
 		ccfg.NIC.CoalesceDelay = cfg.CoalesceDelay
 		ccfg.NIC.Fragment = cfg.FragmentWire
-		node, err := client.New(eng, fab, ccfg)
+		node, err := client.New(engines[clientShard(i)], fabrics[clientShard(i)], ccfg)
 		if err != nil {
 			return nil, err
 		}
@@ -476,12 +534,45 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node, []*pfs
 			Aggregators:  cfg.Aggregators,
 			Seed:         rng.Derive(cfg.Seed, uint64(2*i+1)),
 		}
-		w, err := workload.NewIOR(node, wcfg, onLoadDone)
+		w, err := workload.NewIOR(node, wcfg, nil)
 		if err != nil {
 			return nil, err
 		}
 		loads[i] = w
-		w.Start(eng)
+		w.Start(engines[clientShard(i)])
+	}
+
+	// Cross-shard routing: a frame whose destination lives on another
+	// shard is posted to that shard's mailbox, carrying its delivery
+	// time and provenance key; the destination injects it with the
+	// exact compound key a shared engine would have used. Frames
+	// migrate between per-shard pools with their ownership.
+	var se *shard.Engine
+	if shards > 1 {
+		se = shard.New(engines, cfg.FabricLatency, workers)
+		nodeShard := make(map[netsim.NodeID]int, cfg.Clients+cfg.Servers+1)
+		nodeShard[mds] = 0
+		for i := 0; i < cfg.Clients; i++ {
+			nodeShard[firstClientNode+netsim.NodeID(i)] = clientShard(i)
+		}
+		for i := range servers {
+			nodeShard[servers[i]] = serverShard(i)
+		}
+		for i := range fabrics {
+			src := i
+			fabrics[i].SetRemote(func(fr *netsim.Frame, wire units.Bytes, sendAt, deliverAt units.Time, key netsim.FrameKey) bool {
+				dst, ok := nodeShard[fr.Dst]
+				if !ok {
+					return false
+				}
+				df := fabrics[dst]
+				se.Post(src, dst, shard.Msg{
+					At: deliverAt, SentAt: sendAt, Origin: key.Origin(), Seq: key.Seq,
+					Fn: func(units.Time) { df.InjectArrival(fr, wire) },
+				})
+				return true
+			})
+		}
 	}
 
 	// Arm the fault plan against the assembled cluster. The storm node
@@ -492,14 +583,20 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node, []*pfs
 	for i := range clientIDs {
 		clientIDs[i] = firstClientNode + netsim.NodeID(i)
 	}
-	inj, err := cfg.faultPlan().Arm(faults.Target{
+	target := faults.Target{
 		Engine:    eng,
 		Fabric:    fab,
 		Servers:   srvs,
 		Clients:   clientIDs,
-		StormNode: firstServerNode + netsim.NodeID(cfg.Servers),
+		StormNode: firstServer + netsim.NodeID(cfg.Servers),
 		Rand:      root,
-	})
+	}
+	if shards > 1 {
+		target.Engines = engines
+		target.Fabrics = fabrics
+		target.ServerEngine = func(i int) *sim.Engine { return engines[serverShard(i)] }
+	}
+	inj, err := cfg.faultPlan().Arm(target)
 	if err != nil {
 		return nil, err
 	}
@@ -507,18 +604,20 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node, []*pfs
 	if cfg.BackgroundLoad > 0 {
 		const period = units.Millisecond
 		work := units.Time(float64(period) * cfg.BackgroundLoad)
-		for _, node := range nodes {
+		for i, node := range nodes {
+			w := loads[i]
+			ne := engines[clientShard(i)]
 			for core := 0; core < cfg.CoresPerClient; core++ {
 				c := node.CPU().Core(core)
 				var tick func(units.Time)
 				tick = func(units.Time) {
-					if activeLoads == 0 {
+					if w.Finished() != 0 {
 						return
 					}
 					c.Submit(cpu.PrioProcess, cpu.CatOther, work, nil)
-					eng.After(period, tick)
+					ne.After(period, tick)
 				}
-				eng.At(0, tick)
+				ne.At(0, tick)
 			}
 		}
 	}
@@ -526,30 +625,68 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node, []*pfs
 		instrument(nodes, srvs)
 	}
 	cancellable := ctx != nil && ctx.Done() != nil
-	if cancellable || cfg.Progress != nil {
-		// One stop-poll closure serves both jobs: cancellation check and
-		// the progress heartbeat, at the engine's poll cadence.
-		eng.SetStop(func() bool {
-			if cfg.Progress != nil {
-				cfg.Progress(eng.Fired(), eng.Live())
-			}
-			return cancellable && ctx.Err() != nil
-		})
+	var stopped bool
+	if se != nil {
+		if cancellable || cfg.Progress != nil {
+			// One stop closure serves both jobs, polled between rounds:
+			// cancellation check and the progress heartbeat with the
+			// aggregate counters and the global (min-shard) clock.
+			se.SetStop(func() bool {
+				if cfg.Progress != nil {
+					cfg.Progress(se.Fired(), se.Live(), se.Now())
+				}
+				return cancellable && ctx.Err() != nil
+			})
+		}
+		se.Run()
+		stopped = se.Stopped()
+	} else {
+		if cancellable || cfg.Progress != nil {
+			// One stop-poll closure serves both jobs: cancellation check
+			// and the progress heartbeat, at the engine's poll cadence.
+			eng.SetStop(func() bool {
+				if cfg.Progress != nil {
+					cfg.Progress(eng.Fired(), eng.Live(), eng.Now())
+				}
+				return cancellable && ctx.Err() != nil
+			})
+		}
+		eng.RunUntilIdle()
+		stopped = eng.Stopped()
 	}
-	eng.RunUntilIdle()
-	res := collect(cfg, eng, fab, nodes, loads, srvs, inj)
-	if ctx != nil && eng.Stopped() {
+	// Makespan and fabric totals aggregate over shards; on the classic
+	// path they reduce to the lone engine and fabric.
+	var end units.Time
+	for _, e := range engines {
+		if t := e.Now(); t > end {
+			end = t
+		}
+	}
+	var net netTotals
+	for _, f := range fabrics {
+		net.dropped += f.Dropped()
+		net.corrupted += f.Corrupted()
+	}
+	res := collect(cfg, end, net, nodes, loads, srvs, inj)
+	if ctx != nil && stopped {
 		return res, ctx.Err()
 	}
 	return res, nil
 }
 
-// collect assembles the Result from the finished simulation.
-func collect(cfg Config, eng *sim.Engine, fab *netsim.Fabric, nodes []*client.Node,
+// netTotals is the fabric damage rollup summed over shards.
+type netTotals struct {
+	dropped   uint64
+	corrupted uint64
+}
+
+// collect assembles the Result from the finished simulation. end is
+// the makespan (latest shard clock) and net the fabric rollup.
+func collect(cfg Config, end units.Time, net netTotals, nodes []*client.Node,
 	loads []*workload.IOR, srvs []*pfs.Server, inj *faults.Injector) *Result {
 	res := &Result{
 		Policy:         cfg.Policy.String(),
-		Duration:       eng.Now(),
+		Duration:       end,
 		BusyByCategory: make(map[string]units.Time),
 	}
 	catNames := []cpu.Category{cpu.CatIRQ, cpu.CatSoftirq, cpu.CatMigration,
@@ -584,7 +721,7 @@ func collect(cfg Config, eng *sim.Engine, fab *netsim.Fabric, nodes []*client.No
 
 		dur := loads[i].Finished()
 		if dur <= 0 {
-			dur = eng.Now()
+			dur = end
 		}
 		res.PerClient = append(res.PerClient, units.Over(st.BytesRead+st.BytesWritten, dur))
 	}
@@ -633,13 +770,13 @@ func collect(cfg Config, eng *sim.Engine, fab *netsim.Fabric, nodes []*client.No
 	// Fault rollup: wire damage from the fabric, recovery activity from
 	// the clients (filled above), injection accounting from the armed
 	// injector, and goodput against the workloads' offered load.
-	res.NetDrops = fab.Dropped()
-	res.Faults.FramesDropped = fab.Dropped()
-	res.Faults.FramesCorrupted = fab.Corrupted()
+	res.NetDrops = net.dropped
+	res.Faults.FramesDropped = net.dropped
+	res.Faults.FramesCorrupted = net.corrupted
 	res.Faults.HeaderDrops = res.HeaderDrops
 	res.Faults.RingDrops = res.RingDrops
 	res.Faults.FailedOps = res.FailedTransfers
-	ist := inj.Finish(eng.Now())
+	ist := inj.Finish(end)
 	res.Faults.Crashes = ist.Crashes
 	res.Faults.ServerDowntime = ist.Downtime
 	res.Faults.LastReviveAt = ist.LastReviveAt

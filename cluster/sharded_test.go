@@ -1,0 +1,257 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"sais/cluster"
+	"sais/internal/faults"
+	"sais/internal/irqsched"
+	"sais/internal/units"
+)
+
+// shardedBase is a small but non-trivial multi-client cluster used by
+// the differential tests: enough clients and servers that every shard
+// count in {1..8} splits the node set unevenly, small enough byte
+// budgets that a full run stays in the tens of milliseconds.
+func shardedBase() cluster.Config {
+	cfg := cluster.DefaultConfig()
+	cfg.Clients = 3
+	cfg.Servers = 5
+	cfg.CoresPerClient = 4
+	cfg.ProcsPerClient = 2
+	cfg.BytesPerProc = 2 * units.MiB
+	cfg.Policy = irqsched.PolicySourceAware
+	return cfg
+}
+
+// resultJSON runs cfg and returns the marshalled Result — the byte
+// string the sharding refactor promises is layout-invariant.
+func resultJSON(t *testing.T, cfg cluster.Config) []byte {
+	t.Helper()
+	res, err := cluster.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// shardLayouts is the matrix every differential test sweeps. Shards=3
+// divides 8 nodes unevenly; 8 shards on 8 nodes puts one node per
+// engine; workers=4 exercises the parallel round path.
+var shardLayouts = []struct{ shards, workers int }{
+	{2, 1}, {3, 1}, {4, 4}, {8, 1}, {8, 4},
+}
+
+// TestShardedByteIdentity is the refactor's contract: the same
+// cluster.Result bytes — bandwidth, cache stats, strip-latency
+// percentiles, fault counters — for every shard and worker layout.
+func TestShardedByteIdentity(t *testing.T) {
+	variants := []struct {
+		name string
+		mut  func(*cluster.Config)
+	}{
+		{"read", func(cfg *cluster.Config) {}},
+		{"write", func(cfg *cluster.Config) { cfg.WriteWorkload = true }},
+		{"rss-bg", func(cfg *cluster.Config) {
+			cfg.RSSQueues = 4
+			cfg.BackgroundLoad = 0.15
+			cfg.SharedFiles = true
+		}},
+		{"random-seg", func(cfg *cluster.Config) {
+			cfg.RandomAccess = true
+			cfg.Segmented = true
+			cfg.Seed = 7
+		}},
+		{"collective", func(cfg *cluster.Config) {
+			cfg.Aggregators = 1
+			cfg.ProcsPerClient = 4
+		}},
+		{"faulty", func(cfg *cluster.Config) {
+			cfg.LossRate = 0.01
+			cfg.CorruptRate = 0.005
+			cfg.RetryTimeout = 30 * units.Millisecond
+			cfg.MaxRetries = 4
+			cfg.ServerStall = 100 * units.Microsecond
+			cfg.ServerStallRate = 0.2
+			cfg.Faults = &faults.Plan{Timeline: []faults.TimelineEvent{
+				{At: 2 * units.Millisecond, Kind: faults.KindCrash, Server: 1},
+				{At: 6 * units.Millisecond, Kind: faults.KindRevive, Server: 1},
+				{At: 3 * units.Millisecond, Kind: faults.KindDegradeLink, Factor: 4},
+				{At: 5 * units.Millisecond, Kind: faults.KindDegradeLink, Factor: 1},
+				{At: 4 * units.Millisecond, Kind: faults.KindStormStart,
+					Client: 0, Period: 50 * units.Microsecond},
+				{At: 4500 * units.Microsecond, Kind: faults.KindStormStop},
+			}}
+		}},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			cfg := shardedBase()
+			v.mut(&cfg)
+			ref := resultJSON(t, cfg)
+			for _, l := range shardLayouts {
+				c := cfg
+				c.Shards, c.Workers = l.shards, l.workers
+				got := resultJSON(t, c)
+				if !bytes.Equal(ref, got) {
+					t.Errorf("shards=%d workers=%d diverged from single-engine run:\nref %s\ngot %s",
+						l.shards, l.workers, ref, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedTraceIdentity extends byte-identity to the full span log:
+// same span count, same orphan count, and a byte-identical Chrome
+// trace export for a sharded run under parallel workers.
+func TestShardedTraceIdentity(t *testing.T) {
+	cfg := shardedBase()
+	run := func(shards, workers int) (int, uint64, []byte) {
+		c := cfg
+		c.Shards, c.Workers = shards, workers
+		_, log, err := cluster.RunSpanned(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := log.ExportChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return log.Len(), log.Orphans(), buf.Bytes()
+	}
+	spans, orphans, ref := run(0, 0)
+	if spans == 0 {
+		t.Fatal("reference run produced no spans")
+	}
+	for _, l := range shardLayouts {
+		s, o, got := run(l.shards, l.workers)
+		if s != spans || o != orphans {
+			t.Fatalf("shards=%d workers=%d: %d spans / %d orphans, want %d / %d",
+				l.shards, l.workers, s, o, spans, orphans)
+		}
+		if !bytes.Equal(ref, got) {
+			t.Fatalf("shards=%d workers=%d: trace export diverged (%d vs %d bytes)",
+				l.shards, l.workers, len(got), len(ref))
+		}
+	}
+}
+
+// TestShardedScale1000 is the issue's scale scenario: 1000 clients and
+// 100 servers with tiny per-proc budgets, run once on a single engine
+// and once on 8 shards × 4 workers. The run must complete and produce
+// identical results — the point is that conservative synchronization
+// holds up at three orders of magnitude more nodes than the testbed.
+func TestShardedScale1000(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-node scenario skipped in -short mode")
+	}
+	cfg := cluster.DefaultConfig()
+	cfg.Clients = 1000
+	cfg.Servers = 100
+	cfg.CoresPerClient = 2
+	cfg.ProcsPerClient = 1
+	cfg.CachePerCore = 64 * units.KiB
+	cfg.StripSize = 16 * units.KiB
+	cfg.TransferSize = 64 * units.KiB
+	cfg.BytesPerProc = 128 * units.KiB
+	cfg.Policy = irqsched.PolicySourceAware
+	ref := resultJSON(t, cfg)
+	cfg.Shards, cfg.Workers = 8, 4
+	got := resultJSON(t, cfg)
+	if !bytes.Equal(ref, got) {
+		t.Fatalf("1000-client run diverged:\nref %s\ngot %s", ref, got)
+	}
+	var res cluster.Result
+	if err := json.Unmarshal(got, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Bandwidth <= 0 {
+		t.Fatalf("bandwidth %v, want positive", res.Bandwidth)
+	}
+}
+
+// TestShardedProgress checks the aggregate progress callback fires on
+// sharded runs and reports a non-decreasing global clock.
+func TestShardedProgress(t *testing.T) {
+	cfg := shardedBase()
+	cfg.Shards, cfg.Workers = 4, 1
+	var calls int
+	var lastNow units.Time
+	var lastFired uint64
+	cfg.Progress = func(fired uint64, live int, now units.Time) {
+		calls++
+		if now < lastNow {
+			t.Fatalf("global clock went backwards: %v after %v", now, lastNow)
+		}
+		if fired < lastFired {
+			t.Fatalf("fired count went backwards: %d after %d", fired, lastFired)
+		}
+		if live < 0 {
+			t.Fatalf("negative live count %d", live)
+		}
+		lastNow, lastFired = now, fired
+	}
+	if _, err := cluster.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("progress callback never fired on a sharded run")
+	}
+}
+
+// TestShardedValidate covers the new Config knobs' error paths.
+func TestShardedValidate(t *testing.T) {
+	cfg := shardedBase()
+	cfg.Shards = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative shards accepted")
+	}
+	cfg = shardedBase()
+	cfg.Workers = -2
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative workers accepted")
+	}
+	cfg = shardedBase()
+	cfg.Shards = 2
+	cfg.FabricLatency = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("sharded run with zero fabric latency accepted")
+	}
+	// More shards than nodes is legal — it clamps.
+	cfg = shardedBase()
+	cfg.Shards = 500
+	cfg.Workers = 16
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("oversized shard count rejected: %v", err)
+	}
+	if _, err := cluster.Run(cfg); err != nil {
+		t.Errorf("oversized shard count failed at run time: %v", err)
+	}
+}
+
+// TestShardedDegradeLinkRejected documents the one fault the sharded
+// path refuses: shrinking the fabric latency below the lookahead would
+// break the conservative horizon, so degrade-link factors < 1 error
+// out instead of silently corrupting causality.
+func TestShardedDegradeLinkRejected(t *testing.T) {
+	cfg := shardedBase()
+	cfg.Shards = 2
+	cfg.Faults = &faults.Plan{Timeline: []faults.TimelineEvent{
+		{At: units.Millisecond, Kind: faults.KindDegradeLink, Factor: 0.5},
+	}}
+	if _, err := cluster.Run(cfg); err == nil {
+		t.Fatal("speed-up degrade-link accepted on a sharded run")
+	}
+	cfg.Shards = 0
+	if _, err := cluster.Run(cfg); err != nil {
+		t.Fatalf("single-engine run rejected factor < 1: %v", err)
+	}
+}

@@ -5,12 +5,17 @@
 // It reads `go test -bench` output on stdin. With -record it writes a
 // JSON baseline (per-benchmark median ns/op plus allocation counters);
 // with -baseline it compares the run against a committed baseline and
-// prints a table of deltas. Comparison is warn-only — it always exits
-// zero — because micro-benchmark noise across machines should not fail
-// a build; the table is for humans and for PR review.
+// prints a table of deltas. Comparison is warn-only by default; with
+// -strict a regression beyond a benchmark's tolerance band (or any
+// allocs/op growth) fails the build. Each baseline entry may carry its
+// own "tolerance" — the relative ns/op slack before a run counts as a
+// regression — so noisy macro-benchmarks can run with a wider band
+// than steady hot-path microbenchmarks; entries without one use the
+// 0.20 default. Re-recording preserves the tolerances already in the
+// baseline file.
 //
 //	go test -bench EngineHot -benchmem -count 5 ./internal/sim | benchcheck -record BENCH_sim.json
-//	go test -bench EngineHot -benchmem -count 5 ./internal/sim | benchcheck -baseline BENCH_sim.json
+//	go test -bench EngineHot -benchmem -count 5 ./internal/sim | benchcheck -baseline BENCH_sim.json -strict
 package main
 
 import (
@@ -30,6 +35,10 @@ type Result struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`  // median B/op (with -benchmem)
 	AllocsPerOp float64 `json:"allocs_per_op"` // median allocs/op
 	Runs        int     `json:"runs"`          // samples aggregated
+	// Tolerance is this benchmark's relative ns/op regression band;
+	// 0 means the defaultTolerance. Hand-edit it in the baseline for
+	// benchmarks whose run-to-run noise exceeds the default.
+	Tolerance float64 `json:"tolerance,omitempty"`
 }
 
 // Baseline is the committed JSON file.
@@ -38,12 +47,14 @@ type Baseline struct {
 	Benchmarks map[string]Result `json:"benchmarks"`
 }
 
-// threshold is the relative ns/op regression that triggers a warning.
-const threshold = 0.20
+// defaultTolerance is the relative ns/op regression that triggers a
+// warning when the baseline entry carries no tolerance of its own.
+const defaultTolerance = 0.20
 
 func main() {
 	record := flag.String("record", "", "write the parsed results as a JSON baseline to this file")
-	baseline := flag.String("baseline", "", "compare the parsed results against this JSON baseline (warn-only)")
+	baseline := flag.String("baseline", "", "compare the parsed results against this JSON baseline")
+	strict := flag.Bool("strict", false, "exit non-zero when a comparison exceeds its tolerance band")
 	flag.Parse()
 	if (*record == "") == (*baseline == "") {
 		fmt.Fprintln(os.Stderr, "benchcheck: exactly one of -record or -baseline is required")
@@ -61,8 +72,17 @@ func main() {
 	}
 
 	if *record != "" {
+		// Re-recording keeps any hand-set tolerance bands.
+		if old, err := load(*record); err == nil {
+			for name, r := range results {
+				if prev, ok := old.Benchmarks[name]; ok && prev.Tolerance != 0 {
+					r.Tolerance = prev.Tolerance
+					results[name] = r
+				}
+			}
+		}
 		b := Baseline{
-			Note:       "Recorded by `make bench-record`; compared warn-only by `make bench-check`.",
+			Note:       "Recorded by `make bench-record`; gated by `make bench-check` (strict, per-benchmark tolerance bands).",
 			Benchmarks: results,
 		}
 		buf, err := json.MarshalIndent(b, "", "  ")
@@ -78,21 +98,31 @@ func main() {
 		return
 	}
 
-	compare(*baseline, results)
+	warned := compare(*baseline, results)
+	if warned > 0 && *strict {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d regression(s) beyond tolerance; failing (-strict)\n", warned)
+		os.Exit(1)
+	}
 }
 
-// compare prints per-benchmark deltas against the committed baseline.
-// Warn-only by design: exit status is always zero.
-func compare(path string, got map[string]Result) {
+// load reads a baseline file.
+func load(path string) (Baseline, error) {
+	var base Baseline
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchcheck: no baseline (%v); run `make bench-record` to create one\n", err)
-		return
+		return base, err
 	}
-	var base Baseline
-	if err := json.Unmarshal(buf, &base); err != nil {
-		fmt.Fprintln(os.Stderr, "benchcheck:", err)
-		return
+	err = json.Unmarshal(buf, &base)
+	return base, err
+}
+
+// compare prints per-benchmark deltas against the committed baseline
+// and returns the number of out-of-tolerance findings.
+func compare(path string, got map[string]Result) int {
+	base, err := load(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: no baseline (%v); run `make bench-record` to create one\n", err)
+		return 0
 	}
 	names := make([]string, 0, len(got))
 	for name := range got {
@@ -100,29 +130,38 @@ func compare(path string, got map[string]Result) {
 	}
 	sort.Strings(names)
 	warned := 0
-	fmt.Printf("%-36s %12s %12s %8s\n", "benchmark", "base ns/op", "now ns/op", "delta")
+	fmt.Printf("%-52s %12s %12s %8s\n", "benchmark", "base ns/op", "now ns/op", "delta")
 	for _, name := range names {
 		cur := got[name]
 		old, ok := base.Benchmarks[name]
 		if !ok {
-			fmt.Printf("%-36s %12s %12.1f %8s\n", name, "(new)", cur.NsPerOp, "")
+			fmt.Printf("%-52s %12s %12.1f %8s\n", name, "(new)", cur.NsPerOp, "")
 			continue
+		}
+		tol := old.Tolerance
+		if tol == 0 {
+			tol = defaultTolerance
 		}
 		delta := (cur.NsPerOp - old.NsPerOp) / old.NsPerOp
 		mark := ""
-		if delta > threshold {
-			mark = "  WARN: slower than baseline"
+		if delta > tol {
+			mark = fmt.Sprintf("  WARN: slower than baseline (tolerance %.0f%%)", tol*100)
 			warned++
 		}
-		if cur.AllocsPerOp > old.AllocsPerOp {
+		// Alloc growth: zero-alloc baselines are exact invariants (the
+		// engine hot path must stay at 0 allocs/op); non-zero baselines
+		// get the same relative band as ns/op.
+		if (old.AllocsPerOp == 0 && cur.AllocsPerOp > 0) ||
+			(old.AllocsPerOp > 0 && cur.AllocsPerOp > old.AllocsPerOp*(1+tol)) {
 			mark += fmt.Sprintf("  WARN: allocs/op %.0f -> %.0f", old.AllocsPerOp, cur.AllocsPerOp)
 			warned++
 		}
-		fmt.Printf("%-36s %12.1f %12.1f %+7.1f%%%s\n", name, old.NsPerOp, cur.NsPerOp, delta*100, mark)
+		fmt.Printf("%-52s %12.1f %12.1f %+7.1f%%%s\n", name, old.NsPerOp, cur.NsPerOp, delta*100, mark)
 	}
 	if warned > 0 {
-		fmt.Printf("benchcheck: %d warning(s); not failing the build (warn-only)\n", warned)
+		fmt.Printf("benchcheck: %d warning(s)\n", warned)
 	}
+	return warned
 }
 
 // parse aggregates `go test -bench` output lines by benchmark name

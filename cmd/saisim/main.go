@@ -72,6 +72,8 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		progress   = flag.Bool("progress", false, "print a progress heartbeat to stderr while the run executes")
+		shardsN    = flag.Int("shards", 0, "partition the cluster over this many event engines (0/1 = single engine; results are identical for any value)")
+		workersN   = flag.Int("workers", 0, "goroutines driving the shards (clamped to the shard count)")
 	)
 	flag.Parse()
 
@@ -122,6 +124,12 @@ func main() {
 	cfg.SharedFiles = *shared
 	cfg.MigrateDuringBlock = *migrate
 	cfg.Seed = *seed
+	if *shardsN > 0 {
+		cfg.Shards = *shardsN
+	}
+	if *workersN > 0 {
+		cfg.Workers = *workersN
+	}
 
 	if *faultPlan != "" {
 		plan, err := faults.LoadPlan(*faultPlan)
@@ -163,11 +171,11 @@ func main() {
 		// Throttled wall-clock heartbeat; stderr only, so the simulated
 		// results stay byte-identical with and without it.
 		last := time.Now() //lint:wallclock heartbeat throttle; stderr only
-		cfg.Progress = func(fired uint64, live int) {
+		cfg.Progress = func(fired uint64, live int, simNow units.Time) {
 			now := time.Now() //lint:wallclock heartbeat throttle; stderr only
 			if now.Sub(last) >= 500*time.Millisecond {
 				last = now
-				fmt.Fprintf(os.Stderr, "saisim: %d events fired, %d live\n", fired, live)
+				fmt.Fprintf(os.Stderr, "saisim: %d events fired, %d live, simulated t=%v\n", fired, live, simNow)
 			}
 		}
 	}

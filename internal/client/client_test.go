@@ -443,7 +443,7 @@ func TestRetryRecoversLostStrips(t *testing.T) {
 		// Warm-up read resolves the layout before loss is injected.
 		p.Read(1, 0, 64*units.KiB, func(units.Time) {
 			dropped := 0
-			r.fab.SetLoss(func() bool {
+			r.fab.SetLoss(func(netsim.FrameKey) bool {
 				if dropped < 3 {
 					dropped++
 					return true
@@ -480,7 +480,7 @@ func TestRetryGivesUpAfterMaxRetries(t *testing.T) {
 	r.eng.At(0, func(units.Time) {
 		// Warm-up read resolves the layout; then total blackout.
 		p.Read(1, 0, 64*units.KiB, func(units.Time) {
-			r.fab.SetLoss(func() bool { return true })
+			r.fab.SetLoss(func(netsim.FrameKey) bool { return true })
 			p.Read(1, 0, 128*units.KiB, func(units.Time) { completed = true })
 		})
 	})
@@ -508,7 +508,7 @@ func TestWriteRetryRecovers(t *testing.T) {
 	r.eng.At(0, func(units.Time) {
 		p.Read(1, 0, 64*units.KiB, func(units.Time) { // warm the layout
 			dropped := 0
-			r.fab.SetLoss(func() bool {
+			r.fab.SetLoss(func(netsim.FrameKey) bool {
 				if dropped < 2 {
 					dropped++
 					return true
@@ -695,7 +695,7 @@ func TestAbandonedReadReleasesBlocks(t *testing.T) {
 		// strips land (and occupy cache) before the transfer fails.
 		p.Read(1, 0, 64*units.KiB, func(units.Time) {
 			n := 0
-			r.fab.SetLoss(func() bool {
+			r.fab.SetLoss(func(netsim.FrameKey) bool {
 				n++
 				return n%2 == 0 // half the strips vanish forever
 			})
@@ -728,7 +728,7 @@ func TestCorruptedHeadersDroppedAndRecovered(t *testing.T) {
 	r.eng.At(0, func(units.Time) {
 		p.Read(1, 0, 64*units.KiB, func(units.Time) { // warm layout
 			n := 0
-			r.fab.SetCorruption(func(f *netsim.Frame) bool {
+			r.fab.SetCorruption(func(f *netsim.Frame, _ netsim.FrameKey) bool {
 				if f.Payload < 32*units.KiB {
 					return false // target data strips only
 				}
@@ -823,7 +823,7 @@ func TestAbandonRecordsOpErrorAndLatency(t *testing.T) {
 	r.eng.At(0, func(units.Time) {
 		p.Read(1, 0, 64*units.KiB, func(now units.Time) { // warm the layout
 			issuedAt = now
-			r.fab.SetLoss(func() bool { return true })
+			r.fab.SetLoss(func(netsim.FrameKey) bool { return true })
 			p.Read(1, 0, 128*units.KiB, nil)
 		})
 	})
@@ -864,7 +864,7 @@ func TestOpenRetryRecoversLostLayout(t *testing.T) {
 	cfg.MaxRetries = 5
 	r.node.cfg = cfg
 	dropped := 0
-	r.fab.SetLoss(func() bool {
+	r.fab.SetLoss(func(netsim.FrameKey) bool {
 		if dropped < 1 { // the very first frame is the LayoutRequest
 			dropped++
 			return true
@@ -901,7 +901,7 @@ func TestOpenRetryExhaustionFailsParkedOps(t *testing.T) {
 	cfg.RetryTimeout = 20 * units.Millisecond
 	cfg.MaxRetries = 2
 	r.node.cfg = cfg
-	r.fab.SetLoss(func() bool { return true })
+	r.fab.SetLoss(func(netsim.FrameKey) bool { return true })
 	p := r.node.NewProc(0, 0)
 	completed := false
 	r.eng.At(0, func(units.Time) {

@@ -2,7 +2,7 @@ package faults
 
 import (
 	"fmt"
-	"sort"
+	"sync/atomic"
 
 	"sais/internal/netsim"
 	"sais/internal/pfs"
@@ -12,10 +12,21 @@ import (
 )
 
 // Target is the built cluster an Injector arms against.
+//
+// Single-engine runs fill Engine and Fabric only. Sharded runs
+// (cluster.Config.Shards > 1) additionally list every shard's engine
+// and fabric — index-aligned, with Engines[0]/Fabrics[0] hosting the
+// timeline clock and the storm ghost NIC — and supply ServerEngine so
+// crash/revive events fire on the engine the target server lives on.
 type Target struct {
 	Engine  *sim.Engine
 	Fabric  *netsim.Fabric
-	Servers []*pfs.Server
+	Engines []*sim.Engine
+	Fabrics []*netsim.Fabric
+	// ServerEngine returns the engine server i runs on; nil means
+	// every server shares Engine.
+	ServerEngine func(i int) *sim.Engine
+	Servers      []*pfs.Server
 	// Clients are the fabric ids of the client nodes, for storms.
 	Clients []netsim.NodeID
 	// StormNode is a free fabric id the injector may claim for its
@@ -25,6 +36,22 @@ type Target struct {
 	// sub-streams from it so arming order never perturbs other
 	// components' draws.
 	Rand *rng.Source
+}
+
+// engines returns the full engine list (falling back to the single
+// Engine), and fabrics likewise.
+func (t *Target) engines() []*sim.Engine {
+	if len(t.Engines) > 0 {
+		return t.Engines
+	}
+	return []*sim.Engine{t.Engine}
+}
+
+func (t *Target) fabrics() []*netsim.Fabric {
+	if len(t.Fabrics) > 0 {
+		return t.Fabrics
+	}
+	return []*netsim.Fabric{t.Fabric}
 }
 
 // Stats counts what the injector actually did to the run.
@@ -46,13 +73,28 @@ type Stats struct {
 
 // Injector is an armed Plan. Arm installs every hook and schedules the
 // timeline; Finish closes open fault intervals and returns the stats.
+//
+// Under sharded execution, stall hooks on different shards run
+// concurrently within a round, so the shared tallies are atomics.
+// Crash/revive state is per-server (each server's events run on its
+// own shard, and distinct slice slots never race); storm state is
+// touched only by shard 0's events, whose rounds are ordered by the
+// executor's barriers.
 type Injector struct {
-	plan  *Plan
-	eng   *sim.Engine
-	srvs  []*pfs.Server
-	stats Stats
-	// downSince holds the crash time of currently-down servers.
-	downSince map[int]units.Time
+	plan *Plan
+	eng  *sim.Engine // timeline host (shard 0)
+	srvs []*pfs.Server
+
+	stalls      atomic.Uint64
+	stallTime   atomic.Int64
+	stormFrames uint64
+
+	// Per-server crash bookkeeping, indexed by server.
+	down       []bool
+	downSince  []units.Time
+	downtime   []units.Time
+	crashes    []int
+	lastRevive []units.Time
 }
 
 // storm is one armed storm interval.
@@ -71,32 +113,59 @@ type storm struct {
 // randomness, so fault-free runs stay byte-identical to an unarmed
 // simulator.
 func (p *Plan) Arm(t Target) (*Injector, error) {
+	n := len(t.Servers)
 	inj := &Injector{
-		plan:      p,
-		eng:       t.Engine,
-		srvs:      t.Servers,
-		downSince: make(map[int]units.Time),
+		plan:       p,
+		eng:        t.Engine,
+		srvs:       t.Servers,
+		down:       make([]bool, n),
+		downSince:  make([]units.Time, n),
+		downtime:   make([]units.Time, n),
+		crashes:    make([]int, n),
+		lastRevive: make([]units.Time, n),
 	}
-	inj.stats.Downtime = make([]units.Time, len(t.Servers))
 	if p.Empty() {
 		return inj, nil
 	}
-	if t.Engine == nil || t.Fabric == nil {
+	engines, fabrics := t.engines(), t.fabrics()
+	if len(engines) == 0 || engines[0] == nil || len(fabrics) == 0 || fabrics[0] == nil {
 		return nil, fmt.Errorf("faults: Arm needs an engine and a fabric")
+	}
+	inj.eng = engines[0]
+	sharded := len(engines) > 1
+	serverEngine := t.ServerEngine
+	if serverEngine == nil {
+		serverEngine = func(int) *sim.Engine { return engines[0] }
 	}
 	if err := p.Validate(len(t.Servers), len(t.Clients)); err != nil {
 		return nil, err
 	}
 
+	// Loss and corruption are keyed decisions: a hash of (stream seed,
+	// source node, per-source frame sequence) compared against the
+	// rate. Unlike a shared sequential stream, the outcome for a given
+	// frame does not depend on how many other frames were examined
+	// first, so the set of dropped frames is identical across shard
+	// layouts and worker counts.
 	if p.Loss > 0 {
-		lossRnd := t.Rand.Split("faults/loss")
+		seed := t.Rand.Split("faults/loss").Uint64()
 		rate := p.Loss
-		t.Fabric.SetLoss(func() bool { return lossRnd.Bool(rate) })
+		pred := func(k netsim.FrameKey) bool {
+			return rng.Unit01(rng.Derive(rng.Derive(seed, uint64(k.Src)), k.Seq)) < rate
+		}
+		for _, fab := range fabrics {
+			fab.SetLoss(pred)
+		}
 	}
 	if p.Corrupt > 0 {
-		corruptRnd := t.Rand.Split("faults/corrupt")
+		seed := t.Rand.Split("faults/corrupt").Uint64()
 		rate := p.Corrupt
-		t.Fabric.SetCorruption(func(*netsim.Frame) bool { return corruptRnd.Bool(rate) })
+		pred := func(_ *netsim.Frame, k netsim.FrameKey) bool {
+			return rng.Unit01(rng.Derive(rng.Derive(seed, uint64(k.Src)), k.Seq)) < rate
+		}
+		for _, fab := range fabrics {
+			fab.SetCorruption(pred)
+		}
 	}
 	for _, s := range p.Stalls {
 		lo, hi := s.Server, s.Server
@@ -112,8 +181,8 @@ func (p *Plan) Arm(t Target) (*Injector, error) {
 	var ghost *netsim.NIC
 	for _, ev := range timeline {
 		if ev.Kind == KindStormStart {
-			ghost = netsim.NewNIC(t.Engine, t.StormNode, netsim.DefaultNICConfig(10*units.Gigabit))
-			t.Fabric.Attach(ghost)
+			ghost = netsim.NewNIC(engines[0], t.StormNode, netsim.DefaultNICConfig(10*units.Gigabit))
+			fabrics[0].Attach(ghost)
 			break
 		}
 	}
@@ -121,13 +190,21 @@ func (p *Plan) Arm(t Target) (*Injector, error) {
 		switch ev.Kind {
 		case KindCrash:
 			srv := ev.Server
-			t.Engine.At(ev.At, func(now units.Time) { inj.crash(srv, now) })
+			serverEngine(srv).At(ev.At, func(now units.Time) { inj.crash(srv, now) })
 		case KindRevive:
 			srv := ev.Server
-			t.Engine.At(ev.At, func(now units.Time) { inj.revive(srv, now) })
+			serverEngine(srv).At(ev.At, func(now units.Time) { inj.revive(srv, now) })
 		case KindDegradeLink:
 			factor := ev.Factor
-			t.Engine.At(ev.At, func(units.Time) { t.Fabric.SetLatencyScale(factor) })
+			if sharded && factor < 1 {
+				return nil, fmt.Errorf("faults: degrade-link factor %v < 1 would shrink the fabric latency below the sharded executor's lookahead", factor)
+			}
+			// Every shard owns a fabric; each applies the new scale on
+			// its own clock at the same simulated instant.
+			for s := range engines {
+				fab := fabrics[s]
+				engines[s].At(ev.At, func(units.Time) { fab.SetLatencyScale(factor) })
+			}
 		case KindStormStart:
 			st := &storm{period: ev.Period, payload: ev.Payload}
 			if ev.Client == -1 {
@@ -143,7 +220,7 @@ func (p *Plan) Arm(t Target) (*Injector, error) {
 				}
 			}
 			nic := ghost
-			t.Engine.At(ev.At, func(now units.Time) { inj.stormTick(nic, st, now) })
+			engines[0].At(ev.At, func(now units.Time) { inj.stormTick(nic, st, now) })
 		case KindStormStop:
 			// The storm's tick loop checks stopAt itself; nothing to
 			// schedule.
@@ -152,7 +229,9 @@ func (p *Plan) Arm(t Target) (*Injector, error) {
 	return inj, nil
 }
 
-// armStall installs one stall distribution on one server.
+// armStall installs one stall distribution on one server. The counter
+// updates are atomic because the hook runs on the server's shard,
+// concurrently with other shards' stall hooks.
 func (inj *Injector) armStall(srv *pfs.Server, s Stall, rnd *rng.Source) {
 	srv.SetStall(func() units.Time {
 		if !rnd.Bool(s.Rate) {
@@ -167,8 +246,8 @@ func (inj *Injector) armStall(srv *pfs.Server, s Stall, rnd *rng.Source) {
 			d = units.Time(rnd.TruncNormal(float64(s.Mean), float64(s.Jitter), 0, float64(hi)))
 		}
 		if d > 0 {
-			inj.stats.StallsInjected++
-			inj.stats.StallTime += d
+			inj.stalls.Add(1)
+			inj.stallTime.Add(int64(d))
 		}
 		return d
 	})
@@ -176,23 +255,23 @@ func (inj *Injector) armStall(srv *pfs.Server, s Stall, rnd *rng.Source) {
 
 // crash takes server srv down and opens its downtime interval.
 func (inj *Injector) crash(srv int, now units.Time) {
-	if _, down := inj.downSince[srv]; down {
+	if inj.down[srv] {
 		return // idempotent: already down
 	}
+	inj.down[srv] = true
 	inj.downSince[srv] = now
-	inj.stats.Crashes++
+	inj.crashes[srv]++
 	inj.srvs[srv].SetDown(true)
 }
 
 // revive brings server srv back and closes its downtime interval.
 func (inj *Injector) revive(srv int, now units.Time) {
-	since, down := inj.downSince[srv]
-	if !down {
+	if !inj.down[srv] {
 		return // idempotent: not down
 	}
-	delete(inj.downSince, srv)
-	inj.stats.Downtime[srv] += now - since
-	inj.stats.LastReviveAt = now
+	inj.down[srv] = false
+	inj.downtime[srv] += now - inj.downSince[srv]
+	inj.lastRevive[srv] = now
 	inj.srvs[srv].SetDown(false)
 }
 
@@ -206,27 +285,41 @@ func (inj *Injector) stormTick(nic *netsim.NIC, st *storm, now units.Time) {
 	}
 	for _, dst := range st.targets {
 		nic.Send(dst, st.payload, netsim.AffHint{}, nil)
-		inj.stats.StormFrames++
+		inj.stormFrames++
 	}
 	inj.eng.After(st.period, func(at units.Time) { inj.stormTick(nic, st, at) })
+}
+
+// snapshot assembles a Stats view from the per-server bookkeeping.
+func (inj *Injector) snapshot() Stats {
+	st := Stats{
+		StallsInjected: inj.stalls.Load(),
+		StallTime:      units.Time(inj.stallTime.Load()),
+		StormFrames:    inj.stormFrames,
+		Downtime:       make([]units.Time, len(inj.downtime)),
+	}
+	copy(st.Downtime, inj.downtime)
+	for srv := range inj.crashes {
+		st.Crashes += inj.crashes[srv]
+		if inj.lastRevive[srv] > st.LastReviveAt {
+			st.LastReviveAt = inj.lastRevive[srv]
+		}
+	}
+	return st
 }
 
 // Finish closes the downtime of servers still down at now (a crash
 // without a revive) and returns the final stats. Call it once, after
 // the run drains.
 func (inj *Injector) Finish(now units.Time) Stats {
-	open := make([]int, 0, len(inj.downSince))
-	//lint:maporder key collection only; sorted before use below
-	for srv := range inj.downSince {
-		open = append(open, srv)
+	for srv := range inj.down {
+		if inj.down[srv] {
+			inj.downtime[srv] += now - inj.downSince[srv]
+			inj.down[srv] = false
+		}
 	}
-	sort.Ints(open)
-	for _, srv := range open {
-		inj.stats.Downtime[srv] += now - inj.downSince[srv]
-	}
-	inj.downSince = make(map[int]units.Time)
-	return inj.stats
+	return inj.snapshot()
 }
 
 // Stats returns a snapshot of the counters without closing intervals.
-func (inj *Injector) Stats() Stats { return inj.stats }
+func (inj *Injector) Stats() Stats { return inj.snapshot() }

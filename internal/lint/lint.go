@@ -11,6 +11,19 @@
 // maporder, goroutine, globalrand, seedarith, unitmix, close). The
 // reason is free text; write one — the annotation is the audit trail
 // for why the invariant does not apply at that site.
+//
+// A package may waive one directive wholesale with
+//
+//	//lint:package <name> reason
+//
+// placed in a file's header (on or above its package clause). The
+// package-level form exists for packages whose design is built around
+// a controlled instance of the hazard — internal/shard runs
+// barrier-synchronized worker goroutines, so a per-line //lint:goroutine
+// at every go statement would be noise, not an audit trail. Use it
+// sparingly: a package waiver removes the analyzer's leverage for the
+// whole package, so the reason must argue why the invariant holds
+// globally (typically with a DESIGN.md reference).
 package lint
 
 import (
@@ -51,6 +64,7 @@ var deterministicPkgs = map[string]bool{
 	"sais/internal/workload":   true,
 	"sais/internal/collective": true,
 	"sais/internal/sweep":      true,
+	"sais/internal/shard":      true,
 }
 
 // isDeterministicPkg reports whether path is one of the packages whose
@@ -69,24 +83,35 @@ func isTestFile(fset *token.FileSet, pos token.Pos) bool {
 }
 
 // directiveIndex records, per line, the //lint: directive names present
-// on that line.
+// on that line, plus the package-wide waivers declared in file headers.
 type directiveIndex struct {
 	fset  *token.FileSet
 	lines map[string]map[int][]string // filename -> line -> directives
+	pkg   map[string]bool             // directive names waived package-wide
 }
 
 // newDirectiveIndex scans every comment in files for //lint:<name>
-// directives.
+// directives. The special name "package" declares a package-wide
+// waiver: "//lint:package <name> reason" in a file header (on or above
+// the package clause) suppresses <name> findings in every file of the
+// package. A //lint:package comment below the package clause is inert —
+// waivers must be visible where a reader looks for them.
 func newDirectiveIndex(fset *token.FileSet, files []*ast.File) *directiveIndex {
-	idx := &directiveIndex{fset: fset, lines: make(map[string]map[int][]string)}
+	idx := &directiveIndex{
+		fset:  fset,
+		lines: make(map[string]map[int][]string),
+		pkg:   make(map[string]bool),
+	}
 	for _, f := range files {
+		pkgLine := fset.Position(f.Package).Line
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := c.Text
 				if !strings.HasPrefix(text, "//lint:") {
 					continue
 				}
-				name := strings.TrimPrefix(text, "//lint:")
+				rest := strings.TrimPrefix(text, "//lint:")
+				name := rest
 				if i := strings.IndexAny(name, " \t"); i >= 0 {
 					name = name[:i]
 				}
@@ -94,6 +119,14 @@ func newDirectiveIndex(fset *token.FileSet, files []*ast.File) *directiveIndex {
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				if name == "package" {
+					if pos.Filename == fset.Position(f.Package).Filename && pos.Line <= pkgLine {
+						if fields := strings.Fields(rest); len(fields) >= 2 {
+							idx.pkg[fields[1]] = true
+						}
+					}
+					continue
+				}
 				byLine := idx.lines[pos.Filename]
 				if byLine == nil {
 					byLine = make(map[int][]string)
@@ -107,8 +140,12 @@ func newDirectiveIndex(fset *token.FileSet, files []*ast.File) *directiveIndex {
 }
 
 // suppressed reports whether a finding of kind name at pos is waived by
-// a //lint:name directive on the same line or the line above.
+// a //lint:name directive on the same line or the line above, or by a
+// package-wide //lint:package name header waiver.
 func (idx *directiveIndex) suppressed(pos token.Pos, name string) bool {
+	if idx.pkg[name] {
+		return true
+	}
 	p := idx.fset.Position(pos)
 	byLine := idx.lines[p.Filename]
 	if byLine == nil {

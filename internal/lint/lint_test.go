@@ -25,6 +25,19 @@ func TestSimDeterminismOutsideSim(t *testing.T) {
 	analysistest.Run(t, lint.SimDeterminism, srcRoot, "simdeterminism_cmd", "sais/cmd/faketool")
 }
 
+// TestSimDeterminismPackageWaiver checks the file-header
+// //lint:package form: the waived directive (goroutine) is silent
+// package-wide, the others still fire.
+func TestSimDeterminismPackageWaiver(t *testing.T) {
+	analysistest.Run(t, lint.SimDeterminism, srcRoot, "simdeterminism_pkg", "sais/internal/shard")
+}
+
+// TestSimDeterminismStrayPackageWaiver checks a //lint:package comment
+// below the package clause is inert.
+func TestSimDeterminismStrayPackageWaiver(t *testing.T) {
+	analysistest.Run(t, lint.SimDeterminism, srcRoot, "simdeterminism_stray", "sais/internal/sim")
+}
+
 // TestSeedDerive checks the seed-arithmetic rule, including the
 // historical cfg.Seed+i fan-out bug, and the //lint:seedarith hatch.
 func TestSeedDerive(t *testing.T) {

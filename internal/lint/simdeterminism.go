@@ -21,7 +21,10 @@ import (
 //   - go statements (deterministic packages only): goroutines
 //     interleave nondeterministically; concurrency belongs in
 //     internal/runner, above the simulator. Suppress with
-//     //lint:goroutine.
+//     //lint:goroutine, or — for a package whose design is built on a
+//     controlled concurrency discipline, like internal/shard's
+//     barrier-synchronized workers — with a file-header
+//     //lint:package goroutine waiver.
 //   - map range (deterministic packages only): map iteration order is
 //     randomized per run, so any state mutation or output emitted from
 //     such a loop can differ between replays. Sort the keys or keep a

@@ -1,0 +1,9 @@
+// Fixture for a misplaced package waiver: //lint:package is only
+// honored in the file header, so the mid-file directive below is inert
+// and the go statement still reports.
+package stray
+
+func spawn(fn func()) {
+	//lint:package goroutine this waiver is below the package clause and does nothing
+	go fn() // want "go statement in deterministic package"
+}

@@ -18,9 +18,12 @@ type Fabric struct {
 	latency units.Time
 	nics    map[NodeID]*NIC
 	// loss injects random frame drops for failure testing; nil = none.
-	loss func() bool
+	loss func(FrameKey) bool
 	// corrupt injects header bit-flips; nil = none.
-	corrupt func(*Frame) bool
+	corrupt func(*Frame, FrameKey) bool
+	// remote routes frames whose destination is not attached here —
+	// the sharded-cluster hook; nil = unknown destinations drop.
+	remote RemoteForward
 	// latencyScale multiplies the forwarding latency when > 0 — the
 	// degraded-switch injection hook.
 	latencyScale float64
@@ -68,15 +71,21 @@ func (f *Fabric) Forwarded() uint64 { return f.forwarded }
 // destinations.
 func (f *Fabric) Dropped() uint64 { return f.dropped }
 
-// SetLoss installs a frame-drop predicate called per frame; used by
-// failure-injection tests. Pass nil to disable.
-func (f *Fabric) SetLoss(fn func() bool) { f.loss = fn }
+// SetLoss installs a frame-drop predicate called per forwarded frame;
+// used by failure injection. The predicate receives the frame's
+// FrameKey so decisions can be pure functions of frame identity —
+// required for shard-layout invariance; predicates that close over
+// mutable state are only safe on single-shard fabrics. Pass nil to
+// disable.
+func (f *Fabric) SetLoss(fn func(FrameKey) bool) { f.loss = fn }
 
 // SetCorruption installs a per-frame header-corruption predicate: a
 // selected frame's IP header gets a flipped byte, so the receiver's
-// checksum validation rejects it. The predicate sees the frame, so
-// tests can target e.g. only data-bearing frames. Pass nil to disable.
-func (f *Fabric) SetCorruption(fn func(*Frame) bool) { f.corrupt = fn }
+// checksum validation rejects it. The predicate sees the frame (so
+// tests can target e.g. only data-bearing frames) and its FrameKey
+// (see SetLoss for the statelessness requirement). Pass nil to
+// disable.
+func (f *Fabric) SetCorruption(fn func(*Frame, FrameKey) bool) { f.corrupt = fn }
 
 // Corrupted returns the number of frames whose headers were damaged.
 func (f *Fabric) Corrupted() uint64 { return f.corrupted }
@@ -110,25 +119,68 @@ func (f *Fabric) FreeFrame(fr *Frame) {
 	f.framePool = append(f.framePool, fr)
 }
 
+// FrameKey identifies one forwarded frame in a way that is invariant
+// to shard layout and execution interleaving: the source node plus
+// that source NIC's monotone forward sequence number. Keyed fault
+// decisions (loss, corruption) hash this identity instead of drawing
+// from a shared stream, so the set of affected frames is a pure
+// function of (config, seed) no matter how the cluster is partitioned.
+type FrameKey struct {
+	Src NodeID
+	Seq uint64
+}
+
+// Origin returns the engine tie-break class frame deliveries carry:
+// the source node shifted out of the zero value reserved for plain
+// local events (see sim.AtOrigin).
+func (k FrameKey) Origin() uint64 { return uint64(k.Src) + 1 }
+
+// RemoteForward routes a frame whose destination NIC is not attached
+// to this fabric. sendAt is the forwarding instant on the source
+// engine and deliverAt the delivery time after switch latency; key is
+// the frame's identity (its Origin and Seq seed the destination
+// engine's tie-break). The hook reports whether the destination
+// exists — false drops the frame at the source.
+type RemoteForward func(fr *Frame, wire units.Bytes, sendAt, deliverAt units.Time, key FrameKey) bool
+
+// SetRemote installs the cross-shard routing hook. Pass nil to restore
+// drop-on-unknown-destination behaviour.
+func (f *Fabric) SetRemote(fn RemoteForward) { f.remote = fn }
+
+// InjectArrival delivers a frame that was forwarded on another shard's
+// fabric. It must be called on this fabric's engine at the frame's
+// delivery time (the sharded executor's mailboxes guarantee both).
+// Loss and corruption were already decided at the source; only
+// destination lookup happens here.
+func (f *Fabric) InjectArrival(fr *Frame, wire units.Bytes) {
+	dst, ok := f.nics[fr.Dst]
+	if !ok {
+		// The partition map and the NIC set disagree — count it as a
+		// drop rather than leak the frame.
+		f.dropped++
+		f.FreeFrame(fr)
+		return
+	}
+	dst.receive(fr, wire)
+}
+
 // forward is called by a NIC when egress serialization of a frame
 // completes.
 func (f *Fabric) forward(fr *Frame, wire units.Bytes) {
-	dst, ok := f.nics[fr.Dst]
-	if !ok {
+	key := FrameKey{Src: fr.Src}
+	if src := f.nics[fr.Src]; src != nil {
+		src.fwdSeq++
+		key.Seq = src.fwdSeq
+	}
+	if f.loss != nil && f.loss(key) {
 		f.dropped++
 		f.FreeFrame(fr)
 		return
 	}
-	if f.loss != nil && f.loss() {
-		f.dropped++
-		f.FreeFrame(fr)
-		return
-	}
-	if f.corrupt != nil && f.corrupt(fr) && len(fr.Header) > 12 {
+	if f.corrupt != nil && f.corrupt(fr, key) && len(fr.Header) > 12 {
 		fr.Header[12] ^= 0xff // source-address byte: checksum now fails
 		f.corrupted++
 	}
-	f.forwarded++
 	latency := f.latency
 	if f.latencyScale > 0 {
 		scaled := float64(latency) * f.latencyScale
@@ -138,7 +190,22 @@ func (f *Fabric) forward(fr *Frame, wire units.Bytes) {
 		}
 		latency = units.Time(scaled)
 	}
-	f.eng.After(latency, func(units.Time) {
+	dst, ok := f.nics[fr.Dst]
+	if !ok {
+		now := f.eng.Now()
+		if f.remote != nil && f.remote(fr, wire, now, now+latency, key) {
+			f.forwarded++
+			return
+		}
+		f.dropped++
+		f.FreeFrame(fr)
+		return
+	}
+	f.forwarded++
+	// Origin-tagged so two sources' frames colliding on one delivery
+	// instant order by source identity, not by forwarding call order —
+	// the tie-break that survives sharding (DESIGN.md §12).
+	f.eng.AtOrigin(f.eng.Now()+latency, key.Origin(), func(units.Time) {
 		dst.receive(fr, wire)
 	})
 }

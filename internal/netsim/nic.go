@@ -148,6 +148,11 @@ type NIC struct {
 	ingress []*sim.Server
 	txNext  int // round-robin bonding state
 	rxNext  int
+	// fwdSeq counts frames this NIC has handed to the switch — the
+	// per-source sequence in FrameKey. It advances with the source
+	// node's own progress only, so it is identical across shard
+	// layouts.
+	fwdSeq uint64
 	// Per-receive-queue state: descriptor ring and coalescing.
 	rings      [][]*Frame
 	pending    []int

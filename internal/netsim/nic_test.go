@@ -201,7 +201,7 @@ func TestFabricLoss(t *testing.T) {
 	fab.Attach(tx)
 	fab.Attach(rx)
 	drop := true
-	fab.SetLoss(func() bool { d := drop; drop = !drop; return d })
+	fab.SetLoss(func(FrameKey) bool { d := drop; drop = !drop; return d })
 	got := 0
 	rx.SetInterruptHandler(func(units.Time) { got += len(rx.Drain()) })
 	eng.At(0, func(units.Time) {

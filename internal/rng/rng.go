@@ -143,6 +143,13 @@ func (r *Source) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
+// Unit01 maps a well-mixed 64-bit value (e.g. a Derive output) to a
+// uniform float64 in [0, 1) — the stateless counterpart of Float64,
+// used for keyed decisions that must not depend on draw order.
+func Unit01(x uint64) float64 {
+	return float64(x>>11) / (1 << 53)
+}
+
 // Bool returns true with probability p.
 func (r *Source) Bool(p float64) bool {
 	if p <= 0 {

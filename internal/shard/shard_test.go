@@ -1,0 +1,239 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"sais/internal/sim"
+	"sais/internal/units"
+)
+
+// mkEngines returns n fresh engines.
+func mkEngines(n int) []*sim.Engine {
+	engs := make([]*sim.Engine, n)
+	for i := range engs {
+		engs[i] = sim.NewEngine()
+	}
+	return engs
+}
+
+func TestSingleShardRunsToIdle(t *testing.T) {
+	engs := mkEngines(1)
+	var fired []units.Time
+	for _, at := range []units.Time{30, 10, 20} {
+		engs[0].At(at, func(now units.Time) { fired = append(fired, now) })
+	}
+	s := New(engs, 0, 1) // zero lookahead is legal for one shard
+	end := s.Run()
+	if end != 30 || len(fired) != 3 {
+		t.Fatalf("end=%v fired=%v", end, fired)
+	}
+	if s.Stopped() {
+		t.Fatal("Stopped true after drain")
+	}
+}
+
+// TestPingPong bounces a message between two shards and checks the
+// causal chain executes with exact timestamps.
+func TestPingPong(t *testing.T) {
+	const lookahead = units.Time(5)
+	engs := mkEngines(2)
+	s := New(engs, lookahead, 2)
+	var log []string
+	const hops = 4
+	var hop func(shard int, k int) sim.Event
+	hop = func(shardIdx, k int) sim.Event {
+		return func(now units.Time) {
+			log = append(log, fmt.Sprintf("s%d@%d", shardIdx, now))
+			if k >= hops {
+				return
+			}
+			peer := 1 - shardIdx
+			s.Post(shardIdx, peer, Msg{
+				At: now + lookahead, SentAt: now, Origin: uint64(shardIdx) + 1, Seq: uint64(k),
+				Fn: hop(peer, k+1),
+			})
+		}
+	}
+	engs[0].At(0, hop(0, 0))
+	end := s.Run()
+	want := []string{"s0@0", "s1@5", "s0@10", "s1@15", "s0@20"}
+	if len(log) != len(want) {
+		t.Fatalf("log %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log %v, want %v", log, want)
+		}
+	}
+	if end != 20 {
+		t.Fatalf("makespan %v, want 20", end)
+	}
+	if s.Posted() != hops {
+		t.Fatalf("posted %d, want %d", s.Posted(), hops)
+	}
+}
+
+// runMatrix executes one synthetic workload on a given shard/worker
+// layout and returns the global fire log. Every shard logs each event
+// with its shard id and timestamp; cross-shard messages fan out in a
+// deterministic pattern derived from pure arithmetic.
+func runMatrix(t *testing.T, shards, workers int) []string {
+	t.Helper()
+	const lookahead = units.Time(7)
+	engs := mkEngines(shards)
+	s := New(engs, lookahead, workers)
+	var logs = make([][]string, shards)
+	var ev func(sh int, id uint64, depth int) sim.Event
+	ev = func(sh int, id uint64, depth int) sim.Event {
+		return func(now units.Time) {
+			logs[sh] = append(logs[sh], fmt.Sprintf("n%d@%d", id, now))
+			if depth == 0 {
+				return
+			}
+			// Deterministic fan-out: two children, one local, one on
+			// the next shard (self-post when only one shard exists).
+			child := id*3 + 1
+			engs[sh].At(now+units.Time(child%11)+1, ev(sh, child, depth-1))
+			peer := (sh + 1) % shards
+			child2 := id*3 + 2
+			m := Msg{
+				At:     now + lookahead + units.Time(child2%13),
+				SentAt: now,
+				Origin: id + 1,
+				Seq:    child2,
+				Fn:     ev(peer, child2, depth-1),
+			}
+			if peer == sh {
+				// Same-shard: schedule directly with the same key.
+				engs[sh].ScheduleRemote(m.At, m.SentAt, m.Origin, m.Fn)
+			} else {
+				s.Post(sh, peer, m)
+			}
+		}
+	}
+	for n := 0; n < 6; n++ {
+		sh := n % shards
+		engs[sh].At(units.Time(n), ev(sh, uint64(100*n), 5))
+	}
+	s.Run()
+	// Merge per-shard logs by node id ownership: each logical node id
+	// fires on a layout-dependent shard, so compare the union sorted
+	// content-wise instead.
+	var all []string
+	for _, l := range logs {
+		all = append(all, l...)
+	}
+	return all
+}
+
+// TestLayoutInvariance checks the same logical workload produces the
+// same multiset of (event, time) observations for every shard and
+// worker count. (Cluster-level byte-identity is asserted in package
+// cluster; here the synthetic workload's node→shard mapping moves
+// with the layout, so we compare contents.)
+func TestLayoutInvariance(t *testing.T) {
+	base := runMatrix(t, 1, 1)
+	seen := map[string]int{}
+	for _, e := range base {
+		seen[e]++
+	}
+	for _, shards := range []int{2, 3, 4} {
+		for _, workers := range []int{1, 4} {
+			got := runMatrix(t, shards, workers)
+			if len(got) != len(base) {
+				t.Fatalf("shards=%d workers=%d fired %d events, want %d", shards, workers, len(got), len(base))
+			}
+			diff := map[string]int{}
+			for _, e := range got {
+				diff[e]++
+			}
+			for k, v := range seen {
+				if diff[k] != v {
+					t.Fatalf("shards=%d workers=%d event %q count %d, want %d", shards, workers, k, diff[k], v)
+				}
+			}
+		}
+	}
+}
+
+// TestMailboxOrderIsCanonical posts the same message set in two
+// different arrival orders and checks the destination executes them
+// identically.
+func TestMailboxOrderIsCanonical(t *testing.T) {
+	run := func(perm []int) []string {
+		engs := mkEngines(2)
+		s := New(engs, 1, 1)
+		var log []string
+		msgs := []Msg{
+			{At: 10, SentAt: 2, Origin: 3, Seq: 1},
+			{At: 10, SentAt: 2, Origin: 1, Seq: 9},
+			{At: 10, SentAt: 1, Origin: 7, Seq: 4},
+			{At: 11, SentAt: 0, Origin: 2, Seq: 2},
+		}
+		for i := range msgs {
+			m := msgs[perm[i]]
+			m.Fn = func(now units.Time) {
+				log = append(log, fmt.Sprintf("o%d@%d", m.Origin, now))
+			}
+			s.inbox[1] = append(s.inbox[1], m)
+		}
+		s.Run()
+		return log
+	}
+	a := run([]int{0, 1, 2, 3})
+	b := run([]int{3, 2, 1, 0})
+	want := []string{"o7@10", "o1@10", "o3@10", "o2@11"}
+	for i := range want {
+		if a[i] != want[i] || b[i] != want[i] {
+			t.Fatalf("a=%v b=%v want=%v", a, b, want)
+		}
+	}
+}
+
+// TestStopCondition checks the executor stops between rounds and
+// reports it.
+func TestStopCondition(t *testing.T) {
+	engs := mkEngines(2)
+	s := New(engs, 1, 1)
+	rounds := 0
+	s.SetStop(func() bool { rounds++; return rounds > 3 })
+	// Endless self-rescheduling tick on each shard.
+	var tick func(sh int) sim.Event
+	tick = func(sh int) sim.Event {
+		return func(now units.Time) { engs[sh].After(1, tick(sh)) }
+	}
+	engs[0].At(0, tick(0))
+	engs[1].At(0, tick(1))
+	s.Run()
+	if !s.Stopped() {
+		t.Fatal("Stopped false after stop condition fired")
+	}
+}
+
+// TestPostGuards checks the lookahead and origin panics.
+func TestPostGuards(t *testing.T) {
+	engs := mkEngines(2)
+	s := New(engs, 10, 1)
+	for name, m := range map[string]Msg{
+		"under lookahead": {At: 5, SentAt: 0, Origin: 1, Fn: func(units.Time) {}},
+		"zero origin":     {At: 20, SentAt: 0, Origin: 0, Fn: func(units.Time) {}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			s.Post(0, 1, m)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("zero lookahead multi-shard: no panic")
+			}
+		}()
+		New(mkEngines(2), 0, 1)
+	}()
+}

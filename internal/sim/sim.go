@@ -4,9 +4,12 @@
 // The engine is a single-threaded event queue over a virtual nanosecond
 // clock (units.Time). Determinism is a hard requirement — the paper's
 // experiments are reproduced as exact functions of (config, seed) — so
-// ties in event time are broken by a monotonically increasing sequence
-// number: two events scheduled for the same instant always fire in the
-// order they were scheduled.
+// ties in event time are broken by the compound key (at, schedAt,
+// origin, seq): for plain local events this reduces to scheduling
+// order (two events scheduled for the same instant fire in the order
+// they were scheduled), while origin-tagged events (frame deliveries)
+// order by their source so the tie-break survives engine composition
+// (internal/shard).
 //
 // The hot path is allocation-free in steady state. Scheduled events
 // live by value in a slab arena recycled through a free list; the
@@ -29,12 +32,24 @@ import (
 type Event func(now units.Time)
 
 // item is a scheduled event in the arena slab.
+//
+// Ordering is by the compound key (at, schedAt, origin, seq). For
+// events scheduled locally (schedAt = now at scheduling time, origin
+// 0) this is exactly the historical (at, seq) order, because seq is
+// monotone in scheduling time. The two extra fields exist so an event
+// can carry provenance that is invariant under engine composition:
+// when the cluster is sharded, an event injected from another shard
+// keeps the schedAt/origin it would have had on a single engine, and
+// the compound key makes same-instant ties fire in the same order
+// regardless of how nodes were partitioned. See DESIGN.md §12.
 type item struct {
-	at   units.Time
-	seq  uint64
-	fn   Event
-	gen  uint32
-	dead bool // cancelled (still queued) or freed
+	at      units.Time
+	schedAt units.Time // when the event was scheduled (≤ at)
+	seq     uint64
+	origin  uint64 // composition tie-break class; 0 = plain local event
+	fn      Event
+	gen     uint32
+	dead    bool // cancelled (still queued) or freed
 }
 
 // Timer is a handle to a scheduled event that can be cancelled. It is a
@@ -154,7 +169,9 @@ func (e *Engine) alloc(at units.Time, fn Event) int32 {
 	}
 	it := &e.arena[idx]
 	it.at = at
+	it.schedAt = e.now
 	it.seq = e.seq
+	it.origin = 0
 	it.fn = fn
 	it.dead = false
 	e.seq++
@@ -204,6 +221,61 @@ func (e *Engine) After(d units.Time, fn Event) Timer {
 // Immediately schedules fn to run at the current instant, after all
 // events already scheduled for this instant.
 func (e *Engine) Immediately(fn Event) Timer { return e.At(e.now, fn) }
+
+// AtOrigin schedules fn at absolute time at, tagged with a nonzero
+// origin key. Origin-tagged events at the same (at, schedAt) fire in
+// origin order rather than scheduling order, which makes the firing
+// order a function of the event's provenance instead of the engine's
+// call sequence — the property sharded composition needs (frame
+// deliveries are tagged with their source node, so two NICs whose
+// frames collide on one instant order identically whether they share
+// an engine or not). Tagged events always take the heap path, never
+// the same-instant fifo ring: at equal (at, schedAt) the untagged
+// fifo events (origin 0) still fire first, preserving a single total
+// order.
+func (e *Engine) AtOrigin(at units.Time, origin uint64, fn Event) Timer {
+	if origin == 0 {
+		panic("sim: AtOrigin requires a nonzero origin")
+	}
+	if fn == nil {
+		panic("sim: nil event")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (now=%v at=%v)", e.now, at))
+	}
+	idx := e.alloc(at, fn)
+	e.arena[idx].origin = origin
+	e.heapPush(idx)
+	return Timer{eng: e, idx: idx, gen: e.arena[idx].gen}
+}
+
+// ScheduleRemote injects an event that was logically scheduled at
+// schedAt on another engine for delivery here at at. The full
+// compound key (at, schedAt, origin) is supplied by the caller, so
+// the event sorts exactly where it would have sorted had both nodes
+// shared one engine. schedAt must not exceed at (causality) and
+// origin must be nonzero (remote events are never in the local
+// scheduling-order class).
+func (e *Engine) ScheduleRemote(at, schedAt units.Time, origin uint64, fn Event) Timer {
+	if origin == 0 {
+		panic("sim: ScheduleRemote requires a nonzero origin")
+	}
+	if schedAt > at {
+		panic(fmt.Sprintf("sim: remote event violates causality (schedAt=%v at=%v)", schedAt, at))
+	}
+	if fn == nil {
+		panic("sim: nil event")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (now=%v at=%v)", e.now, at))
+	}
+	idx := e.alloc(at, fn)
+	it := &e.arena[idx]
+	it.schedAt = schedAt
+	it.origin = origin
+	e.heapPush(idx)
+	return Timer{eng: e, idx: idx, gen: it.gen}
+}
 
 // Halt stops the run loop after the currently executing event returns.
 func (e *Engine) Halt() { e.halted = true }
@@ -266,7 +338,7 @@ func (e *Engine) next() (fromFifo, ok bool) {
 		return true, true
 	}
 	f, h := &e.arena[e.fifo[e.fifoHead]], &e.arena[e.heap[0]]
-	if h.at < f.at || (h.at == f.at && h.seq < f.seq) {
+	if keyLess(h, f) {
 		return false, true
 	}
 	return true, true
@@ -316,6 +388,57 @@ func (e *Engine) Step() bool {
 	}
 	e.fire(fromFifo)
 	return true
+}
+
+// --- step primitives ---
+//
+// These decompose Run's loop so an external executor (internal/shard)
+// can drive several engines under one logical clock: peek each
+// engine's next event time, compute a safe horizon, and process
+// events below it. They share next()'s lazy dead-event discard, so
+// peeking has the same amortized cost as running.
+
+// HasPendingEvents reports whether any live (non-cancelled) event
+// remains queued.
+func (e *Engine) HasPendingEvents() bool {
+	_, ok := e.next()
+	return ok
+}
+
+// PeekNextEventTime returns the time of the earliest live event
+// without executing it. ok is false when the queue holds no live
+// events.
+func (e *Engine) PeekNextEventTime() (at units.Time, ok bool) {
+	fromFifo, ok := e.next()
+	if !ok {
+		return 0, false
+	}
+	return e.nextAt(fromFifo), true
+}
+
+// ProcessNextEvent pops and executes the earliest live event,
+// reporting whether one existed. It is Step under the name the
+// executor layer uses; both exist because Step predates the sharding
+// work and external callers depend on it.
+func (e *Engine) ProcessNextEvent() bool { return e.Step() }
+
+// RunBefore executes every event with time strictly below horizon and
+// returns the number executed. The clock is left at the last executed
+// event (not advanced to horizon): a later RunBefore or an injected
+// remote event may still schedule work in [now, horizon). RunBefore
+// ignores the Halt flag and stop condition — under sharded execution
+// those belong to the composing executor, which checks them between
+// rounds.
+func (e *Engine) RunBefore(horizon units.Time) int {
+	n := 0
+	for {
+		fromFifo, ok := e.next()
+		if !ok || e.nextAt(fromFifo) >= horizon {
+			return n
+		}
+		e.fire(fromFifo)
+		n++
+	}
 }
 
 // Run executes events until the queue is empty, Halt is called, the
@@ -396,14 +519,27 @@ func (e *Engine) compact() {
 	e.deadCount = 0
 }
 
-// --- binary heap of arena indices ordered by (at, seq) ---
+// --- binary heap of arena indices ordered by (at, schedAt, origin, seq) ---
 
-func (e *Engine) less(a, b int32) bool {
-	x, y := &e.arena[a], &e.arena[b]
+// keyLess is the engine's total event order. at first (time), then
+// schedAt (events scheduled earlier fire first within an instant —
+// for local events this is implied by seq and changes nothing), then
+// origin (the composition tie-break class), then seq (local FIFO).
+func keyLess(x, y *item) bool {
 	if x.at != y.at {
 		return x.at < y.at
 	}
+	if x.schedAt != y.schedAt {
+		return x.schedAt < y.schedAt
+	}
+	if x.origin != y.origin {
+		return x.origin < y.origin
+	}
 	return x.seq < y.seq
+}
+
+func (e *Engine) less(a, b int32) bool {
+	return keyLess(&e.arena[a], &e.arena[b])
 }
 
 func (e *Engine) heapPush(idx int32) {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"sort"
+	"sync"
 
 	"sais/internal/units"
 )
@@ -77,7 +78,15 @@ type spanKey struct {
 // touching it, so an uninstrumented run allocates nothing. Spans are
 // stored by value in one growing slab; the pending map only holds the
 // handful of open spans in flight.
+//
+// One log is shared by every node of a run, so under sharded execution
+// (cluster.Config.Workers > 1) instrumentation sites on different
+// shards record concurrently: a mutex serializes the appends. The
+// recorded content is still deterministic — slab order varies with the
+// interleaving, but every exported or aggregated view sorts by a full
+// span key first (see ExportChrome), and counts are order-free.
 type SpanLog struct {
+	mu      sync.Mutex
 	spans   []Span
 	cores   []CoreSpan
 	pending map[spanKey]Span
@@ -93,9 +102,11 @@ func NewSpanLog() *SpanLog {
 // A second Begin for the same strip and phase (a retry) replaces the
 // open span.
 func (l *SpanLog) Begin(p Phase, at units.Time, client, server int, tag uint64, strip, core int) {
+	l.mu.Lock()
 	l.pending[spanKey{client, tag, strip, p}] = Span{
 		Phase: p, Start: at, Client: client, Server: server, Tag: tag, Strip: strip, Core: core,
 	}
+	l.mu.Unlock()
 }
 
 // End closes the matching open span at the given time and records it.
@@ -103,6 +114,8 @@ func (l *SpanLog) Begin(p Phase, at units.Time, client, server int, tag uint64, 
 // only known at delivery). An End with no matching Begin is counted in
 // Orphans and otherwise ignored.
 func (l *SpanLog) End(p Phase, at units.Time, client int, tag uint64, strip, core int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	k := spanKey{client, tag, strip, p}
 	s, ok := l.pending[k]
 	if !ok {
@@ -119,28 +132,51 @@ func (l *SpanLog) End(p Phase, at units.Time, client int, tag uint64, strip, cor
 
 // Emit records an already-complete span (both endpoints known at the
 // same instrumentation site).
-func (l *SpanLog) Emit(s Span) { l.spans = append(l.spans, s) }
+func (l *SpanLog) Emit(s Span) {
+	l.mu.Lock()
+	l.spans = append(l.spans, s)
+	l.mu.Unlock()
+}
 
 // AddCoreSpan records one busy slice of a client core.
-func (l *SpanLog) AddCoreSpan(cs CoreSpan) { l.cores = append(l.cores, cs) }
+func (l *SpanLog) AddCoreSpan(cs CoreSpan) {
+	l.mu.Lock()
+	l.cores = append(l.cores, cs)
+	l.mu.Unlock()
+}
 
-// Spans returns the completed strip spans in completion order.
+// Spans returns the completed strip spans in slab order. Call only
+// after the run drains; slab order depends on worker interleaving, so
+// order-sensitive consumers must sort (see ExportChrome).
 func (l *SpanLog) Spans() []Span { return l.spans }
 
-// CoreSpans returns the recorded core busy slices.
+// CoreSpans returns the recorded core busy slices (same caveats as
+// Spans).
 func (l *SpanLog) CoreSpans() []CoreSpan { return l.cores }
 
 // Len returns the number of completed strip spans.
-func (l *SpanLog) Len() int { return len(l.spans) }
+func (l *SpanLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.spans)
+}
 
 // OpenCount returns the spans begun but never ended — non-zero means
 // strips died mid-flight (loss, abandon) or instrumentation is
 // incomplete.
-func (l *SpanLog) OpenCount() int { return len(l.pending) }
+func (l *SpanLog) OpenCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pending)
+}
 
 // Orphans returns the count of End calls that matched no open span
 // (late duplicates from the retry path).
-func (l *SpanLog) Orphans() uint64 { return l.orphans }
+func (l *SpanLog) Orphans() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.orphans
+}
 
 // Chrome-export track layout. Client and server node ids become
 // Chrome pids directly; the fabric gets a pid far outside the node-id
@@ -199,12 +235,53 @@ func (s Span) track() (pid, tid int) {
 // busy-slice tracks. The file loads in Perfetto or chrome://tracing.
 func (l *SpanLog) ExportChrome(w io.Writer) error {
 	us := func(t units.Time) float64 { return float64(t) / float64(units.Microsecond) }
-	events := make([]chromeSpanEvent, 0, len(l.spans)+len(l.cores))
+	// Slab order depends on event interleaving under sharded execution;
+	// sorted copies make the export canonical — byte-identical for any
+	// shard and worker count.
+	spans := append([]Span(nil), l.spans...)
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		switch {
+		case a.Start != b.Start:
+			return a.Start < b.Start
+		case a.Client != b.Client:
+			return a.Client < b.Client
+		case a.Tag != b.Tag:
+			return a.Tag < b.Tag
+		case a.Strip != b.Strip:
+			return a.Strip < b.Strip
+		case a.Phase != b.Phase:
+			return a.Phase < b.Phase
+		case a.Server != b.Server:
+			return a.Server < b.Server
+		case a.End != b.End:
+			return a.End < b.End
+		default:
+			return a.Core < b.Core
+		}
+	})
+	cores := append([]CoreSpan(nil), l.cores...)
+	sort.Slice(cores, func(i, j int) bool {
+		a, b := cores[i], cores[j]
+		switch {
+		case a.Start != b.Start:
+			return a.Start < b.Start
+		case a.Node != b.Node:
+			return a.Node < b.Node
+		case a.Core != b.Core:
+			return a.Core < b.Core
+		case a.End != b.End:
+			return a.End < b.End
+		default:
+			return a.Name < b.Name
+		}
+	})
+	events := make([]chromeSpanEvent, 0, len(spans)+len(cores))
 	type trackKey struct{ pid, tid int }
 	// Track naming is derived from how each track is used.
 	procNames := map[int]string{}
 	threadNames := map[trackKey]string{}
-	for _, s := range l.spans {
+	for _, s := range spans {
 		pid, tid := s.track()
 		switch s.Phase {
 		case PhaseService:
@@ -234,7 +311,7 @@ func (l *SpanLog) ExportChrome(w io.Writer) error {
 			},
 		})
 	}
-	for _, cs := range l.cores {
+	for _, cs := range cores {
 		procNames[cs.Node] = "client " + itoa(cs.Node)
 		threadNames[trackKey{cs.Node, cs.Core}] = "core " + itoa(cs.Core)
 		dur := us(cs.End - cs.Start)
@@ -249,7 +326,9 @@ func (l *SpanLog) ExportChrome(w io.Writer) error {
 		})
 	}
 	// Sorting by start time makes every (pid, tid) track's timestamps
-	// monotonic, which the Perfetto importer expects.
+	// monotonic, which the Perfetto importer expects. The sort is
+	// stable over the canonical pre-sort above, so equal timestamps
+	// keep a deterministic order too.
 	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
 
 	meta := make([]chromeSpanEvent, 0, len(procNames)+len(threadNames))

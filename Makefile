@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race race-short bench bench-record bench-check experiments figures chaos cover clean
+.PHONY: all build vet lint test race race-short bench bench-record bench-check experiments figures chaos scenarios chaos-soak cover clean
 
-all: build vet lint test race-short bench-check
+all: build vet lint test race-short scenarios bench-check
 
 build:
 	$(GO) build ./...
@@ -80,6 +80,24 @@ figures:
 # policies (see also `-degraded` for the loss-rate sweep).
 chaos:
 	$(GO) run ./cmd/experiments -chaos
+
+# Tier-1 scenario gate: run every committed scenario file, on one
+# engine and on four shards, evaluating assertions and the runtime
+# invariant suite (internal/scenario). Nonzero exit on any violation.
+scenarios:
+	$(GO) build -o .bin/saisim ./cmd/saisim
+	.bin/saisim run scenarios/*.json
+	.bin/saisim run -shards 4 scenarios/*.json
+
+# Chaos soak: N derived chaos timelines against the invariant suite.
+# One root seed reproduces the whole soak (`make chaos-soak N=50
+# SOAK_SEED=7`).
+N ?= 20
+SOAK_SEED ?= 1
+
+chaos-soak:
+	$(GO) build -o .bin/saisim ./cmd/saisim
+	.bin/saisim chaos -n $(N) -seed $(SOAK_SEED)
 
 cover:
 	$(GO) test -cover ./...

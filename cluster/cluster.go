@@ -136,6 +136,24 @@ type Config struct {
 	// MaxRetries times. Zero disables (lossless fabric by default).
 	RetryTimeout units.Time
 	MaxRetries   int
+	// RetryBackoff grows the retry interval exponentially per attempt
+	// (0 = the default factor 2, 1 = fixed interval); RetryBackoffCap
+	// bounds the backed-off interval (0 = 8 × RetryTimeout). RetryJitter
+	// shrinks each delay by a deterministic derived fraction in
+	// [0, RetryJitter) so clients desynchronize their re-issues (0 = the
+	// default 0.1, negative = disabled). See client.Config.
+	RetryBackoff    float64
+	RetryBackoffCap units.Time
+	RetryJitter     float64
+	// TransferDeadline bounds each transfer's total lifetime: at the
+	// deadline the strips in hand are consumed and the operation
+	// completes as a typed partial result instead of retrying forever
+	// or abandoning everything. 0 disables; requires RetryTimeout > 0.
+	TransferDeadline units.Time
+	// RandomClients makes the first N clients use random access order
+	// while the rest stay sequential — a mixed-tenant workload for
+	// scenarios. RandomAccess=true still randomizes every client.
+	RandomClients int
 
 	// Faults is the declarative fault plan applied to the run: link
 	// loss/corruption, per-server stall distributions, and a timeline
@@ -240,6 +258,18 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: negative retry timeout")
 	case c.MaxRetries < 0:
 		return fmt.Errorf("cluster: negative max retries")
+	case c.RetryBackoff != 0 && c.RetryBackoff < 1:
+		return fmt.Errorf("cluster: retry backoff factor %v below 1", c.RetryBackoff)
+	case c.RetryBackoffCap < 0:
+		return fmt.Errorf("cluster: negative retry backoff cap")
+	case c.RetryJitter >= 1:
+		return fmt.Errorf("cluster: retry jitter %v must stay below 1", c.RetryJitter)
+	case c.TransferDeadline < 0:
+		return fmt.Errorf("cluster: negative transfer deadline")
+	case c.TransferDeadline > 0 && c.RetryTimeout <= 0:
+		return fmt.Errorf("cluster: transfer deadline needs RetryTimeout > 0")
+	case c.RandomClients < 0 || c.RandomClients > c.Clients:
+		return fmt.Errorf("cluster: random clients %d outside [0, %d]", c.RandomClients, c.Clients)
 	case c.CrashServer >= c.Servers:
 		return fmt.Errorf("cluster: crash server %d out of range", c.CrashServer)
 	case c.BackgroundLoad < 0 || c.BackgroundLoad >= 1:
@@ -251,14 +281,16 @@ func (c Config) Validate() error {
 	case c.Shards > 1 && c.FabricLatency <= 0:
 		return fmt.Errorf("cluster: sharded execution needs a positive fabric latency (lookahead)")
 	}
-	return c.faultPlan().Validate(c.Servers, c.Clients)
+	return c.FaultPlan().Validate(c.Servers, c.Clients)
 }
 
-// faultPlan merges the legacy scalar fault knobs into the declarative
+// FaultPlan merges the legacy scalar fault knobs into the declarative
 // plan, yielding the single specification the injector arms. Explicit
 // plan values win over the scalars; the legacy crash triple becomes a
-// crash/revive timeline pair, exactly as the old wiring behaved.
-func (c Config) faultPlan() *faults.Plan {
+// crash/revive timeline pair, exactly as the old wiring behaved. The
+// scenario engine's invariant checker uses the same merged view to
+// reconstruct crash windows.
+func (c Config) FaultPlan() *faults.Plan {
 	p := c.Faults.Clone()
 	if p == nil {
 		p = &faults.Plan{}
@@ -281,6 +313,34 @@ func (c Config) faultPlan() *faults.Plan {
 		)
 	}
 	return p
+}
+
+// NodeLayout returns the fabric node ids the run will assign: the
+// client ids, the server ids (index-aligned with fault-plan server
+// indices), and the MDS id. It is the single source of the layout rule
+// run() builds from, exported so outside observers — the scenario
+// invariant checker mapping fault-plan server indices onto the node
+// ids that appear in trace spans — agree with the simulator exactly.
+func (c Config) NodeLayout() (clients, servers []netsim.NodeID, mds netsim.NodeID) {
+	// Clients sit at 1..Clients, MDS at 90, servers from 100. Clusters
+	// with ≥ 90 clients outgrow the classic constants, so the MDS and
+	// the server block shift past the client range; smaller clusters
+	// keep the historical ids (and byte-identical results).
+	mds = mdsNode
+	firstServer := firstServerNode
+	if firstClientNode+netsim.NodeID(c.Clients) > mdsNode {
+		mds = firstClientNode + netsim.NodeID(c.Clients)
+		firstServer = mds + 10
+	}
+	clients = make([]netsim.NodeID, c.Clients)
+	for i := range clients {
+		clients[i] = firstClientNode + netsim.NodeID(i)
+	}
+	servers = make([]netsim.NodeID, c.Servers)
+	for i := range servers {
+		servers[i] = firstServer + netsim.NodeID(i)
+	}
+	return clients, servers, mds
 }
 
 // Result is the roll-up of one run.
@@ -371,10 +431,16 @@ type FaultReport struct {
 	// retries, and late duplicates discarded on arrival.
 	StripsRetried   uint64
 	DuplicateStrips uint64
-	// FailedOps counts transfers abandoned after MaxRetries; OpErrors
-	// carries the typed per-operation record of each one.
+	// FailedOps counts transfers abandoned after MaxRetries; PartialOps
+	// counts transfers that degraded gracefully at their
+	// TransferDeadline, delivering PartialBytes of their payload.
+	// OpErrors carries the typed per-operation record of both kinds.
 	FailedOps uint64
-	OpErrors  []client.OpError
+	// The partial counters are omitempty so healthy-run JSON stays
+	// byte-identical to pre-deadline versions of the schema.
+	PartialOps   uint64      `json:",omitempty"`
+	PartialBytes units.Bytes `json:",omitempty"`
+	OpErrors     []client.OpError
 	// Server-side injection: requests delayed by stall injection and
 	// crash/revive accounting. ServerDowntime is indexed by server;
 	// RecoveryTime is the run time remaining after the last revive —
@@ -443,22 +509,11 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node, []*pfs
 	eng, fab := engines[0], fabrics[0]
 	clientShard := func(i int) int { return i % shards }
 	serverShard := func(i int) int { return i % shards }
-	// Node-id layout: clients at 1..Clients, MDS at 90, servers from
-	// 100. Clusters with ≥ 90 clients outgrow the classic constants, so
-	// the MDS and the server block shift past the client range; smaller
-	// clusters keep the historical ids (and byte-identical results).
-	mds, firstServer := mdsNode, firstServerNode
-	if firstClientNode+netsim.NodeID(cfg.Clients) > mdsNode {
-		mds = firstClientNode + netsim.NodeID(cfg.Clients)
-		firstServer = mds + 10
-	}
+	// Node-id layout (see NodeLayout): clients at 1..Clients, MDS at
+	// 90, servers from 100, shifting past the client range when it
+	// outgrows the classic constants.
+	clientIDs, servers, mds := cfg.NodeLayout()
 	root := rng.New(cfg.Seed)
-
-	// File system: one layout over all servers, shared by every file.
-	servers := make([]netsim.NodeID, cfg.Servers)
-	for i := range servers {
-		servers[i] = firstServer + netsim.NodeID(i)
-	}
 	layout := pfs.Layout{StripSize: cfg.StripSize, Servers: servers, Size: cfg.BytesPerProc}
 	pfs.NewMetadataServer(eng, fab, mds, pfs.DefaultMetadataConfig(units.Gigabit),
 		func(pfs.FileID) pfs.Layout { return layout })
@@ -480,7 +535,7 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node, []*pfs
 	nodes := make([]*client.Node, cfg.Clients)
 	loads := make([]*workload.IOR, cfg.Clients)
 	for i := 0; i < cfg.Clients; i++ {
-		ccfg := client.DefaultConfig(firstClientNode+netsim.NodeID(i), cfg.ClientNICRate, cfg.Policy)
+		ccfg := client.DefaultConfig(clientIDs[i], cfg.ClientNICRate, cfg.Policy)
 		ccfg.Cores = cfg.CoresPerClient
 		ccfg.Freq = cfg.ClientFreq
 		ccfg.CachePerCore = cfg.CachePerCore
@@ -490,6 +545,10 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node, []*pfs
 		ccfg.CurrentCoreHint = cfg.CurrentCoreHint
 		ccfg.RetryTimeout = cfg.RetryTimeout
 		ccfg.MaxRetries = cfg.MaxRetries
+		ccfg.RetryBackoff = cfg.RetryBackoff
+		ccfg.RetryBackoffCap = cfg.RetryBackoffCap
+		ccfg.RetryJitter = cfg.RetryJitter
+		ccfg.TransferDeadline = cfg.TransferDeadline
 		ccfg.TimesliceQuantum = cfg.TimesliceQuantum
 		ccfg.L3PerSocket = cfg.L3PerSocket
 		ccfg.RSSQueues = cfg.RSSQueues
@@ -528,7 +587,7 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node, []*pfs
 			FirstFile:    firstFile,
 			Stagger:      50 * units.Microsecond,
 			Write:        cfg.WriteWorkload,
-			RandomAccess: cfg.RandomAccess,
+			RandomAccess: cfg.RandomAccess || i < cfg.RandomClients,
 			Segmented:    cfg.Segmented,
 			ThinkTime:    cfg.ThinkTime,
 			Aggregators:  cfg.Aggregators,
@@ -552,8 +611,8 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node, []*pfs
 		se = shard.New(engines, cfg.FabricLatency, workers)
 		nodeShard := make(map[netsim.NodeID]int, cfg.Clients+cfg.Servers+1)
 		nodeShard[mds] = 0
-		for i := 0; i < cfg.Clients; i++ {
-			nodeShard[firstClientNode+netsim.NodeID(i)] = clientShard(i)
+		for i := range clientIDs {
+			nodeShard[clientIDs[i]] = clientShard(i)
 		}
 		for i := range servers {
 			nodeShard[servers[i]] = serverShard(i)
@@ -579,16 +638,12 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node, []*pfs
 	// sits just past the last server in the id space, so it never
 	// collides with a real node. An empty plan arms to a no-op without
 	// drawing randomness, keeping healthy runs byte-identical.
-	clientIDs := make([]netsim.NodeID, cfg.Clients)
-	for i := range clientIDs {
-		clientIDs[i] = firstClientNode + netsim.NodeID(i)
-	}
 	target := faults.Target{
 		Engine:    eng,
 		Fabric:    fab,
 		Servers:   srvs,
 		Clients:   clientIDs,
-		StormNode: firstServer + netsim.NodeID(cfg.Servers),
+		StormNode: servers[cfg.Servers-1] + 1,
 		Rand:      root,
 	}
 	if shards > 1 {
@@ -596,7 +651,7 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node, []*pfs
 		target.Fabrics = fabrics
 		target.ServerEngine = func(i int) *sim.Engine { return engines[serverShard(i)] }
 	}
-	inj, err := cfg.faultPlan().Arm(target)
+	inj, err := cfg.FaultPlan().Arm(target)
 	if err != nil {
 		return nil, err
 	}
@@ -704,6 +759,8 @@ func collect(cfg Config, end units.Time, net netTotals, nodes []*client.Node,
 		res.RingDrops += n.NIC().Stats().RingDrops
 		res.Faults.StripsRetried += st.StripsRetried
 		res.Faults.DuplicateStrips += st.DuplicateStrips
+		res.Faults.PartialOps += st.PartialTransfers
+		res.Faults.PartialBytes += st.PartialBytes
 		res.Faults.OpErrors = append(res.Faults.OpErrors, n.OpErrors()...)
 
 		agg := n.Caches().Aggregate()

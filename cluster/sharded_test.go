@@ -237,10 +237,11 @@ func TestShardedValidate(t *testing.T) {
 	}
 }
 
-// TestShardedDegradeLinkRejected documents the one fault the sharded
-// path refuses: shrinking the fabric latency below the lookahead would
-// break the conservative horizon, so degrade-link factors < 1 error
-// out instead of silently corrupting causality.
+// TestShardedDegradeLinkRejected documents the degrade-link floor:
+// shrinking the fabric latency below the lookahead would break the
+// sharded executor's conservative horizon, so factors < 1 are rejected
+// at plan validation — uniformly, for every shard count, so shards=1
+// runs can never silently diverge from sharded runs of the same plan.
 func TestShardedDegradeLinkRejected(t *testing.T) {
 	cfg := shardedBase()
 	cfg.Shards = 2
@@ -251,7 +252,7 @@ func TestShardedDegradeLinkRejected(t *testing.T) {
 		t.Fatal("speed-up degrade-link accepted on a sharded run")
 	}
 	cfg.Shards = 0
-	if _, err := cluster.Run(cfg); err != nil {
-		t.Fatalf("single-engine run rejected factor < 1: %v", err)
+	if _, err := cluster.Run(cfg); err == nil {
+		t.Fatal("speed-up degrade-link accepted on a single-engine run; validation must be uniform")
 	}
 }

@@ -51,6 +51,7 @@ func main() {
 
 		degraded  = flag.Bool("degraded", false, "run the degraded-mode sweep (latency vs loss per policy) and exit")
 		chaos     = flag.Bool("chaos", false, "run the crash-and-recover chaos scenario and exit")
+		graceful  = flag.Bool("graceful", false, "run the graceful-degradation study (permanent server loss, hard-fail vs per-transfer deadlines) and exit")
 		faultPlan = flag.String("fault-plan", "", "with -chaos: load the scenario's fault plan from a JSON file")
 		loss      = flag.Float64("loss", 0, "with -degraded: run only this loss rate instead of the default grid")
 		crashAt   = flag.Duration("crash-at", 0, "with -chaos: override the crash time (revive stays 30ms later)")
@@ -81,6 +82,7 @@ func main() {
 		}
 		fmt.Printf("%-12s %s\n", "-degraded", experiments.Degraded().Title)
 		fmt.Printf("%-12s %s\n", "-chaos", experiments.CrashAndRecover().Title)
+		fmt.Printf("%-12s %s\n", "-graceful", experiments.GracefulDegradation().Title)
 		return
 	}
 
@@ -93,6 +95,20 @@ func main() {
 		if *loss > 0 {
 			sweep.LossRates = []float64{*loss}
 		}
+		rep, err := sweep.RunContext(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			fmt.Print(rep.CSV())
+		} else {
+			fmt.Println(rep.Table())
+		}
+		return
+	}
+	if *graceful {
+		sweep := experiments.GracefulDegradation()
+		sweep.Parallel = *par
 		rep, err := sweep.RunContext(ctx)
 		if err != nil {
 			fatal(err)

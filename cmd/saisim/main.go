@@ -11,10 +11,19 @@
 //	saisim -loss 0.01 -retry 20ms -max-retries 12
 //	saisim -crash 0 -crash-at 5ms -revive-at 35ms -retry 20ms -max-retries 12
 //	saisim -fault-plan chaos.json -retry 20ms -max-retries 12
+//	saisim run scenarios/crash-recover.json
+//	saisim chaos -n 20 -seed 7
+//
+// `saisim run` executes serializable scenario files (see
+// internal/scenario) and exits nonzero when an assertion or runtime
+// invariant fails; `saisim chaos` soaks the invariant suite over
+// freshly derived chaos timelines.
 //
 // Ctrl-C (SIGINT) or an expired -timeout stops the simulation at
 // event-loop granularity; the metrics accumulated up to that point are
-// still printed, marked as partial.
+// still printed, marked as partial. A completed run whose transfers
+// failed after exhausting their retries also exits nonzero, with a
+// one-line summary on stderr — a faulted run never looks clean to CI.
 package main
 
 import (
@@ -41,6 +50,14 @@ import (
 var profiler *prof.Profiler
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "run":
+			os.Exit(runScenarioCmd(os.Args[2:]))
+		case "chaos":
+			os.Exit(chaosSoakCmd(os.Args[2:]))
+		}
+	}
 	var (
 		policyName = flag.String("policy", "sais", "scheduling policy: roundrobin|dedicated|irqbalance|sais")
 		servers    = flag.Int("servers", 16, "number of PVFS I/O server nodes")
@@ -217,6 +234,7 @@ func main() {
 			profiler.Stop()
 			os.Exit(1)
 		}
+		exitIfFaulted(res)
 		return
 	}
 
@@ -266,6 +284,21 @@ func main() {
 		profiler.Stop()
 		os.Exit(1)
 	}
+	exitIfFaulted(res)
+}
+
+// exitIfFaulted turns a completed run with abandoned or partial
+// transfers into a nonzero exit, with a one-line summary on stderr, so
+// scripts and CI never mistake a degraded run for a clean one.
+func exitIfFaulted(res *cluster.Result) {
+	f := res.Faults
+	if f.FailedOps == 0 && f.PartialOps == 0 {
+		return
+	}
+	profiler.Stop()
+	fmt.Fprintf(os.Stderr, "saisim: %d ops failed, %d partial (%v short of %v offered) after %d retries\n",
+		f.FailedOps, f.PartialOps, f.OfferedBytes-f.GoodputBytes, f.OfferedBytes, res.Retries)
+	os.Exit(1)
 }
 
 // printTraced runs a single-client configuration with an event trace

@@ -1,0 +1,164 @@
+package experiments
+
+// Graceful-degradation study: what a permanent server loss costs under
+// each failure-handling posture. A server crashes early and never
+// revives; the sweep compares the hard-fail posture (no per-transfer
+// deadline — transfers burn their whole retry budget and are
+// abandoned) against per-transfer deadlines of increasing patience,
+// where the client returns a typed partial result carrying every strip
+// that did land. The question the table answers: how many bytes does
+// each posture salvage, and what does the salvage cost in run time?
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"sais/cluster"
+	"sais/internal/faults"
+	"sais/internal/irqsched"
+	"sais/internal/runner"
+	"sais/internal/units"
+)
+
+// GracefulSweep is a deadline × policy study under a permanent server
+// loss.
+type GracefulSweep struct {
+	Title string
+	// Deadlines is the per-transfer deadline grid; 0 means no deadline
+	// (the hard-fail posture).
+	Deadlines []units.Time
+	Policies  []irqsched.PolicyKind
+	// Config is the base cluster; deadline, policy, and seed are
+	// overridden per cell. It must enable retries, and its fault plan
+	// should include an unrecovered crash — a healthy cluster makes
+	// every posture look identical.
+	Config   cluster.Config
+	Seed     uint64
+	Parallel int
+}
+
+// GracefulRow is one (deadline, policy) cell.
+type GracefulRow struct {
+	Deadline     units.Time
+	Policy       string
+	Duration     units.Time
+	Bandwidth    units.Rate
+	Goodput      float64 // delivered bytes / offered bytes
+	FailedOps    uint64
+	PartialOps   uint64
+	PartialBytes units.Bytes
+	Retries      uint64
+}
+
+// GracefulReport is a completed sweep.
+type GracefulReport struct {
+	Title string
+	Rows  []GracefulRow
+}
+
+// GracefulDegradation returns the default study: 8 servers, server 0
+// lost for good at 2 ms, exponential backoff with jitter, and a
+// deadline grid from hard-fail to 80 ms of patience.
+func GracefulDegradation() GracefulSweep {
+	cfg := cluster.DefaultConfig()
+	cfg.Servers = 8
+	cfg.TransferSize = 256 * units.KiB
+	cfg.BytesPerProc = 2 * units.MiB
+	cfg.RetryTimeout = 10 * units.Millisecond
+	cfg.MaxRetries = 8
+	cfg.RetryBackoff = 2
+	cfg.RetryJitter = 0.1
+	cfg.Faults = &faults.Plan{Timeline: []faults.TimelineEvent{
+		{At: 2 * units.Millisecond, Kind: faults.KindCrash, Server: 0},
+	}}
+	return GracefulSweep{
+		Title:     "Graceful degradation: permanent server loss, hard-fail vs per-transfer deadlines",
+		Deadlines: []units.Time{0, 40 * units.Millisecond, 80 * units.Millisecond},
+		Policies:  DegradedPolicies,
+		Config:    cfg,
+		Seed:      1,
+	}
+}
+
+// Run executes the sweep.
+func (g GracefulSweep) Run() (*GracefulReport, error) {
+	return g.RunContext(context.Background())
+}
+
+// RunContext executes the sweep under ctx, one run per (deadline,
+// policy) cell at fixed indices, so the report is identical regardless
+// of worker count.
+func (g GracefulSweep) RunContext(ctx context.Context) (*GracefulReport, error) {
+	if len(g.Deadlines) == 0 || len(g.Policies) == 0 {
+		return nil, fmt.Errorf("experiments: graceful sweep needs deadlines and policies")
+	}
+	n := len(g.Deadlines) * len(g.Policies)
+	rows, err := runner.Map(ctx, n,
+		runner.Options{Workers: g.Parallel},
+		func(ctx context.Context, i int) (GracefulRow, error) {
+			dl := g.Deadlines[i/len(g.Policies)]
+			pol := g.Policies[i%len(g.Policies)]
+			cfg := g.Config
+			cfg.Policy = pol
+			cfg.TransferDeadline = dl
+			cfg.Faults = g.Config.Faults.Clone()
+			cfg.Seed = g.Seed
+			if cfg.Seed == 0 {
+				cfg.Seed = 1
+			}
+			res, err := cluster.RunContext(ctx, cfg)
+			if err != nil {
+				return GracefulRow{}, fmt.Errorf("graceful deadline=%v/%s: %w", dl, pol, err)
+			}
+			row := GracefulRow{
+				Deadline:     dl,
+				Policy:       res.Policy,
+				Duration:     res.Duration,
+				Bandwidth:    res.Bandwidth,
+				FailedOps:    res.Faults.FailedOps,
+				PartialOps:   res.Faults.PartialOps,
+				PartialBytes: res.Faults.PartialBytes,
+				Retries:      res.Retries,
+			}
+			if res.Faults.OfferedBytes > 0 {
+				row.Goodput = float64(res.Faults.GoodputBytes) / float64(res.Faults.OfferedBytes)
+			}
+			return row, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &GracefulReport{Title: g.Title, Rows: rows}, nil
+}
+
+// Table renders the sweep as a fixed-width text table.
+func (r *GracefulReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	fmt.Fprintf(&b, "%-10s %-12s %12s %10s %9s %7s %8s %14s %8s\n",
+		"deadline", "policy", "duration", "MB/s", "goodput", "failed", "partial", "partial bytes", "retries")
+	for _, row := range r.Rows {
+		dl := "none"
+		if row.Deadline > 0 {
+			dl = fmt.Sprintf("%v", row.Deadline)
+		}
+		fmt.Fprintf(&b, "%-10s %-12s %12v %10.1f %8.1f%% %7d %8d %14v %8d\n",
+			dl, row.Policy, row.Duration, float64(row.Bandwidth)/1e6,
+			row.Goodput*100, row.FailedOps, row.PartialOps, row.PartialBytes, row.Retries)
+	}
+	return b.String()
+}
+
+// CSV renders the sweep as comma-separated rows with a header line.
+func (r *GracefulReport) CSV() string {
+	var b strings.Builder
+	b.WriteString("deadline_ns,policy,duration_ns,bandwidth_mbps,goodput,failed_ops,partial_ops,partial_bytes,retries\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%d,%s,%d,%.6f,%.6f,%d,%d,%d,%d\n",
+			int64(row.Deadline), row.Policy, int64(row.Duration),
+			float64(row.Bandwidth)/1e6, row.Goodput,
+			row.FailedOps, row.PartialOps, int64(row.PartialBytes), row.Retries)
+	}
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"sais/cluster"
+	"sais/internal/faults"
+	"sais/internal/irqsched"
+	"sais/internal/units"
+)
+
+// smallGraceful shrinks the default study for test turnaround: one
+// policy, a 4-server cluster, the same permanent crash.
+func smallGraceful() GracefulSweep {
+	g := GracefulDegradation()
+	g.Policies = []irqsched.PolicyKind{irqsched.PolicySourceAware}
+	cfg := cluster.DefaultConfig()
+	cfg.Servers = 4
+	cfg.TransferSize = 256 * units.KiB
+	cfg.BytesPerProc = units.MiB
+	cfg.RetryTimeout = 5 * units.Millisecond
+	cfg.MaxRetries = 6
+	cfg.RetryBackoff = 2
+	cfg.RetryJitter = 0.1
+	cfg.Faults = &faults.Plan{Timeline: []faults.TimelineEvent{
+		{At: units.Millisecond, Kind: faults.KindCrash, Server: 0},
+	}}
+	g.Config = cfg
+	g.Deadlines = []units.Time{0, 30 * units.Millisecond}
+	return g
+}
+
+// TestGracefulDegradationSalvages: the deadline posture converts
+// hard failures into partial deliveries — strictly more bytes reach
+// the application than under hard-fail, and the partial accounting is
+// typed, not silent.
+func TestGracefulDegradationSalvages(t *testing.T) {
+	rep, err := smallGraceful().Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rep.Rows))
+	}
+	hard, soft := rep.Rows[0], rep.Rows[1]
+	if hard.Deadline != 0 || soft.Deadline == 0 {
+		t.Fatalf("row order: %+v / %+v", hard, soft)
+	}
+	if hard.FailedOps == 0 {
+		t.Error("hard-fail posture abandoned nothing; the crash is not biting")
+	}
+	if hard.PartialOps != 0 {
+		t.Errorf("hard-fail posture reported %d partial ops without a deadline", hard.PartialOps)
+	}
+	if soft.PartialOps == 0 {
+		t.Error("deadline posture produced no partial results")
+	}
+	if soft.PartialBytes == 0 {
+		t.Error("partial results salvaged zero bytes")
+	}
+	if soft.Goodput <= hard.Goodput {
+		t.Errorf("deadline goodput %.3f not above hard-fail %.3f", soft.Goodput, hard.Goodput)
+	}
+}
+
+// TestGracefulDeterministicRender: the report is a pure function of
+// the sweep spec — rendering twice yields byte-identical text.
+func TestGracefulDeterministicRender(t *testing.T) {
+	g := smallGraceful()
+	r1, err := g.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := smallGraceful()
+	g2.Parallel = 2
+	r2, err := g2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Table() != r2.Table() {
+		t.Errorf("tables differ across worker counts:\n%s\n---\n%s", r1.Table(), r2.Table())
+	}
+	if !strings.Contains(r1.CSV(), "deadline_ns,") {
+		t.Error("CSV missing header")
+	}
+	if r1.CSV() != r2.CSV() {
+		t.Error("CSV differs across worker counts")
+	}
+}

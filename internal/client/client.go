@@ -136,8 +136,86 @@ type Config struct {
 	// MaxRetries bounds re-issues per transfer before it is abandoned
 	// and counted in Stats.FailedTransfers.
 	MaxRetries int
-	Seed       uint64
-	MDS        netsim.NodeID
+	// RetryBackoff is the exponential growth factor applied to the retry
+	// interval after each unsuccessful attempt: attempt k waits
+	// RetryTimeout × RetryBackoff^k (before jitter and cap). 0 selects
+	// the default factor 2; 1 restores the fixed interval. Values in
+	// (0, 1) are invalid — retries never speed up.
+	RetryBackoff float64
+	// RetryBackoffCap bounds the backed-off interval; 0 selects
+	// 8 × RetryTimeout.
+	RetryBackoffCap units.Time
+	// RetryJitter shrinks each backed-off delay by a deterministic
+	// per-(seed, tag, attempt) derived fraction in [0, RetryJitter), so
+	// clients that lost frames in the same burst spread their re-issues
+	// instead of hammering the recovering server in lockstep. 0 selects
+	// the default 0.1; negative disables jitter. Must stay below 1.
+	RetryJitter float64
+	// TransferDeadline bounds the total lifetime of one transfer. A
+	// transfer that cannot complete by its deadline degrades gracefully:
+	// the strips that did arrive are consumed and the operation finishes
+	// as a typed partial result (OpError with Partial set, counted in
+	// Stats.PartialTransfers) instead of being abandoned wholesale —
+	// the difference between "the file server is slow" and "my job
+	// hangs forever because one server stayed crashed". 0 disables;
+	// enforcement rides the retry timer, so it requires RetryTimeout > 0.
+	TransferDeadline units.Time
+	Seed             uint64
+	MDS              netsim.NodeID
+}
+
+// Backoff-schedule defaults, applied when the corresponding Config
+// field is zero.
+const (
+	defaultRetryBackoff       = 2.0
+	defaultRetryJitter        = 0.1
+	defaultBackoffCapMultiple = 8
+)
+
+// RetryDelay returns the delay armed before attempt's re-issue of the
+// transfer with the given tag (attempt 0 is the initial timer armed at
+// issue, which always waits exactly RetryTimeout). The schedule is
+// exponential with a cap and subtractive derived jitter — a pure
+// function of (Seed, tag, attempt), so it is deterministic per seed,
+// layout-invariant under sharding, and distinct across clients (their
+// seeds are independently derived), which keeps loss bursts from
+// turning into synchronized retry storms.
+func (c Config) RetryDelay(tag uint64, attempt int) units.Time {
+	if c.RetryTimeout <= 0 {
+		return 0
+	}
+	if attempt <= 0 {
+		return c.RetryTimeout
+	}
+	factor := c.RetryBackoff
+	if factor == 0 {
+		factor = defaultRetryBackoff
+	}
+	limit := c.RetryBackoffCap
+	if limit <= 0 {
+		limit = defaultBackoffCapMultiple * c.RetryTimeout
+	}
+	if limit < c.RetryTimeout {
+		limit = c.RetryTimeout
+	}
+	d := float64(c.RetryTimeout)
+	for i := 0; i < attempt && d < float64(limit); i++ {
+		d *= factor
+	}
+	if d > float64(limit) {
+		d = float64(limit)
+	}
+	if jf := c.RetryJitter; jf >= 0 {
+		if jf == 0 {
+			jf = defaultRetryJitter
+		}
+		u := rng.Unit01(rng.Derive(rng.Derive(c.Seed, tag), uint64(attempt)))
+		d *= 1 - jf*u
+	}
+	if d < 1 {
+		d = 1
+	}
+	return units.Time(d)
 }
 
 // DefaultConfig returns the head-node client: 8 cores at 2.7 GHz,
@@ -178,6 +256,21 @@ func (c Config) validate() error {
 			return fmt.Errorf("client: IRQ affinity core %d out of range", core)
 		}
 	}
+	if c.RetryBackoff != 0 && c.RetryBackoff < 1 {
+		return fmt.Errorf("client: retry backoff factor %v below 1 (retries never speed up)", c.RetryBackoff)
+	}
+	if c.RetryBackoffCap < 0 {
+		return fmt.Errorf("client: negative retry backoff cap")
+	}
+	if c.RetryJitter >= 1 {
+		return fmt.Errorf("client: retry jitter %v must stay below 1", c.RetryJitter)
+	}
+	if c.TransferDeadline < 0 {
+		return fmt.Errorf("client: negative transfer deadline")
+	}
+	if c.TransferDeadline > 0 && c.RetryTimeout <= 0 {
+		return fmt.Errorf("client: transfer deadline needs RetryTimeout > 0 (the deadline is enforced by the retry timer)")
+	}
 	return nil
 }
 
@@ -202,20 +295,37 @@ type Stats struct {
 	// failed validation — the stack drops them before any protocol
 	// processing, exactly like wire loss.
 	HeaderDrops uint64
+	// PartialTransfers counts transfers that hit their TransferDeadline
+	// (or retry budget, with the deadline enabled) and completed with
+	// only the strips that had arrived; PartialBytes is what those
+	// transfers actually delivered. Partial bytes also count in
+	// BytesRead/BytesWritten — they reached the application.
+	PartialTransfers uint64
+	PartialBytes     units.Bytes
 }
 
-// OpError is the typed per-operation failure record of a transfer that
-// exhausted MaxRetries. Abandoned operations are not silent: each one
-// is surfaced through Node.OpErrors (and from there into the cluster
-// Result's fault rollup), and its elapsed time still lands in the
-// latency distribution.
+// OpError is the typed per-operation record of a transfer that did not
+// complete normally: either abandoned after exhausting MaxRetries, or
+// degraded to a partial result at its TransferDeadline. Neither outcome
+// is silent: each record is surfaced through Node.OpErrors (and from
+// there into the cluster Result's fault rollup), and the operation's
+// elapsed time still lands in the latency distribution.
 type OpError struct {
-	Write    bool
+	Write bool
+	// Client is the node id of the issuing client; tags are unique only
+	// per client, so (Client, Tag) is the transfer's global identity.
+	Client   netsim.NodeID
 	File     pfs.FileID
 	Tag      uint64
 	Retries  int
 	IssuedAt units.Time
 	FailedAt units.Time
+	// Partial marks graceful degradation: the transfer completed at its
+	// deadline with BytesDelivered of its payload, StripsMissing strips
+	// short. Abandoned transfers (Partial false) delivered nothing.
+	Partial        bool
+	BytesDelivered units.Bytes
+	StripsMissing  int
 }
 
 // Error implements the error interface.
@@ -224,8 +334,12 @@ func (e OpError) Error() string {
 	if e.Write {
 		op = "write"
 	}
-	return fmt.Sprintf("client: %s of file %d (tag %d) abandoned after %d retries (%v in flight)",
-		op, e.File, e.Tag, e.Retries, e.FailedAt-e.IssuedAt)
+	if e.Partial {
+		return fmt.Sprintf("client %d: %s of file %d (tag %d) degraded to partial at deadline: %v delivered, %d strips missing after %d retries (%v in flight)",
+			e.Client, op, e.File, e.Tag, e.BytesDelivered, e.StripsMissing, e.Retries, e.FailedAt-e.IssuedAt)
+	}
+	return fmt.Sprintf("client %d: %s of file %d (tag %d) abandoned after %d retries (%v in flight)",
+		e.Client, op, e.File, e.Tag, e.Retries, e.FailedAt-e.IssuedAt)
 }
 
 // read tracks one in-flight transfer.
@@ -242,6 +356,7 @@ type read struct {
 	bytes     units.Bytes
 	blocks    []blockRef
 	retries   int
+	partial   bool // deadline hit with strips in hand: consume what arrived
 	timer     sim.Timer
 	done      sim.Event
 }
@@ -564,12 +679,14 @@ func (n *Node) sendLayoutRequest(file pfs.FileID, tag uint64) {
 	})
 }
 
-// armOpenTimer schedules the metadata retry timeout, if enabled.
+// armOpenTimer schedules the metadata retry timeout, if enabled. Layout
+// requests follow the same backoff schedule as data transfers but carry
+// no deadline — an open is tiny and its retry budget bounds it alone.
 func (n *Node) armOpenTimer(file pfs.FileID, st *openState) {
 	if n.cfg.RetryTimeout <= 0 {
 		return
 	}
-	st.timer = n.eng.After(n.cfg.RetryTimeout, func(units.Time) {
+	st.timer = n.eng.After(n.cfg.RetryDelay(st.tag, st.retries), func(units.Time) {
 		n.retryOpen(file, st)
 	})
 }
@@ -587,7 +704,7 @@ func (n *Node) retryOpen(file pfs.FileID, st *openState) {
 		parked := n.opening[file]
 		delete(n.opening, file)
 		for _, po := range parked {
-			n.abandon(OpError{Write: po.isWrite, File: file, Tag: st.tag,
+			n.abandon(OpError{Write: po.isWrite, Client: n.cfg.Node, File: file, Tag: st.tag,
 				Retries: st.retries, IssuedAt: st.issuedAt, FailedAt: n.eng.Now()})
 		}
 		return
@@ -645,21 +762,42 @@ func (n *Node) armWriteTimer(w *writeOp) {
 	if n.cfg.RetryTimeout <= 0 {
 		return
 	}
-	w.timer = n.eng.After(n.cfg.RetryTimeout, func(units.Time) {
+	w.timer = n.eng.After(n.retryDelayFor(w.tag, w.retries, w.issuedAt), func(units.Time) {
 		n.retryWrite(w)
 	})
 }
 
-// retryWrite re-pushes unacknowledged strips; after MaxRetries the
-// write is abandoned.
+// retryDelayFor is RetryDelay clamped so the timer never sleeps past
+// the transfer deadline: the attempt that would cross it fires exactly
+// at the deadline and resolves the transfer there instead.
+func (n *Node) retryDelayFor(tag uint64, attempt int, issuedAt units.Time) units.Time {
+	d := n.cfg.RetryDelay(tag, attempt)
+	if dl := n.cfg.TransferDeadline; dl > 0 {
+		if rem := issuedAt + dl - n.eng.Now(); rem > 0 && rem < d {
+			d = rem
+		}
+	}
+	return d
+}
+
+// retryWrite re-pushes unacknowledged strips. After MaxRetries — or,
+// with a TransferDeadline configured, once the deadline passes — the
+// write resolves: partially if any strips were acknowledged (graceful
+// degradation), abandoned otherwise.
 func (n *Node) retryWrite(w *writeOp) {
 	if _, live := n.writes[w.tag]; !live {
 		return
 	}
-	if w.retries >= n.cfg.MaxRetries {
+	now := n.eng.Now()
+	pastDeadline := n.cfg.TransferDeadline > 0 && now-w.issuedAt >= n.cfg.TransferDeadline
+	if w.retries >= n.cfg.MaxRetries || pastDeadline {
 		delete(n.writes, w.tag)
-		n.abandon(OpError{Write: true, File: w.file, Tag: w.tag, Retries: w.retries,
-			IssuedAt: w.issuedAt, FailedAt: n.eng.Now()})
+		if acked := ackedBytes(w.plans, w.acked); n.cfg.TransferDeadline > 0 && acked > 0 {
+			n.completePartialWrite(w, acked)
+			return
+		}
+		n.abandon(OpError{Write: true, Client: n.cfg.Node, File: w.file, Tag: w.tag, Retries: w.retries,
+			IssuedAt: w.issuedAt, FailedAt: now})
 		n.freeWrite(w)
 		return
 	}
@@ -669,6 +807,43 @@ func (n *Node) retryWrite(w *writeOp) {
 	n.countRetriedStrips(missing)
 	n.sendWriteStrips(w, missing)
 	n.armWriteTimer(w)
+}
+
+// completePartialWrite finishes a deadline-bound write with only its
+// acknowledged strips: the typed partial record joins the failure list,
+// the acknowledged bytes count as written, and the process wakes so the
+// workload continues past the degraded operation.
+func (n *Node) completePartialWrite(w *writeOp, acked units.Bytes) {
+	p := w.proc
+	missing := w.remaining
+	n.tracef("client", "write tag=%d degrading to partial: %v acked, %d strips missing after %d retries",
+		w.tag, acked, missing, w.retries)
+	n.cpu.Core(p.core).Submit(cpu.PrioSoftirq, cpu.CatIRQ, n.cfg.Costs.WakeIPI, func(now units.Time) {
+		n.stats.BytesWritten += acked
+		n.stats.PartialTransfers++
+		n.stats.PartialBytes += acked
+		n.writeLatencies = append(n.writeLatencies, float64(now-w.issuedAt))
+		n.opErrors = append(n.opErrors, OpError{Write: true, Client: n.cfg.Node, File: w.file,
+			Tag: w.tag, Retries: w.retries, Partial: true, BytesDelivered: acked,
+			StripsMissing: missing, IssuedAt: w.issuedAt, FailedAt: now})
+		if w.done != nil {
+			w.done(now)
+		}
+		n.freeWrite(w)
+	})
+}
+
+// ackedBytes sums the payload of the strips already acknowledged.
+func ackedBytes(plans []pfs.ServerPlan, acked map[int]bool) units.Bytes {
+	var b units.Bytes
+	for _, plan := range plans {
+		for _, piece := range plan.Pieces {
+			if acked[piece.GlobalStrip] {
+				b += piece.Size
+			}
+		}
+	}
+	return b
 }
 
 // issue sends the per-server read requests for a transfer.
@@ -728,25 +903,37 @@ func (n *Node) armReadTimer(rd *read) {
 	if n.cfg.RetryTimeout <= 0 {
 		return
 	}
-	rd.timer = n.eng.After(n.cfg.RetryTimeout, func(units.Time) {
+	rd.timer = n.eng.After(n.retryDelayFor(rd.tag, rd.retries, rd.issuedAt), func(units.Time) {
 		n.retryRead(rd)
 	})
 }
 
-// retryRead re-issues requests covering strips that have not arrived;
-// after MaxRetries the transfer is abandoned.
+// retryRead re-issues requests covering strips that have not arrived.
+// After MaxRetries — or, with a TransferDeadline configured, once the
+// deadline passes — the transfer resolves: if any strips landed and the
+// deadline is enabled it degrades to a partial result (the process
+// consumes what arrived), otherwise it is abandoned.
 func (n *Node) retryRead(rd *read) {
 	if _, live := n.reads[rd.tag]; !live {
 		return
 	}
-	if rd.retries >= n.cfg.MaxRetries {
+	now := n.eng.Now()
+	pastDeadline := n.cfg.TransferDeadline > 0 && now-rd.issuedAt >= n.cfg.TransferDeadline
+	if rd.retries >= n.cfg.MaxRetries || pastDeadline {
 		delete(n.reads, rd.tag)
+		if n.cfg.TransferDeadline > 0 && len(rd.blocks) > 0 {
+			rd.partial = true
+			n.tracef("client", "read tag=%d degrading to partial: %v arrived, %d strips missing after %d retries",
+				rd.tag, rd.bytes, rd.remaining, rd.retries)
+			n.wake(rd, now)
+			return
+		}
 		// Free the strips that did arrive; nobody will consume them.
 		for _, b := range rd.blocks {
 			n.caches.Release(b.id)
 		}
-		n.abandon(OpError{File: rd.file, Tag: rd.tag, Retries: rd.retries,
-			IssuedAt: rd.issuedAt, FailedAt: n.eng.Now()})
+		n.abandon(OpError{Client: n.cfg.Node, File: rd.file, Tag: rd.tag, Retries: rd.retries,
+			IssuedAt: rd.issuedAt, FailedAt: now})
 		n.freeRead(rd)
 		return
 	}
@@ -1119,7 +1306,18 @@ func (n *Node) consume(rd *read) {
 		units.Time(float64(rd.bytes)*costs.ComputePerByte)
 	c.Submit(cpu.PrioProcess, cpu.CatCompute, compute, func(now units.Time) {
 		n.stats.BytesRead += rd.bytes
-		n.stats.Transfers++
+		if rd.partial {
+			// Graceful degradation: the strips in hand reached the
+			// application, but the transfer is recorded as a typed partial
+			// result, not a completed one.
+			n.stats.PartialTransfers++
+			n.stats.PartialBytes += rd.bytes
+			n.opErrors = append(n.opErrors, OpError{Client: n.cfg.Node, File: rd.file,
+				Tag: rd.tag, Retries: rd.retries, Partial: true, BytesDelivered: rd.bytes,
+				StripsMissing: rd.remaining, IssuedAt: rd.issuedAt, FailedAt: now})
+		} else {
+			n.stats.Transfers++
+		}
 		n.latencies = append(n.latencies, float64(now-rd.issuedAt))
 		if n.spans != nil {
 			// The whole transfer is consumed as one batch; every strip's

@@ -933,3 +933,217 @@ func TestOpenRetryExhaustionFailsParkedOps(t *testing.T) {
 		t.Errorf("open state leaked: opening=%d opens=%d", len(r.node.opening), len(r.node.opens))
 	}
 }
+
+// TestRetryDelaySchedule pins the backoff schedule as a pure function
+// of (Seed, tag, attempt): attempt 0 waits exactly RetryTimeout, later
+// attempts grow exponentially to the cap, and the whole schedule is
+// reproducible call over call.
+func TestRetryDelaySchedule(t *testing.T) {
+	base := 10 * units.Millisecond
+	cfg := Config{RetryTimeout: base, RetryJitter: -1, Seed: 42}
+	if got := cfg.RetryDelay(7, 0); got != base {
+		t.Errorf("attempt 0 delay = %v, want RetryTimeout %v", got, base)
+	}
+	want := []units.Time{base, 2 * base, 4 * base, 8 * base, 8 * base, 8 * base}
+	for attempt, w := range want {
+		if got := cfg.RetryDelay(7, attempt); got != w {
+			t.Errorf("attempt %d delay = %v, want %v (default cap 8×)", attempt, got, w)
+		}
+	}
+	// An explicit cap clips the curve where it says.
+	cfg.RetryBackoffCap = 30 * units.Millisecond
+	if got := cfg.RetryDelay(7, 5); got != 30*units.Millisecond {
+		t.Errorf("capped delay = %v, want 30ms", got)
+	}
+	// Factor 1 restores the legacy fixed interval.
+	cfg.RetryBackoff, cfg.RetryBackoffCap = 1, 0
+	for attempt := 0; attempt < 4; attempt++ {
+		if got := cfg.RetryDelay(7, attempt); got != base {
+			t.Errorf("fixed-interval attempt %d = %v, want %v", attempt, got, base)
+		}
+	}
+	// Disabled retries never delay.
+	if got := (Config{}).RetryDelay(7, 3); got != 0 {
+		t.Errorf("RetryDelay without RetryTimeout = %v, want 0", got)
+	}
+}
+
+// TestRetryDelayJitterDesynchronizes checks the derived jitter: each
+// delay is deterministic per (seed, tag, attempt), bounded by the
+// jitter fraction, and differs across seeds and tags — so clients that
+// lost frames in the same burst do not re-issue in lockstep.
+func TestRetryDelayJitterDesynchronizes(t *testing.T) {
+	base := 10 * units.Millisecond
+	cfg := Config{RetryTimeout: base, Seed: 1} // default jitter 0.1
+	for attempt := 1; attempt <= 4; attempt++ {
+		d1 := cfg.RetryDelay(5, attempt)
+		if d2 := cfg.RetryDelay(5, attempt); d2 != d1 {
+			t.Fatalf("attempt %d not deterministic: %v then %v", attempt, d1, d2)
+		}
+		bare := Config{RetryTimeout: base, RetryJitter: -1, Seed: 1}.RetryDelay(5, attempt)
+		if d1 > bare || float64(d1) < 0.9*float64(bare) {
+			t.Errorf("attempt %d jittered delay %v outside (0.9×%v, %v]", attempt, d1, bare, bare)
+		}
+	}
+	other := cfg
+	other.Seed = 2
+	if cfg.RetryDelay(5, 2) == other.RetryDelay(5, 2) {
+		t.Error("two seeds produced the same jittered delay — clients would retry in sync")
+	}
+	if cfg.RetryDelay(5, 2) == cfg.RetryDelay(6, 2) {
+		t.Error("two tags produced the same jittered delay")
+	}
+}
+
+// TestBackoffConfigValidation covers the new knobs' error paths.
+func TestBackoffConfigValidation(t *testing.T) {
+	base := DefaultConfig(1, units.Gigabit, irqsched.PolicySourceAware)
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"backoff below one", func(c *Config) { c.RetryBackoff = 0.5 }},
+		{"negative cap", func(c *Config) { c.RetryBackoffCap = -1 }},
+		{"jitter of one", func(c *Config) { c.RetryJitter = 1 }},
+		{"negative deadline", func(c *Config) { c.TransferDeadline = -1 }},
+		{"deadline without retries", func(c *Config) { c.TransferDeadline = units.Second }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mut(&cfg)
+			if err := cfg.validate(); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+// TestTransferDeadlinePartialRead is the graceful-degradation contract:
+// with one of two servers permanently down, a deadline-bound read
+// completes at its deadline with the strips that arrived — the process
+// wakes, consumes the partial payload, and a typed Partial record (not
+// an abandonment) documents the gap.
+func TestTransferDeadlinePartialRead(t *testing.T) {
+	r := newRig(t, irqsched.PolicySourceAware, 2)
+	cfg := r.node.cfg
+	cfg.RetryTimeout = 10 * units.Millisecond
+	cfg.MaxRetries = 100
+	cfg.TransferDeadline = 200 * units.Millisecond
+	r.node.cfg = cfg
+	p := r.node.NewProc(0, 1)
+	var doneAt units.Time
+	r.eng.At(0, func(units.Time) {
+		p.Read(1, 0, 64*units.KiB, func(units.Time) { // warm the layout
+			r.servers[1].SetDown(true)
+			p.Read(1, 0, 256*units.KiB, func(now units.Time) { doneAt = now })
+		})
+	})
+	r.eng.RunUntilIdle()
+	if doneAt == 0 {
+		t.Fatal("deadline-bound read never completed")
+	}
+	st := r.node.Stats()
+	if st.PartialTransfers != 1 || st.PartialBytes != 128*units.KiB {
+		t.Errorf("partial = %d transfers / %v bytes, want 1 / 128KiB", st.PartialTransfers, st.PartialBytes)
+	}
+	if st.FailedTransfers != 0 {
+		t.Errorf("failed = %d, want 0 (partial is not abandonment)", st.FailedTransfers)
+	}
+	if st.Transfers != 1 { // the warm-up only
+		t.Errorf("complete transfers = %d, want 1", st.Transfers)
+	}
+	if want := 64*units.KiB + 128*units.KiB; st.BytesRead != want {
+		t.Errorf("bytes read = %v, want %v (partial bytes reach the application)", st.BytesRead, want)
+	}
+	errs := r.node.OpErrors()
+	if len(errs) != 1 {
+		t.Fatalf("op errors = %d, want 1", len(errs))
+	}
+	e := errs[0]
+	if !e.Partial || e.Write || e.BytesDelivered != 128*units.KiB || e.StripsMissing != 2 {
+		t.Errorf("op error = %+v", e)
+	}
+	if e.Client != 1 {
+		t.Errorf("op error client = %d, want 1", e.Client)
+	}
+	if e.FailedAt-e.IssuedAt < cfg.TransferDeadline {
+		t.Errorf("partial resolved at %v after issue, before the %v deadline", e.FailedAt-e.IssuedAt, cfg.TransferDeadline)
+	}
+	if got := len(r.node.Latencies()); got != 2 {
+		t.Errorf("latencies = %d, want warm-up + partial", got)
+	}
+}
+
+// TestTransferDeadlinePartialWrite mirrors the read contract for the
+// push path: acknowledged strips count as written, the rest are typed.
+func TestTransferDeadlinePartialWrite(t *testing.T) {
+	r := newRig(t, irqsched.PolicySourceAware, 2)
+	cfg := r.node.cfg
+	cfg.RetryTimeout = 10 * units.Millisecond
+	cfg.MaxRetries = 100
+	cfg.TransferDeadline = 200 * units.Millisecond
+	r.node.cfg = cfg
+	p := r.node.NewProc(0, 0)
+	done := false
+	r.eng.At(0, func(units.Time) {
+		p.Read(1, 0, 64*units.KiB, func(units.Time) { // warm the layout
+			r.servers[1].SetDown(true)
+			p.Write(1, 0, 256*units.KiB, func(units.Time) { done = true })
+		})
+	})
+	r.eng.RunUntilIdle()
+	if !done {
+		t.Fatal("deadline-bound write never completed")
+	}
+	st := r.node.Stats()
+	if st.PartialTransfers != 1 || st.PartialBytes != 128*units.KiB {
+		t.Errorf("partial = %d transfers / %v bytes, want 1 / 128KiB", st.PartialTransfers, st.PartialBytes)
+	}
+	if st.BytesWritten != 128*units.KiB {
+		t.Errorf("bytes written = %v, want the acked half", st.BytesWritten)
+	}
+	if st.WriteTransfers != 0 || st.FailedTransfers != 0 {
+		t.Errorf("write transfers = %d, failed = %d; partial is neither", st.WriteTransfers, st.FailedTransfers)
+	}
+	errs := r.node.OpErrors()
+	if len(errs) != 1 || !errs[0].Partial || !errs[0].Write || errs[0].StripsMissing != 2 {
+		t.Fatalf("op errors = %+v", errs)
+	}
+	if got := len(r.node.WriteLatencies()); got != 1 {
+		t.Errorf("write latencies = %d, want the partial's elapsed time", got)
+	}
+}
+
+// TestTransferDeadlineAbandonsEmptyRead: a deadline with nothing in
+// hand is still an abandonment — there is no empty partial result.
+func TestTransferDeadlineAbandonsEmptyRead(t *testing.T) {
+	r := newRig(t, irqsched.PolicySourceAware, 2)
+	cfg := r.node.cfg
+	cfg.RetryTimeout = 10 * units.Millisecond
+	cfg.MaxRetries = 100
+	cfg.TransferDeadline = 100 * units.Millisecond
+	r.node.cfg = cfg
+	p := r.node.NewProc(0, 0)
+	completed := false
+	r.eng.At(0, func(units.Time) {
+		p.Read(1, 0, 64*units.KiB, func(units.Time) { // warm the layout
+			for _, s := range r.servers {
+				s.SetDown(true)
+			}
+			p.Read(1, 0, 128*units.KiB, func(units.Time) { completed = true })
+		})
+	})
+	r.eng.RunUntilIdle()
+	if completed {
+		t.Error("read completed with every server down")
+	}
+	st := r.node.Stats()
+	if st.FailedTransfers != 1 || st.PartialTransfers != 0 {
+		t.Errorf("failed = %d, partial = %d; want 1 / 0", st.FailedTransfers, st.PartialTransfers)
+	}
+	// The deadline bounds the failure: well before 100 retries' worth.
+	if e := r.node.OpErrors()[0]; e.FailedAt-e.IssuedAt > 2*cfg.TransferDeadline {
+		t.Errorf("abandoned %v after issue; deadline %v did not bound it", e.FailedAt-e.IssuedAt, cfg.TransferDeadline)
+	}
+}

@@ -110,6 +110,30 @@ func (p *Plan) Empty() bool {
 	return p == nil || (p.Loss == 0 && p.Corrupt == 0 && len(p.Stalls) == 0 && len(p.Timeline) == 0)
 }
 
+// Merge overlays extra onto base, returning a new plan (nil-safe on
+// both sides): scalar rates take the larger value, stall distributions
+// and timeline events concatenate. The scenario engine uses it to
+// combine a hand-written base plan with a generated chaos timeline;
+// the merged plan still has to pass Validate when it meets a cluster.
+func Merge(base, extra *Plan) *Plan {
+	if extra.Empty() {
+		return base.Clone()
+	}
+	if base.Empty() {
+		return extra.Clone()
+	}
+	m := base.Clone()
+	if extra.Loss > m.Loss {
+		m.Loss = extra.Loss
+	}
+	if extra.Corrupt > m.Corrupt {
+		m.Corrupt = extra.Corrupt
+	}
+	m.Stalls = append(m.Stalls, extra.Stalls...)
+	m.Timeline = append(m.Timeline, extra.Timeline...)
+	return m
+}
+
 // sortedTimeline returns the timeline stably ordered by At.
 func (p *Plan) sortedTimeline() []TimelineEvent {
 	tl := append([]TimelineEvent(nil), p.Timeline...)
@@ -162,10 +186,13 @@ func (p *Plan) Validate(servers, clients int) error {
 				return fmt.Errorf("faults: %s event %d targets server %d of %d", ev.Kind, i, ev.Server, servers)
 			}
 		case KindDegradeLink:
-			// The upper bound keeps the scaled latency far from int64
-			// overflow for any sane fabric.
-			if ev.Factor <= 0 || ev.Factor > 1e6 {
-				return fmt.Errorf("faults: degrade-link event %d factor %v outside (0, 1e6]", i, ev.Factor)
+			// Factors below 1 would shrink the fabric latency under the
+			// sharded executor's lookahead; the rule is uniform — shards=1
+			// used to accept them silently and diverge from sharded runs of
+			// the same plan. The upper bound keeps the scaled latency far
+			// from int64 overflow for any sane fabric.
+			if ev.Factor < 1 || ev.Factor > 1e6 {
+				return fmt.Errorf("faults: degrade-link event %d factor %v outside [1, 1e6] (a degraded link is slower, never faster)", i, ev.Factor)
 			}
 		case KindStormStart:
 			if stormOpen {

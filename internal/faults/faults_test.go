@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"sais/internal/rng"
 	"sais/internal/units"
 )
 
@@ -173,6 +174,72 @@ func TestPlanJSONRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(p, got) {
 		t.Fatalf("round trip changed the plan:\nwrote %+v\nread  %+v", p, got)
+	}
+}
+
+// TestPlanJSONRoundTripByteIdentical pins the serialization itself:
+// Save → Load → re-save must reproduce the bytes exactly, so committed
+// scenario plans never churn in review when a tool rewrites them.
+func TestPlanJSONRoundTripByteIdentical(t *testing.T) {
+	var first bytes.Buffer
+	if err := WritePlan(&first, samplePlan()); err != nil {
+		t.Fatal(err)
+	}
+	reread, err := ReadPlan(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := WritePlan(&second, reread); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("re-save not byte-identical:\nfirst:\n%s\nsecond:\n%s", first.String(), second.String())
+	}
+}
+
+// TestDegradeBelowOneRejectedUniformly pins the uniform rule: a
+// degrade-link factor below 1 fails plan validation regardless of how
+// the run is sharded — it used to slip through on shards=1 and only
+// error under the sharded executor.
+func TestDegradeBelowOneRejectedUniformly(t *testing.T) {
+	p := &Plan{Timeline: []TimelineEvent{{At: 0, Kind: KindDegradeLink, Factor: 0.5}}}
+	err := p.Validate(1, 1)
+	if err == nil || !strings.Contains(err.Error(), "factor") {
+		t.Fatalf("Validate() = %v, want factor error", err)
+	}
+	r := newRig(t, 1)
+	if _, err := p.Arm(r.target(rng.New(1))); err == nil {
+		t.Fatal("Arm accepted a sub-1 degrade factor on a single engine")
+	}
+}
+
+func TestMergePlans(t *testing.T) {
+	base := &Plan{Loss: 0.01, Stalls: []Stall{{Server: 0, Rate: 1, Mean: units.Millisecond}}}
+	extra := &Plan{Loss: 0.005, Corrupt: 0.02, Timeline: []TimelineEvent{
+		{At: units.Millisecond, Kind: KindCrash, Server: 1},
+	}}
+	m := Merge(base, extra)
+	if m.Loss != 0.01 || m.Corrupt != 0.02 {
+		t.Errorf("merged rates = %v/%v, want max of each side", m.Loss, m.Corrupt)
+	}
+	if len(m.Stalls) != 1 || len(m.Timeline) != 1 {
+		t.Errorf("merged shape = %d stalls, %d events", len(m.Stalls), len(m.Timeline))
+	}
+	// Merge never aliases its inputs.
+	m.Stalls[0].Rate = 0.1
+	m.Timeline[0].Server = 9
+	if base.Stalls[0].Rate != 1 || extra.Timeline[0].Server != 1 {
+		t.Error("Merge shares slices with an input plan")
+	}
+	if got := Merge(nil, extra); !reflect.DeepEqual(got, extra) || got == extra {
+		t.Errorf("Merge(nil, extra) = %+v, want an equal copy", got)
+	}
+	if got := Merge(base, nil); !reflect.DeepEqual(got, base) || got == base {
+		t.Errorf("Merge(base, nil) = %+v, want an equal copy", got)
+	}
+	if Merge(nil, nil) != nil {
+		t.Error("Merge(nil, nil) should stay nil")
 	}
 }
 

@@ -132,7 +132,6 @@ func (p *Plan) Arm(t Target) (*Injector, error) {
 		return nil, fmt.Errorf("faults: Arm needs an engine and a fabric")
 	}
 	inj.eng = engines[0]
-	sharded := len(engines) > 1
 	serverEngine := t.ServerEngine
 	if serverEngine == nil {
 		serverEngine = func(int) *sim.Engine { return engines[0] }
@@ -195,10 +194,9 @@ func (p *Plan) Arm(t Target) (*Injector, error) {
 			srv := ev.Server
 			serverEngine(srv).At(ev.At, func(now units.Time) { inj.revive(srv, now) })
 		case KindDegradeLink:
+			// Factors below 1 are rejected uniformly by Plan.Validate
+			// above, so the sharded executor's lookahead is always safe.
 			factor := ev.Factor
-			if sharded && factor < 1 {
-				return nil, fmt.Errorf("faults: degrade-link factor %v < 1 would shrink the fabric latency below the sharded executor's lookahead", factor)
-			}
 			// Every shard owns a fabric; each applies the new scale on
 			// its own clock at the same simulated instant.
 			for s := range engines {

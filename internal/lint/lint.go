@@ -65,6 +65,7 @@ var deterministicPkgs = map[string]bool{
 	"sais/internal/collective": true,
 	"sais/internal/sweep":      true,
 	"sais/internal/shard":      true,
+	"sais/internal/scenario":   true,
 }
 
 // isDeterministicPkg reports whether path is one of the packages whose

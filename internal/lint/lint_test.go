@@ -44,6 +44,14 @@ func TestSeedDerive(t *testing.T) {
 	analysistest.Run(t, lint.SeedDerive, srcRoot, "seedderive", "sais/cluster")
 }
 
+// TestSeedDeriveScenarioGenerator checks the rule against the chaos
+// generator's fan-out shapes: soak iteration pairs and fault-family
+// streams must derive, never add, while stream-index arithmetic stays
+// legal.
+func TestSeedDeriveScenarioGenerator(t *testing.T) {
+	analysistest.Run(t, lint.SeedDerive, srcRoot, "seedderive_scenario", "sais/internal/scenario")
+}
+
 // TestSeedDeriveExemptsRngPackage: the rng package implements Derive
 // and is the one place seed-mixing arithmetic is legal. Its fixture
 // contains raw seed arithmetic and zero want comments — the test fails

@@ -1,0 +1,57 @@
+// Fixture for the seedderive analyzer, type-checked as
+// sais/internal/scenario: the chaos generator derives every fault
+// family's stream from one chaos seed, and the soak loop derives one
+// (config, chaos) seed pair per iteration. Both fan-outs must go
+// through Derive — the bug class is an iteration counter folded into
+// the seed with arithmetic, which correlates adjacent soak runs.
+package scenario
+
+// ChaosSpec mirrors the real spec's seed field.
+type ChaosSpec struct {
+	Seed uint64
+}
+
+// Derive stands in for rng.Derive.
+func Derive(root, stream uint64) uint64 {
+	x := root + (stream+1)*0x9e3779b97f4a7c15
+	return x ^ (x >> 31)
+}
+
+// badSoakFanOut is the hazard the scenario layer must avoid: soak
+// iteration seeds built with raw arithmetic on the root seed.
+func badSoakFanOut(spec ChaosSpec, runs int) []uint64 {
+	out := make([]uint64, 0, runs)
+	for i := 0; i < runs; i++ {
+		out = append(out, spec.Seed+uint64(2*i)) // want "arithmetic on seed value Seed"
+	}
+	return out
+}
+
+// badChaosMix folds the fault-family index straight into the seed.
+func badChaosMix(cfgSeed uint64, family uint64) uint64 {
+	chaosSeed := cfgSeed ^ family // want "arithmetic on seed value cfgSeed"
+	return chaosSeed
+}
+
+// goodSoakFanOut routes each iteration's pair through Derive; the
+// stream index arithmetic (2i, 2i+1) is legal — only the seed itself
+// is protected.
+func goodSoakFanOut(spec ChaosSpec, runs int) [][2]uint64 {
+	out := make([][2]uint64, 0, runs)
+	for i := 0; i < runs; i++ {
+		out = append(out, [2]uint64{
+			Derive(spec.Seed, uint64(2*i)),
+			Derive(spec.Seed, uint64(2*i+1)),
+		})
+	}
+	return out
+}
+
+// goodChaosDefault mirrors the real generator: a zero spec seed
+// derives the chaos stream from the config seed under a fixed label.
+func goodChaosDefault(spec ChaosSpec, cfgSeed uint64) uint64 {
+	if spec.Seed != 0 {
+		return spec.Seed
+	}
+	return Derive(cfgSeed, 0xc4a05)
+}

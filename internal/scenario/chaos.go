@@ -1,0 +1,193 @@
+package scenario
+
+import (
+	"fmt"
+
+	"sais/internal/faults"
+	"sais/internal/rng"
+	"sais/internal/units"
+)
+
+// chaosStream is the label under which a scenario's chaos seed is
+// derived from the config seed when the spec does not pin one.
+const chaosStream uint64 = 0xc4a05
+
+// ChaosSpec derives a randomized-but-deterministic fault timeline: the
+// same (spec, seed) pair always generates the same faults.Plan, so a
+// chaos scenario is as reproducible as a hand-written one — the spec
+// describes the *distribution* of trouble, the seed picks the draw.
+// Every knob is optional; the zero spec generates an empty plan.
+type ChaosSpec struct {
+	// Seed pins the chaos draw; 0 derives it from the config seed, so
+	// sweeping config seeds sweeps chaos timelines too.
+	Seed uint64 `json:",omitempty"`
+	// Horizon bounds generated event times (default 40ms) — size it to
+	// the expected run length so faults land mid-run, not after it.
+	Horizon units.Time `json:",omitempty"`
+	// Crashes is the number of crash/revive pairs to inject, each on a
+	// randomly drawn server with downtime up to MaxDowntime (default
+	// Horizon/4). Every crash gets a revive, so the cluster always
+	// heals and the run drains.
+	Crashes     int        `json:",omitempty"`
+	MaxDowntime units.Time `json:",omitempty"`
+	// Stragglers makes that many distinct servers slow: each gets a
+	// stall distribution at StallRate (default 0.2) around StallMean
+	// (default 1ms).
+	Stragglers int        `json:",omitempty"`
+	StallRate  float64    `json:",omitempty"`
+	StallMean  units.Time `json:",omitempty"`
+	// Storms injects that many bounded interrupt storms at StormPeriod
+	// (default 50µs per frame), each targeting a randomly drawn client
+	// (or all of them).
+	Storms      int        `json:",omitempty"`
+	StormPeriod units.Time `json:",omitempty"`
+	// Degrades injects that many degrade-link episodes, each scaling
+	// fabric latency by a factor in [1.5, 4) and then restoring it.
+	Degrades int `json:",omitempty"`
+	// Loss and Corrupt are passed through to the plan's scalar rates.
+	Loss    float64 `json:",omitempty"`
+	Corrupt float64 `json:",omitempty"`
+}
+
+// Validate checks the spec's ranges.
+func (c *ChaosSpec) Validate() error {
+	switch {
+	case c.Horizon < 0 || c.MaxDowntime < 0 || c.StallMean < 0 || c.StormPeriod < 0:
+		return fmt.Errorf("chaos: negative duration")
+	case c.Crashes < 0 || c.Stragglers < 0 || c.Storms < 0 || c.Degrades < 0:
+		return fmt.Errorf("chaos: negative event count")
+	case c.StallRate < 0 || c.StallRate > 1:
+		return fmt.Errorf("chaos: stall rate %v outside [0,1]", c.StallRate)
+	case c.Loss < 0 || c.Loss >= 1:
+		return fmt.Errorf("chaos: loss %v outside [0,1)", c.Loss)
+	case c.Corrupt < 0 || c.Corrupt >= 1:
+		return fmt.Errorf("chaos: corrupt %v outside [0,1)", c.Corrupt)
+	}
+	return nil
+}
+
+// Generate derives the plan for a cluster of the given shape. Each
+// fault family draws from its own labelled sub-stream, so adding storm
+// generation never changes which servers crash. The generated plan is
+// validated against the shape before it is returned — a generator bug
+// surfaces here, not at arm time.
+func (c *ChaosSpec) Generate(cfgSeed uint64, servers, clients int) (*faults.Plan, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if servers <= 0 || clients <= 0 {
+		return nil, fmt.Errorf("chaos: cluster shape %d servers / %d clients", servers, clients)
+	}
+	seed := c.Seed
+	if seed == 0 {
+		seed = rng.Derive(cfgSeed, chaosStream)
+	}
+	root := rng.New(seed)
+	horizon := c.Horizon
+	if horizon <= 0 {
+		horizon = 40 * units.Millisecond
+	}
+	p := &faults.Plan{Loss: c.Loss, Corrupt: c.Corrupt}
+
+	// Crash/revive pairs. Crashes may overlap on one server — the
+	// injector's idempotent semantics absorb that — but every crash is
+	// bounded by a revive inside 2×Horizon.
+	if c.Crashes > 0 {
+		maxDown := c.MaxDowntime
+		if maxDown <= 0 {
+			maxDown = horizon / 4
+		}
+		if maxDown < 2 {
+			maxDown = 2
+		}
+		rc := root.Split("chaos/crash")
+		for i := 0; i < c.Crashes; i++ {
+			srv := rc.Intn(servers)
+			at := units.Time(rc.Int63n(int64(horizon)))
+			down := 1 + units.Time(rc.Int63n(int64(maxDown)))
+			p.Timeline = append(p.Timeline,
+				faults.TimelineEvent{At: at, Kind: faults.KindCrash, Server: srv},
+				faults.TimelineEvent{At: at + down, Kind: faults.KindRevive, Server: srv},
+			)
+		}
+	}
+
+	// Stragglers: distinct servers (plan validation forbids re-targeting
+	// a stalled server), count clamped to the cluster size.
+	if c.Stragglers > 0 {
+		n := c.Stragglers
+		if n > servers {
+			n = servers
+		}
+		rate := c.StallRate
+		if rate == 0 {
+			rate = 0.2
+		}
+		mean := c.StallMean
+		if mean <= 0 {
+			mean = units.Millisecond
+		}
+		rs := root.Split("chaos/straggle")
+		offset := rs.Intn(servers)
+		for i := 0; i < n; i++ {
+			p.Stalls = append(p.Stalls, faults.Stall{
+				Server: (offset + i) % servers,
+				Rate:   rate,
+				Mean:   mean,
+				Jitter: mean / 4,
+			})
+		}
+	}
+
+	// Storms occupy disjoint slots of the horizon so they never nest
+	// (plan validation forbids overlapping storms).
+	if c.Storms > 0 {
+		period := c.StormPeriod
+		if period <= 0 {
+			period = 50 * units.Microsecond
+		}
+		rs := root.Split("chaos/storm")
+		slot := horizon / units.Time(c.Storms)
+		if slot < 4 {
+			slot = 4
+		}
+		for i := 0; i < c.Storms; i++ {
+			base := slot * units.Time(i)
+			start := base + units.Time(rs.Int63n(int64(slot/2)))
+			stop := start + 1 + units.Time(rs.Int63n(int64(slot/4+1)))
+			target := rs.Intn(clients+1) - 1 // -1 storms every client
+			p.Timeline = append(p.Timeline,
+				faults.TimelineEvent{At: start, Kind: faults.KindStormStart,
+					Client: target, Period: period},
+				faults.TimelineEvent{At: stop, Kind: faults.KindStormStop},
+			)
+		}
+	}
+
+	// Degrade episodes likewise occupy disjoint slots; each scales the
+	// fabric latency by a factor in [1.5, 4) and then restores it.
+	if c.Degrades > 0 {
+		rd := root.Split("chaos/degrade")
+		slot := horizon / units.Time(c.Degrades)
+		if slot < 4 {
+			slot = 4
+		}
+		for i := 0; i < c.Degrades; i++ {
+			base := slot * units.Time(i)
+			start := base + units.Time(rd.Int63n(int64(slot/2)))
+			end := start + 1 + units.Time(rd.Int63n(int64(slot/4+1)))
+			factor := 1.5 + 2.5*rd.Float64()
+			p.Timeline = append(p.Timeline,
+				faults.TimelineEvent{At: start, Kind: faults.KindDegradeLink, Factor: factor},
+				faults.TimelineEvent{At: end, Kind: faults.KindDegradeLink, Factor: 1},
+			)
+		}
+	}
+
+	// Generator sanity check: whatever was drawn must be a valid plan
+	// for this cluster shape.
+	if err := p.Validate(servers, clients); err != nil {
+		return nil, fmt.Errorf("chaos: generated plan invalid: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,103 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"sais/cluster"
+)
+
+// RunResult is one policy's outcome: the cluster result plus the
+// invariant violations and assertion failures found in it.
+type RunResult struct {
+	Policy     string
+	Result     *cluster.Result
+	Violations []Violation
+	Failures   []string
+}
+
+// Passed reports whether the run broke nothing.
+func (r *RunResult) Passed() bool {
+	return len(r.Violations) == 0 && len(r.Failures) == 0
+}
+
+// Report is the outcome of one scenario across its policies.
+type Report struct {
+	Scenario *Scenario
+	Runs     []RunResult
+}
+
+// Passed reports whether every policy run satisfied every invariant
+// and assertion.
+func (r *Report) Passed() bool {
+	for i := range r.Runs {
+		if !r.Runs[i].Passed() {
+			return false
+		}
+	}
+	return true
+}
+
+// Summary renders the report as the lines `saisim run` prints: one
+// PASS/FAIL line per policy run with bandwidth and fault counts, then
+// one line per violation or assertion failure.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	for i := range r.Runs {
+		run := &r.Runs[i]
+		status := "PASS"
+		if !run.Passed() {
+			status = "FAIL"
+		}
+		res := run.Result
+		fmt.Fprintf(&b, "%s %s [%s]: %v in %v, %d failed, %d partial, %d retries\n",
+			status, r.Scenario.Name, run.Policy, res.Bandwidth, res.Duration,
+			res.Faults.FailedOps, res.Faults.PartialOps, res.Retries)
+		for _, v := range run.Violations {
+			fmt.Fprintf(&b, "  invariant %s\n", v)
+		}
+		for _, f := range run.Failures {
+			fmt.Fprintf(&b, "  assert %s\n", f)
+		}
+	}
+	return b.String()
+}
+
+// Run executes the scenario under every listed policy, checks the
+// runtime invariants (unless SkipInvariants), and evaluates the
+// assertions. The error covers scenario-level failures (bad spec,
+// cancelled run); assertion and invariant outcomes live in the Report.
+func Run(ctx context.Context, s *Scenario) (*Report, error) {
+	policies, err := s.policyKinds()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Scenario: s}
+	for _, pol := range policies {
+		cfg, err := s.materialize(pol)
+		if err != nil {
+			return nil, err
+		}
+		res, log, err := cluster.RunSpannedContext(ctx, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s (%s): %w", s.Name, pol, err)
+		}
+		run := RunResult{Policy: pol.String(), Result: res}
+		if !s.SkipInvariants {
+			run.Violations = CheckInvariants(cfg, res, log)
+		}
+		for _, a := range s.Assertions {
+			got, ok, err := a.Eval(res)
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s (%s): %w", s.Name, pol, err)
+			}
+			if !ok {
+				run.Failures = append(run.Failures,
+					fmt.Sprintf("%s: got %g", a, got))
+			}
+		}
+		rep.Runs = append(rep.Runs, run)
+	}
+	return rep, nil
+}

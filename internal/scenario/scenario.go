@@ -1,0 +1,172 @@
+// Package scenario turns a cluster experiment into a serializable,
+// CI-assertable artifact. A Scenario file bundles the topology and
+// workload (a cluster.Config), an optional hand-written fault plan
+// (inside the config), an optional seeded chaos generator (ChaosSpec),
+// the policies to run it under, and a list of metric assertions. One
+// file is one reproducible claim about the simulator: "this cluster,
+// under these faults, delivers at least this much goodput and violates
+// no runtime invariant".
+//
+// The package also houses the runtime invariant checker
+// (CheckInvariants): structural properties every run must satisfy
+// regardless of configuration — no strip issued without a terminal
+// account, retry budgets respected, histogram and span counts agreeing,
+// the simulated clock monotonic, crashed servers silent. Scenarios run
+// them by default; `saisim run` and `make scenarios` turn violations
+// into nonzero exits.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"sais/cluster"
+	"sais/internal/faults"
+	"sais/internal/irqsched"
+)
+
+// Scenario is one serializable experiment with assertions.
+type Scenario struct {
+	// Name identifies the scenario in reports; required.
+	Name string
+	// Description says what claim the scenario checks.
+	Description string `json:",omitempty"`
+	// Config is the cluster under test. In a scenario file it is
+	// decoded over cluster.DefaultConfig, so files state only what they
+	// change — exactly like `saisim -config`.
+	Config cluster.Config
+	// Policies lists the scheduling policies to run the scenario under
+	// (names as cmd/saisim accepts). Empty means the config's own
+	// policy. Assertions and invariants must hold for every policy.
+	Policies []string `json:",omitempty"`
+	// Chaos, when set, derives a randomized-but-deterministic fault
+	// timeline from the scenario seed and merges it into the config's
+	// fault plan (faults.Merge).
+	Chaos *ChaosSpec `json:",omitempty"`
+	// Assertions are metric predicates evaluated against each run's
+	// Result; any failure makes the scenario fail.
+	Assertions []Assertion `json:",omitempty"`
+	// SkipInvariants disables the runtime invariant checker — only for
+	// scenarios that deliberately construct states the checker rejects.
+	SkipInvariants bool `json:",omitempty"`
+}
+
+// Validate checks the scenario shape: a name, resolvable policies,
+// well-formed assertions, a generatable chaos spec, and a config that
+// — with the chaos timeline merged in — passes cluster validation for
+// every policy. A scenario that validates cannot fail to start.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	for _, a := range s.Assertions {
+		if err := a.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	if s.Chaos != nil {
+		if err := s.Chaos.Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	policies, err := s.policyKinds()
+	if err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	for _, pol := range policies {
+		cfg, err := s.materialize(pol)
+		if err != nil {
+			return fmt.Errorf("scenario %s (%s): %w", s.Name, pol, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("scenario %s (%s): %w", s.Name, pol, err)
+		}
+	}
+	return nil
+}
+
+// policyKinds resolves Policies, defaulting to the config's own.
+func (s *Scenario) policyKinds() ([]irqsched.PolicyKind, error) {
+	if len(s.Policies) == 0 {
+		return []irqsched.PolicyKind{s.Config.Policy}, nil
+	}
+	kinds := make([]irqsched.PolicyKind, len(s.Policies))
+	for i, name := range s.Policies {
+		k, err := irqsched.ParsePolicy(name)
+		if err != nil {
+			return nil, err
+		}
+		kinds[i] = k
+	}
+	return kinds, nil
+}
+
+// materialize builds the runnable config for one policy: the scenario
+// config with the policy applied and the generated chaos timeline
+// merged into its fault plan.
+func (s *Scenario) materialize(pol irqsched.PolicyKind) (cluster.Config, error) {
+	cfg := s.Config
+	cfg.Policy = pol
+	if s.Chaos != nil {
+		plan, err := s.Chaos.Generate(cfg.Seed, cfg.Servers, cfg.Clients)
+		if err != nil {
+			return cluster.Config{}, err
+		}
+		cfg.Faults = faults.Merge(cfg.Faults, plan)
+	}
+	return cfg, nil
+}
+
+// Write serializes the scenario as indented JSON.
+func Write(w io.Writer, s *Scenario) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Read parses and validates a scenario. The Config block decodes over
+// cluster.DefaultConfig (files state only deviations); unknown fields
+// anywhere are rejected so typos surface immediately.
+func Read(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	s := &Scenario{Config: cluster.DefaultConfig()}
+	if err := dec.Decode(s); err != nil {
+		return nil, fmt.Errorf("scenario: parsing: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Load reads a scenario file.
+func Load(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Save writes a scenario file. The close error is checked so a
+// truncated file (full disk) is reported instead of silently saved.
+func Save(path string, s *Scenario) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return Write(f, s)
+}

@@ -170,6 +170,34 @@ func (l *SpanLog) OpenCount() int {
 	return len(l.pending)
 }
 
+// PendingSpans returns a sorted copy of the spans begun but never
+// ended — the strips that died mid-flight. The invariant checker walks
+// them to demand that every issued strip still reached a terminal
+// account (a consume span or a typed OpError). Sorted by full span key
+// so the view is deterministic under sharded execution.
+func (l *SpanLog) PendingSpans() []Span {
+	l.mu.Lock()
+	out := make([]Span, 0, len(l.pending))
+	for _, s := range l.pending {
+		out = append(out, s)
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		switch {
+		case a.Client != b.Client:
+			return a.Client < b.Client
+		case a.Tag != b.Tag:
+			return a.Tag < b.Tag
+		case a.Strip != b.Strip:
+			return a.Strip < b.Strip
+		default:
+			return a.Phase < b.Phase
+		}
+	})
+	return out
+}
+
 // Orphans returns the count of End calls that matched no open span
 // (late duplicates from the retry path).
 func (l *SpanLog) Orphans() uint64 {

@@ -19,10 +19,12 @@ import (
 	"context"
 	"fmt"
 
+	"sais/internal/apic"
 	"sais/internal/client"
 	"sais/internal/cpu"
 	"sais/internal/disk"
 	"sais/internal/faults"
+	"sais/internal/flowsim"
 	"sais/internal/irqsched"
 	"sais/internal/metrics"
 	"sais/internal/netsim"
@@ -155,6 +157,20 @@ type Config struct {
 	// scenarios. RandomAccess=true still randomizes every client.
 	RandomClients int
 
+	// Hybrid-fidelity workload (DESIGN.md §14). ForegroundClients is an
+	// explicit alias for Clients naming the full-fidelity measured
+	// cohort; when positive it overrides Clients. BackgroundUsers adds
+	// an analytic background population — arrival-rate flow processes
+	// feeding fluid queues at every server NIC/CPU and (for colocated
+	// tenants) every foreground client NIC — whose load slows the
+	// foreground without materializing frames. BackgroundUsers > 0
+	// requires a TenantMix whose shares sum to 1. RateUpdate is the
+	// fluid integration step (default 1 ms).
+	ForegroundClients int                   `json:",omitempty"`
+	BackgroundUsers   int                   `json:",omitempty"`
+	TenantMix         []flowsim.TenantShare `json:",omitempty"`
+	RateUpdate        units.Time            `json:",omitempty"`
+
 	// Faults is the declarative fault plan applied to the run: link
 	// loss/corruption, per-server stall distributions, and a timeline
 	// of crashes, revivals, link degradation, and interrupt storms.
@@ -229,8 +245,28 @@ func (c Config) WithPolicy(p irqsched.PolicyKind) Config {
 	return c
 }
 
+// normalized resolves the hybrid-mode aliases: ForegroundClients, when
+// positive, is the authoritative full-fidelity cohort size and
+// overrides Clients. Applied (idempotently) at the top of Validate,
+// NodeLayout, and run so every consumer sees one canonical shape.
+func (c Config) normalized() Config {
+	if c.ForegroundClients > 0 {
+		c.Clients = c.ForegroundClients
+	}
+	return c
+}
+
+// rateUpdate returns the fluid integration step, defaulting to 1 ms.
+func (c Config) rateUpdate() units.Time {
+	if c.RateUpdate > 0 {
+		return c.RateUpdate
+	}
+	return units.Millisecond
+}
+
 // Validate checks the configuration.
 func (c Config) Validate() error {
+	c = c.normalized()
 	switch {
 	case c.Clients <= 0:
 		return fmt.Errorf("cluster: clients %d must be positive", c.Clients)
@@ -280,6 +316,22 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: negative worker count %d", c.Workers)
 	case c.Shards > 1 && c.FabricLatency <= 0:
 		return fmt.Errorf("cluster: sharded execution needs a positive fabric latency (lookahead)")
+	case c.ForegroundClients < 0:
+		return fmt.Errorf("cluster: negative foreground clients %d", c.ForegroundClients)
+	case c.BackgroundUsers < 0:
+		return fmt.Errorf("cluster: negative background users %d", c.BackgroundUsers)
+	case c.RateUpdate < 0:
+		return fmt.Errorf("cluster: negative rate-update step")
+	}
+	// Hybrid tenant mixes are validated uniformly — the same typed
+	// rejection at every shard count, like degrade-link<1 — so a
+	// single-engine run can never accept a config a sharded run of the
+	// same cluster would refuse. A mix without background users is
+	// checked too: it is almost certainly a mistake worth surfacing.
+	if c.BackgroundUsers > 0 || len(c.TenantMix) > 0 {
+		if err := flowsim.ValidateMix(c.TenantMix); err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
 	}
 	return c.FaultPlan().Validate(c.Servers, c.Clients)
 }
@@ -322,6 +374,7 @@ func (c Config) FaultPlan() *faults.Plan {
 // invariant checker mapping fault-plan server indices onto the node
 // ids that appear in trace spans — agree with the simulator exactly.
 func (c Config) NodeLayout() (clients, servers []netsim.NodeID, mds netsim.NodeID) {
+	c = c.normalized()
 	// Clients sit at 1..Clients, MDS at 90, servers from 100. Clusters
 	// with ≥ 90 clients outgrow the classic constants, so the MDS and
 	// the server block shift past the client range; smaller clusters
@@ -397,6 +450,14 @@ type Result struct {
 	StripLatencyP50  units.Time
 	StripLatencyP95  units.Time
 	StripLatencyP99  units.Time
+
+	// Hybrid-mode accounting: analytic background traffic offered to,
+	// drained by, and still queued at the fluid stations over the run.
+	// The invariant checker enforces offered = served + backlog. All
+	// omitempty so classic-run JSON stays byte-identical.
+	BackgroundOfferedBytes units.Bytes `json:",omitempty"`
+	BackgroundServedBytes  units.Bytes `json:",omitempty"`
+	BackgroundBacklogBytes units.Bytes `json:",omitempty"`
 
 	// Faults is the degraded-mode rollup: what the fault injector did
 	// to the run and what the recovery paths did about it. All zero
@@ -481,6 +542,7 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node, []*pfs
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	cfg = cfg.normalized()
 	// Shard layout: nodes are partitioned round-robin over per-shard
 	// engines and fabrics. shards == 1 is the classic single-engine
 	// path (engines[0] drives everything, no executor, no goroutines).
@@ -656,6 +718,85 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node, []*pfs
 		return nil, err
 	}
 
+	// Hybrid-fidelity background population (DESIGN.md §14): fluid
+	// stations at every loaded server and (for colocated tenants) every
+	// foreground client. Server stations are demand-stepped — the
+	// service-scale hooks advance them to the dispatch instant — so a
+	// server pays nothing when idle; client stations are advanced by a
+	// standing per-node rate-update tick that also converts the step's
+	// served fluid into aggregated IRQ/softirq pressure on the core the
+	// steering policy picks. Every hook and tick touches only its own
+	// node's state and queries at node-local event times, which is what
+	// keeps sharded layouts bit-identical (stations advance in whole
+	// steps: state is a pure function of the query time).
+	var stations []*flowsim.Station
+	if cfg.BackgroundUsers > 0 {
+		step := cfg.rateUpdate()
+		for i := range srvs {
+			flows := flowsim.ServerFlows(cfg.TenantMix, cfg.BackgroundUsers, i, cfg.Servers)
+			if !flowsim.HasRate(flows) {
+				continue
+			}
+			st := flowsim.NewStation(cfg.ServerNICRate, step, flows)
+			stations = append(stations, st)
+			scale := func(now units.Time) float64 {
+				st.AdvanceTo(now)
+				return flowsim.Slowdown(st.Load())
+			}
+			srvs[i].NIC().SetServiceScale(scale)
+			srvs[i].SetCPUScale(scale)
+		}
+		cflows := flowsim.ClientFlows(cfg.TenantMix, cfg.BackgroundUsers, cfg.Clients)
+		if flowsim.HasRate(cflows) {
+			for i, node := range nodes {
+				st := flowsim.NewStation(cfg.ClientNICRate, step, cflows)
+				stations = append(stations, st)
+				// The NIC hook samples the last completed step's load
+				// without advancing — the tick owns the integration, so
+				// the observed load is one step stale by construction,
+				// identically in every layout.
+				node.NIC().SetServiceScale(func(units.Time) float64 {
+					return flowsim.Slowdown(st.Load())
+				})
+				// Per-tenant flow identities: stable functions of the
+				// node id, so flow-hashing policies (RSS) spread tenants
+				// over queues the same way in every layout.
+				flowIDs := make([]uint64, len(cfg.TenantMix))
+				for k := range flowIDs {
+					flowIDs[k] = rng.Derive(uint64(clientIDs[i]), uint64(k))
+				}
+				n, w, ne := node, loads[i], engines[clientShard(i)]
+				var tick func(units.Time)
+				tick = func(now units.Time) {
+					if w.Finished() != 0 {
+						return // foreground done: stop loading this node
+					}
+					st.AdvanceTo(now)
+					for k := range flowIDs {
+						b := st.ServedLastStep(k)
+						if b <= 0 {
+							continue
+						}
+						// One routing decision per tenant per step: the
+						// policy sees the tenant's flow with no hint
+						// (background traffic carries no aff_core_id),
+						// then the chosen core absorbs the step's
+						// aggregated interrupt-entry and softirq cost.
+						dest := n.IOAPIC().RouteFor(client.DataVector, apic.NoHint, flowIDs[k])
+						core := n.CPU().Core(dest)
+						irqs := b / float64(cfg.StripSize)
+						core.Submit(cpu.PrioSoftirq, cpu.CatIRQ,
+							units.Time(irqs*float64(cfg.Costs.IRQEntry)), nil)
+						core.Submit(cpu.PrioSoftirq, cpu.CatSoftirq,
+							units.Time(b*cfg.Costs.SoftirqPerByte), nil)
+					}
+					ne.After(step, tick)
+				}
+				ne.After(step, tick)
+			}
+		}
+	}
+
 	if cfg.BackgroundLoad > 0 {
 		const period = units.Millisecond
 		work := units.Time(float64(period) * cfg.BackgroundLoad)
@@ -722,7 +863,7 @@ func run(ctx context.Context, cfg Config, instrument func([]*client.Node, []*pfs
 		net.dropped += f.Dropped()
 		net.corrupted += f.Corrupted()
 	}
-	res := collect(cfg, end, net, nodes, loads, srvs, inj)
+	res := collect(cfg, end, net, nodes, loads, srvs, inj, stations)
 	if ctx != nil && stopped {
 		return res, ctx.Err()
 	}
@@ -738,7 +879,8 @@ type netTotals struct {
 // collect assembles the Result from the finished simulation. end is
 // the makespan (latest shard clock) and net the fabric rollup.
 func collect(cfg Config, end units.Time, net netTotals, nodes []*client.Node,
-	loads []*workload.IOR, srvs []*pfs.Server, inj *faults.Injector) *Result {
+	loads []*workload.IOR, srvs []*pfs.Server, inj *faults.Injector,
+	stations []*flowsim.Station) *Result {
 	res := &Result{
 		Policy:         cfg.Policy.String(),
 		Duration:       end,
@@ -845,6 +987,16 @@ func collect(cfg Config, end units.Time, net netTotals, nodes []*client.Node,
 		res.Faults.OfferedBytes += w.TotalBytes()
 	}
 	res.Faults.GoodputBytes = res.TotalBytes
+	// Background fluid accounting: integrate every station through the
+	// exact makespan (including the final partial step) and roll up.
+	// Station order is fixed (servers then clients, construction order)
+	// so the float sums are bit-stable across layouts.
+	for _, st := range stations {
+		st.Finalize(end)
+		res.BackgroundOfferedBytes += st.OfferedBytes()
+		res.BackgroundServedBytes += st.ServedBytes()
+		res.BackgroundBacklogBytes += st.BacklogBytes()
+	}
 	if dur := float64(res.Duration); dur > 0 {
 		var nicBusy float64
 		for _, n := range nodes {

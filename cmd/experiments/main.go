@@ -52,6 +52,7 @@ func main() {
 		degraded  = flag.Bool("degraded", false, "run the degraded-mode sweep (latency vs loss per policy) and exit")
 		chaos     = flag.Bool("chaos", false, "run the crash-and-recover chaos scenario and exit")
 		graceful  = flag.Bool("graceful", false, "run the graceful-degradation study (permanent server loss, hard-fail vs per-transfer deadlines) and exit")
+		noisy     = flag.Bool("noisy", false, "run the noisy-neighbor study (background load vs foreground strip latency per policy) and exit")
 		faultPlan = flag.String("fault-plan", "", "with -chaos: load the scenario's fault plan from a JSON file")
 		loss      = flag.Float64("loss", 0, "with -degraded: run only this loss rate instead of the default grid")
 		crashAt   = flag.Duration("crash-at", 0, "with -chaos: override the crash time (revive stays 30ms later)")
@@ -83,6 +84,7 @@ func main() {
 		fmt.Printf("%-12s %s\n", "-degraded", experiments.Degraded().Title)
 		fmt.Printf("%-12s %s\n", "-chaos", experiments.CrashAndRecover().Title)
 		fmt.Printf("%-12s %s\n", "-graceful", experiments.GracefulDegradation().Title)
+		fmt.Printf("%-12s %s\n", "-noisy", experiments.NoisyNeighbor().Title)
 		return
 	}
 
@@ -108,6 +110,20 @@ func main() {
 	}
 	if *graceful {
 		sweep := experiments.GracefulDegradation()
+		sweep.Parallel = *par
+		rep, err := sweep.RunContext(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			fmt.Print(rep.CSV())
+		} else {
+			fmt.Println(rep.Table())
+		}
+		return
+	}
+	if *noisy {
+		sweep := experiments.NoisyNeighbor()
 		sweep.Parallel = *par
 		rep, err := sweep.RunContext(ctx)
 		if err != nil {

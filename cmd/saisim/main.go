@@ -11,6 +11,7 @@
 //	saisim -loss 0.01 -retry 20ms -max-retries 12
 //	saisim -crash 0 -crash-at 5ms -revive-at 35ms -retry 20ms -max-retries 12
 //	saisim -fault-plan chaos.json -retry 20ms -max-retries 12
+//	saisim -background-users 1000000 -foreground-clients 64
 //	saisim run scenarios/crash-recover.json
 //	saisim chaos -n 20 -seed 7
 //
@@ -39,6 +40,7 @@ import (
 
 	"sais/cluster"
 	"sais/internal/faults"
+	"sais/internal/flowsim"
 	"sais/internal/irqsched"
 	"sais/internal/prof"
 	"sais/internal/trace"
@@ -85,6 +87,12 @@ func main() {
 		reviveAt   = flag.Duration("revive-at", 0, "revive the crashed server at this simulated time (0 = stays down)")
 		retry      = flag.Duration("retry", 0, "client retry timeout for lost transfers (0 = retries off)")
 		maxRetries = flag.Int("max-retries", 0, "retries per transfer before abandoning it")
+
+		bgUsers    = flag.Int("background-users", 0, "analytic background users sharing the cluster (hybrid-fidelity mode, see DESIGN.md §14)")
+		fgClients  = flag.Int("foreground-clients", 0, "full-fidelity foreground client nodes (overrides -clients when set)")
+		tenantMix  = flag.String("tenant-mix", "", "tenant mix as inline JSON (starts with '[') or a path to a JSON file; default: one constant-rate tenant")
+		bgRate     = flag.Float64("bg-user-bps", 4096, "per-user mean rate in bytes/s for the default single-tenant mix")
+		bgColocate = flag.Float64("bg-colocate", 0.2, "fraction of default-mix background traffic landing on client NICs")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -146,6 +154,31 @@ func main() {
 	}
 	if *workersN > 0 {
 		cfg.Workers = *workersN
+	}
+	// Nonzero (not just positive) passes through, so negatives reach
+	// cluster validation instead of being silently ignored.
+	if *fgClients != 0 {
+		cfg.ForegroundClients = *fgClients
+	}
+	if *bgUsers != 0 {
+		cfg.BackgroundUsers = *bgUsers
+	}
+	if *tenantMix != "" {
+		mix, err := loadTenantMix(*tenantMix)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.TenantMix = mix
+	}
+	if cfg.BackgroundUsers > 0 && len(cfg.TenantMix) == 0 {
+		// Bare -background-users N: a single constant-rate tenant, so
+		// the headline run needs no mix file.
+		cfg.TenantMix = []flowsim.TenantShare{{
+			Name:        "background",
+			Share:       1,
+			PerUserRate: units.Rate(*bgRate),
+			Colocate:    *bgColocate,
+		}}
 	}
 
 	if *faultPlan != "" {
@@ -256,6 +289,11 @@ func main() {
 	}
 	fmt.Printf("bottlenecks     client NIC %.0f%%, server disks %.0f%%, server CPUs %.0f%%\n",
 		res.ClientNICBusy*100, res.DiskBusy*100, res.ServerCPUBusy*100)
+	if res.BackgroundOfferedBytes > 0 {
+		fmt.Printf("background      %d users offered %v, served %v (backlog %v)\n",
+			cfg.BackgroundUsers, res.BackgroundOfferedBytes,
+			res.BackgroundServedBytes, res.BackgroundBacklogBytes)
+	}
 	if f := res.Faults; f.FramesDropped+f.FramesCorrupted+f.RingDrops+f.StallsInjected+f.StormFrames > 0 || f.Crashes > 0 {
 		fmt.Printf("faults          dropped %d, corrupted %d, ring drops %d, stalls %d, storm frames %d\n",
 			f.FramesDropped, f.FramesCorrupted, f.RingDrops, f.StallsInjected, f.StormFrames)
@@ -299,6 +337,25 @@ func exitIfFaulted(res *cluster.Result) {
 	fmt.Fprintf(os.Stderr, "saisim: %d ops failed, %d partial (%v short of %v offered) after %d retries\n",
 		f.FailedOps, f.PartialOps, f.OfferedBytes-f.GoodputBytes, f.OfferedBytes, res.Retries)
 	os.Exit(1)
+}
+
+// loadTenantMix decodes a tenant mix from inline JSON (anything
+// starting with '[') or from a JSON file. Validation happens in
+// cluster.Run, so errors carry the same typed sentinels either way.
+func loadTenantMix(arg string) ([]flowsim.TenantShare, error) {
+	data := []byte(arg)
+	if len(arg) == 0 || arg[0] != '[' {
+		b, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, fmt.Errorf("tenant-mix: %w", err)
+		}
+		data = b
+	}
+	var mix []flowsim.TenantShare
+	if err := json.Unmarshal(data, &mix); err != nil {
+		return nil, fmt.Errorf("tenant-mix: %w", err)
+	}
+	return mix, nil
 }
 
 // printTraced runs a single-client configuration with an event trace

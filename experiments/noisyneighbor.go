@@ -1,0 +1,167 @@
+package experiments
+
+// Noisy-neighbor study: what analytic background load costs the
+// foreground cohort under each scheduling policy. The sweep scales the
+// tenant mix's per-user rates from zero (a true classic baseline with
+// no background population wired in at all) up through saturation and
+// reports foreground strip-latency percentiles — the metric the
+// hybrid-fidelity engine exists to keep honest. Background strips are
+// never materialized, so the Result's strip histogram is exactly the
+// foreground cohort's.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"sais/cluster"
+	"sais/internal/flowsim"
+	"sais/internal/irqsched"
+	"sais/internal/runner"
+	"sais/internal/units"
+)
+
+// NoisySweep is a background-load × policy study.
+type NoisySweep struct {
+	Title string
+	// Loads are per-user-rate multipliers applied to the base mix.
+	// 0 means the classic baseline: BackgroundUsers and TenantMix are
+	// cleared entirely, not just silenced.
+	Loads    []float64
+	Policies []irqsched.PolicyKind
+	// Config is the base cluster; it must carry BackgroundUsers and a
+	// TenantMix for the nonzero load points.
+	Config   cluster.Config
+	Seed     uint64
+	Parallel int
+}
+
+// NoisyRow is one (load, policy) cell.
+type NoisyRow struct {
+	Load              float64
+	Policy            string
+	Duration          units.Time
+	Bandwidth         units.Rate
+	StripP50          units.Time
+	StripP95          units.Time
+	StripP99          units.Time
+	BackgroundOffered units.Bytes
+	BackgroundServed  units.Bytes
+}
+
+// NoisyReport is a completed sweep.
+type NoisyReport struct {
+	Title string
+	Rows  []NoisyRow
+}
+
+// NoisyNeighbor returns the default study: 4 foreground clients and 8
+// servers sharing the cluster with half a million background users in
+// a streaming-plus-burst mix, swept from silence to twice the nominal
+// rate.
+func NoisyNeighbor() NoisySweep {
+	cfg := cluster.DefaultConfig()
+	cfg.Clients = 4
+	cfg.Servers = 8
+	cfg.TransferSize = 256 * units.KiB
+	cfg.BytesPerProc = 2 * units.MiB
+	cfg.BackgroundUsers = 500000
+	cfg.TenantMix = []flowsim.TenantShare{
+		{Name: "stream", Share: 0.7, PerUserRate: 4000, Colocate: 0.15},
+		{Name: "burst", Share: 0.3, PerUserRate: 5000, Shape: "burst",
+			Period: 10 * units.Millisecond, Duty: 0.3, HotServers: 4},
+	}
+	return NoisySweep{
+		Title:    "Noisy neighbor: background load vs foreground strip latency",
+		Loads:    []float64{0, 0.5, 1, 2},
+		Policies: DegradedPolicies,
+		Config:   cfg,
+		Seed:     1,
+	}
+}
+
+// Run executes the sweep.
+func (n NoisySweep) Run() (*NoisyReport, error) {
+	return n.RunContext(context.Background())
+}
+
+// RunContext executes the sweep under ctx, one run per (load, policy)
+// cell at fixed indices, so the report is identical regardless of
+// worker count.
+func (n NoisySweep) RunContext(ctx context.Context) (*NoisyReport, error) {
+	if len(n.Loads) == 0 || len(n.Policies) == 0 {
+		return nil, fmt.Errorf("experiments: noisy sweep needs loads and policies")
+	}
+	cells := len(n.Loads) * len(n.Policies)
+	rows, err := runner.Map(ctx, cells,
+		runner.Options{Workers: n.Parallel},
+		func(ctx context.Context, i int) (NoisyRow, error) {
+			load := n.Loads[i/len(n.Policies)]
+			pol := n.Policies[i%len(n.Policies)]
+			cfg := n.Config
+			cfg.Policy = pol
+			cfg.Seed = n.Seed
+			if cfg.Seed == 0 {
+				cfg.Seed = 1
+			}
+			if load == 0 {
+				cfg.BackgroundUsers = 0
+				cfg.TenantMix = nil
+			} else {
+				mix := make([]flowsim.TenantShare, len(n.Config.TenantMix))
+				copy(mix, n.Config.TenantMix)
+				for j := range mix {
+					mix[j].PerUserRate = units.Rate(float64(mix[j].PerUserRate) * load)
+				}
+				cfg.TenantMix = mix
+			}
+			res, err := cluster.RunContext(ctx, cfg)
+			if err != nil {
+				return NoisyRow{}, fmt.Errorf("noisy load=%g/%s: %w", load, pol, err)
+			}
+			return NoisyRow{
+				Load:              load,
+				Policy:            res.Policy,
+				Duration:          res.Duration,
+				Bandwidth:         res.Bandwidth,
+				StripP50:          res.StripLatencyP50,
+				StripP95:          res.StripLatencyP95,
+				StripP99:          res.StripLatencyP99,
+				BackgroundOffered: res.BackgroundOfferedBytes,
+				BackgroundServed:  res.BackgroundServedBytes,
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &NoisyReport{Title: n.Title, Rows: rows}, nil
+}
+
+// Table renders the sweep as a fixed-width text table.
+func (r *NoisyReport) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	fmt.Fprintf(&b, "%-6s %-12s %12s %10s %12s %12s %12s %12s %12s\n",
+		"load", "policy", "duration", "MB/s", "strip p50", "strip p95", "strip p99", "bg offered", "bg served")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-6g %-12s %12v %10.1f %12v %12v %12v %12v %12v\n",
+			row.Load, row.Policy, row.Duration, float64(row.Bandwidth)/1e6,
+			row.StripP50, row.StripP95, row.StripP99,
+			row.BackgroundOffered, row.BackgroundServed)
+	}
+	return b.String()
+}
+
+// CSV renders the sweep as comma-separated rows with a header line.
+func (r *NoisyReport) CSV() string {
+	var b strings.Builder
+	b.WriteString("load,policy,duration_ns,bandwidth_mbps,strip_p50_ns,strip_p95_ns,strip_p99_ns,bg_offered_bytes,bg_served_bytes\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%g,%s,%d,%.6f,%d,%d,%d,%d,%d\n",
+			row.Load, row.Policy, int64(row.Duration),
+			float64(row.Bandwidth)/1e6,
+			int64(row.StripP50), int64(row.StripP95), int64(row.StripP99),
+			int64(row.BackgroundOffered), int64(row.BackgroundServed))
+	}
+	return b.String()
+}

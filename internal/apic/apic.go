@@ -176,12 +176,15 @@ func (io *IOAPIC) allowedFor(vec Vector) []int {
 	return all
 }
 
-// Raise routes an interrupt with the given affinity hint (NoHint if the
-// packet carried none) and flow identity, and delivers it to the chosen
-// core's local APIC. It returns the destination core.
-func (io *IOAPIC) Raise(vec Vector, hint int, flow uint64) int {
+// RouteFor runs the steering decision for an interrupt without raising
+// it: the installed policy picks a core from the vector's redirection
+// entry, misroutes fall back to the first allowed core, and the
+// per-core routing counter advances. The hybrid workload engine uses it
+// to charge aggregated background interrupt load to the core the policy
+// would have chosen, without a per-frame Accept.
+func (io *IOAPIC) RouteFor(vec Vector, hint int, flow uint64) int {
 	if io.router == nil {
-		panic("apic: Raise with no router installed")
+		panic("apic: route with no router installed")
 	}
 	allowed := io.allowedFor(vec)
 	dest := io.router.Route(vec, hint, flow, allowed, io.eng.Now())
@@ -196,8 +199,16 @@ func (io *IOAPIC) Raise(vec Vector, hint int, flow uint64) int {
 		io.stats.Misroutes++
 		dest = allowed[0]
 	}
-	io.stats.Raised++
 	io.routed[dest]++
+	return dest
+}
+
+// Raise routes an interrupt with the given affinity hint (NoHint if the
+// packet carried none) and flow identity, and delivers it to the chosen
+// core's local APIC. It returns the destination core.
+func (io *IOAPIC) Raise(vec Vector, hint int, flow uint64) int {
+	dest := io.RouteFor(vec, hint, flow)
+	io.stats.Raised++
 	io.locals[dest].Accept(vec)
 	return dest
 }

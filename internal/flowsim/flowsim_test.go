@@ -1,0 +1,304 @@
+package flowsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"sais/internal/units"
+)
+
+// TestValidateMixTypedErrors is the satellite-2 table: every invalid
+// hybrid mix maps onto a typed, errors.Is-able sentinel.
+func TestValidateMixTypedErrors(t *testing.T) {
+	ok := func(mix ...TenantShare) []TenantShare { return mix }
+	cases := []struct {
+		name string
+		mix  []TenantShare
+		want error
+	}{
+		{"empty mix", nil, ErrNoTenantMix},
+		{"negative rate", ok(TenantShare{Name: "a", Share: 1, PerUserRate: -1}), ErrNegativeRate},
+		{"share below zero", ok(TenantShare{Name: "a", Share: -0.1, PerUserRate: 1}), ErrBadShare},
+		{"share above one", ok(TenantShare{Name: "a", Share: 1.5, PerUserRate: 1}), ErrBadShare},
+		{"sum below one", ok(
+			TenantShare{Name: "a", Share: 0.5, PerUserRate: 1},
+			TenantShare{Name: "b", Share: 0.4, PerUserRate: 1},
+		), ErrShareSum},
+		{"sum above one", ok(
+			TenantShare{Name: "a", Share: 0.7, PerUserRate: 1},
+			TenantShare{Name: "b", Share: 0.7, PerUserRate: 1},
+		), ErrShareSum},
+		{"unknown shape", ok(TenantShare{Name: "a", Share: 1, PerUserRate: 1, Shape: "square"}), ErrBadShape},
+		{"diurnal without period", ok(TenantShare{Name: "a", Share: 1, PerUserRate: 1, Shape: "diurnal"}), ErrBadPeriod},
+		{"burst without period", ok(TenantShare{Name: "a", Share: 1, PerUserRate: 1, Shape: "burst", Duty: 0.5}), ErrBadPeriod},
+		{"amplitude above one", ok(TenantShare{Name: "a", Share: 1, PerUserRate: 1, Shape: "diurnal", Period: units.Millisecond, Amplitude: 1.1}), ErrBadAmplitude},
+		{"zero duty", ok(TenantShare{Name: "a", Share: 1, PerUserRate: 1, Shape: "burst", Period: units.Millisecond}), ErrBadDuty},
+		{"duty above one", ok(TenantShare{Name: "a", Share: 1, PerUserRate: 1, Shape: "burst", Period: units.Millisecond, Duty: 1.5}), ErrBadDuty},
+		{"bad phase", ok(TenantShare{Name: "a", Share: 1, PerUserRate: 1, Phase: 1}), ErrBadPhase},
+		{"bad colocate", ok(TenantShare{Name: "a", Share: 1, PerUserRate: 1, Colocate: 1.01}), ErrBadColocate},
+		{"negative hot servers", ok(TenantShare{Name: "a", Share: 1, PerUserRate: 1, HotServers: -1}), ErrBadHotServers},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateMix(tc.mix)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("ValidateMix = %v, want errors.Is %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateMixAccepts(t *testing.T) {
+	mix := []TenantShare{
+		{Name: "stream", Share: 0.7, PerUserRate: 3000, Colocate: 0.2},
+		{Name: "burst", Share: 0.3, PerUserRate: 2500, Shape: "burst", Period: 10 * units.Millisecond, Duty: 0.3, HotServers: 4},
+	}
+	if err := ValidateMix(mix); err != nil {
+		t.Fatalf("valid mix rejected: %v", err)
+	}
+	// Rounding-friendly decimal shares must pass the sum tolerance.
+	thirds := []TenantShare{
+		{Name: "a", Share: 0.3, PerUserRate: 1},
+		{Name: "b", Share: 0.3, PerUserRate: 1},
+		{Name: "c", Share: 0.4, PerUserRate: 1},
+	}
+	if err := ValidateMix(thirds); err != nil {
+		t.Fatalf("decimal shares rejected: %v", err)
+	}
+}
+
+// TestShapesMeanPreserving: averaged over whole periods every shape
+// offers its mean rate, so switching shapes never changes total load.
+func TestShapesMeanPreserving(t *testing.T) {
+	const period = 10 * units.Millisecond
+	shapes := []Flow{
+		{Rate: 1e6, Shape: ShapeConstant},
+		{Rate: 1e6, Shape: ShapeDiurnal, Period: period, Amplitude: 0.8},
+		{Rate: 1e6, Shape: ShapeDiurnal, Period: period, Amplitude: 0.8, Phase: 0.25},
+		{Rate: 1e6, Shape: ShapeBurst, Period: period, Duty: 0.3},
+		{Rate: 1e6, Shape: ShapeBurst, Period: period, Duty: 0.3, Phase: 0.5},
+	}
+	const steps = 100000 // 10 whole periods at 1µs resolution
+	for i, f := range shapes {
+		sum := 0.0
+		for s := 0; s < steps; s++ {
+			sum += f.RateAt(units.Time(s) * units.Microsecond)
+		}
+		mean := sum / steps
+		if rel := math.Abs(mean-f.Rate) / f.Rate; rel > 0.01 {
+			t.Errorf("shape %d: mean %.0f vs %.0f (rel %.4f)", i, mean, f.Rate, rel)
+		}
+		for s := 0; s < steps; s++ {
+			if r := f.RateAt(units.Time(s) * units.Microsecond); r < 0 {
+				t.Fatalf("shape %d: negative rate %v at step %d", i, r, s)
+			}
+		}
+	}
+}
+
+// TestStationConservation: after Finalize, offered = served + backlog to
+// within float rounding, in both under- and overload.
+func TestStationConservation(t *testing.T) {
+	cases := []struct {
+		name string
+		cap  units.Rate
+	}{
+		{"underload", 10e6},
+		{"overload", 1e6},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := NewStation(tc.cap, units.Millisecond, []Flow{
+				{Rate: 1.5e6, Shape: ShapeDiurnal, Period: 20 * units.Millisecond, Amplitude: 0.9},
+				{Rate: 0.5e6, Shape: ShapeBurst, Period: 7 * units.Millisecond, Duty: 0.25},
+			})
+			st.Finalize(123456789) // deliberately not step-aligned
+			off, srv, bck := float64(st.OfferedBytes()), float64(st.ServedBytes()), float64(st.BacklogBytes())
+			if off <= 0 {
+				t.Fatal("no bytes offered")
+			}
+			if srv > off {
+				t.Fatalf("served %v > offered %v", srv, off)
+			}
+			if diff := math.Abs(off - srv - bck); diff > 2+1e-9*off {
+				t.Fatalf("conservation gap %v (offered %v served %v backlog %v)", diff, off, srv, bck)
+			}
+			if tc.cap == 1e6 && bck == 0 {
+				t.Fatal("overloaded station drained completely")
+			}
+		})
+	}
+}
+
+// TestAdvanceQueryInvariance: the state at a step boundary must not
+// depend on how many intermediate queries happened — the property that
+// keeps sharded layouts bit-identical (different layouts query stations
+// at different intermediate instants).
+func TestAdvanceQueryInvariance(t *testing.T) {
+	mk := func() *Station {
+		return NewStation(2e6, units.Millisecond, []Flow{
+			{Rate: 1.9e6, Shape: ShapeDiurnal, Period: 5 * units.Millisecond, Amplitude: 1},
+			{Rate: 0.3e6, Shape: ShapeBurst, Period: 3 * units.Millisecond, Duty: 0.5, Phase: 0.1},
+		})
+	}
+	a, b := mk(), mk()
+	const end = 50 * units.Millisecond
+	// a: one query at the end. b: a ragged storm of queries, including
+	// out-of-order (past) timestamps.
+	a.AdvanceTo(end)
+	for _, q := range []units.Time{13, 999999, 1000001, 7777777, 500, 31415926, 31415926, 2718281, end} {
+		b.AdvanceTo(q)
+	}
+	if a.offered != b.offered || a.served != b.served || a.backlog != b.backlog || a.load != b.load {
+		t.Fatalf("query pattern changed state: a={%v %v %v %v} b={%v %v %v %v}",
+			a.offered, a.served, a.backlog, a.load, b.offered, b.served, b.backlog, b.load)
+	}
+	for i := range a.q {
+		if a.q[i] != b.q[i] || a.lastServed[i] != b.lastServed[i] {
+			t.Fatalf("flow %d state diverged", i)
+		}
+	}
+}
+
+func TestSlowdown(t *testing.T) {
+	cases := []struct {
+		u, want float64
+	}{
+		{-1, 1}, {0, 1}, {0.5, 2}, {0.75, 4}, {0.9375, 16}, {1, 16}, {5, 16},
+	}
+	for _, tc := range cases {
+		if got := Slowdown(tc.u); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Slowdown(%v) = %v, want %v", tc.u, got, tc.want)
+		}
+	}
+	// Monotone non-decreasing over the whole input range.
+	prev := 0.0
+	for u := -0.5; u < 1.5; u += 0.01 {
+		if s := Slowdown(u); s < prev {
+			t.Fatalf("Slowdown not monotone at u=%v", u)
+		} else {
+			prev = s
+		}
+	}
+}
+
+// TestFluidVsDiscretizedReference (satellite 3): the coarse fluid model
+// must track an independently-written fine-grained discretization of
+// the same queue within tolerance — cumulative served bytes and final
+// backlog, under a mix that exercises both under- and overload.
+func TestFluidVsDiscretizedReference(t *testing.T) {
+	flows := []Flow{
+		{Rate: 1.2e6, Shape: ShapeDiurnal, Period: 8 * units.Millisecond, Amplitude: 0.9},
+		{Rate: 0.8e6, Shape: ShapeBurst, Period: 5 * units.Millisecond, Duty: 0.2, Phase: 0.3},
+		{Rate: 0.3e6, Shape: ShapeConstant},
+	}
+	const (
+		capacity = units.Rate(2e6)
+		step     = units.Millisecond
+		end      = 100 * units.Millisecond
+	)
+	st := NewStation(capacity, step, flows)
+	st.Finalize(end)
+
+	// Reference: the same queue discretized 100× finer, integrating the
+	// rate curve by midpoint rule instead of left endpoint.
+	fine := step / 100
+	var q, served, offered float64
+	for now := units.Time(0); now < end; now += fine {
+		sec := float64(fine) * 1e-9
+		for _, f := range flows {
+			q += f.RateAt(now+fine/2) * sec
+			offered += f.RateAt(now+fine/2) * sec
+		}
+		capb := float64(capacity) * sec
+		if q <= capb {
+			served += q
+			q = 0
+		} else {
+			served += capb
+			q -= capb
+		}
+	}
+
+	relServed := math.Abs(float64(st.ServedBytes())-served) / served
+	if relServed > 0.02 {
+		t.Errorf("served: fluid %v vs reference %.0f (rel %.4f)", st.ServedBytes(), served, relServed)
+	}
+	relOffered := math.Abs(float64(st.OfferedBytes())-offered) / offered
+	if relOffered > 0.02 {
+		t.Errorf("offered: fluid %v vs reference %.0f (rel %.4f)", st.OfferedBytes(), offered, relOffered)
+	}
+	// Backlog is the small difference of two large numbers; compare on
+	// the offered scale.
+	if diff := math.Abs(float64(st.BacklogBytes()) - q); diff > 0.02*offered {
+		t.Errorf("backlog: fluid %v vs reference %.0f (offered %.0f)", st.BacklogBytes(), q, offered)
+	}
+}
+
+// TestServerFlowsResolution: Colocate splits traffic between server and
+// client stations, HotServers concentrates it, and totals across all
+// stations equal the mix's aggregate mean rate.
+func TestServerFlowsResolution(t *testing.T) {
+	mix := []TenantShare{
+		{Name: "spread", Share: 0.6, PerUserRate: 1000, Colocate: 0.25},
+		{Name: "hot", Share: 0.4, PerUserRate: 2000, HotServers: 2},
+	}
+	const users, servers, clients = 100000, 8, 4
+
+	var serverTotal float64
+	for s := 0; s < servers; s++ {
+		fl := ServerFlows(mix, users, s, servers)
+		if len(fl) != len(mix) {
+			t.Fatalf("server %d: %d flows, want %d", s, len(fl), len(mix))
+		}
+		if s >= 2 && fl[1].Rate != 0 {
+			t.Errorf("server %d outside hot set has rate %v for hot tenant", s, fl[1].Rate)
+		}
+		for _, f := range fl {
+			serverTotal += f.Rate
+		}
+	}
+	var clientTotal float64
+	for c := 0; c < clients; c++ {
+		fl := ClientFlows(mix, users, clients)
+		_ = c
+		if fl[1].Rate != 0 {
+			t.Errorf("non-colocated tenant leaked %v to clients", fl[1].Rate)
+		}
+		clientTotal += fl[0].Rate
+	}
+
+	wantServer := float64(users) * (0.6*1000*0.75 + 0.4*2000)
+	wantClient := float64(users) * 0.6 * 1000 * 0.25
+	if math.Abs(serverTotal-wantServer) > 1e-6*wantServer {
+		t.Errorf("server aggregate %v, want %v", serverTotal, wantServer)
+	}
+	if math.Abs(clientTotal-wantClient) > 1e-6*wantClient {
+		t.Errorf("client aggregate %v, want %v", clientTotal, wantClient)
+	}
+	if got, want := MixMeanRate(mix, users), wantServer+wantClient; math.Abs(got-want) > 1e-6*want {
+		t.Errorf("MixMeanRate %v, want %v", got, want)
+	}
+
+	// HotServers wider than the cluster degrades to uniform spread.
+	wide := []TenantShare{{Name: "w", Share: 1, PerUserRate: 1000, HotServers: 64}}
+	for s := 0; s < 4; s++ {
+		fl := ServerFlows(wide, 100, s, 4)
+		if want := 100.0 * 1000 / 4; math.Abs(fl[0].Rate-want) > 1e-9 {
+			t.Fatalf("server %d rate %v, want %v", s, fl[0].Rate, want)
+		}
+	}
+}
+
+func TestHasRate(t *testing.T) {
+	if HasRate(nil) {
+		t.Error("empty slice has rate")
+	}
+	if HasRate([]Flow{{Rate: 0}, {Rate: 0}}) {
+		t.Error("zero flows have rate")
+	}
+	if !HasRate([]Flow{{Rate: 0}, {Rate: 1}}) {
+		t.Error("positive flow missed")
+	}
+}

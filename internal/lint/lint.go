@@ -66,6 +66,7 @@ var deterministicPkgs = map[string]bool{
 	"sais/internal/sweep":      true,
 	"sais/internal/shard":      true,
 	"sais/internal/scenario":   true,
+	"sais/internal/flowsim":    true,
 }
 
 // isDeterministicPkg reports whether path is one of the packages whose

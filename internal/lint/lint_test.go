@@ -38,6 +38,13 @@ func TestSimDeterminismStrayPackageWaiver(t *testing.T) {
 	analysistest.Run(t, lint.SimDeterminism, srcRoot, "simdeterminism_stray", "sais/internal/sim")
 }
 
+// TestSimDeterminismFlowsim pins the fluid-flow engine into the strict
+// scope: flowsim stations scale service times inside the event loop,
+// so the package must stay bit-reproducible like internal/sim.
+func TestSimDeterminismFlowsim(t *testing.T) {
+	analysistest.Run(t, lint.SimDeterminism, srcRoot, "simdeterminism_flowsim", "sais/internal/flowsim")
+}
+
 // TestSeedDerive checks the seed-arithmetic rule, including the
 // historical cfg.Seed+i fan-out bug, and the //lint:seedarith hatch.
 func TestSeedDerive(t *testing.T) {

@@ -1,0 +1,39 @@
+// Fixture proving the fluid-flow engine is held to the strict rule
+// set: sais/internal/flowsim is a deterministic package (its stations
+// feed service-time scaling inside the event loop), so wall clocks,
+// goroutines, and map-ordered iteration are findings here just as in
+// internal/sim.
+package flowsim
+
+import "time"
+
+type station struct {
+	loads map[int]float64
+}
+
+// advance is the hazard class that motivated the listing: a rate
+// integrator sampling the host clock instead of simulated time.
+func advance() int64 {
+	return time.Now().UnixNano() // want "wall clock"
+}
+
+// aggregate shows the strict rules compose: no concurrent station
+// updates, no map-ordered accumulation.
+func aggregate(s station) float64 {
+	go advance() // want "go statement in deterministic package"
+	sum := 0.0
+	for _, v := range s.loads { // want "range over map in deterministic package"
+		sum += v
+	}
+	return sum
+}
+
+// drain is the annotated commutative form, legal as everywhere.
+func drain(s station) float64 {
+	sum := 0.0
+	//lint:maporder pure commutative accumulation
+	for _, v := range s.loads {
+		sum += v
+	}
+	return sum
+}

@@ -163,6 +163,12 @@ type NIC struct {
 	raise      func(now units.Time)        // single-queue interrupt line
 	raiseQueue func(q int, now units.Time) // MSI-X per-queue line
 
+	// svcScale, when set, multiplies every serialization cost by a
+	// load-dependent factor sampled at dispatch time — the hybrid
+	// engine's analytic background traffic contending for this NIC's
+	// ports (DESIGN.md §14). nil means the classic fixed-cost path.
+	svcScale func(now units.Time) float64
+
 	nextIPID uint16
 	optBuf   [4]byte // scratch for the aff_core_id options field
 }
@@ -245,6 +251,29 @@ func (n *NIC) SetInterruptHandler(fn func(now units.Time)) { n.raise = fn }
 // SetQueueHandler installs a per-queue (MSI-X) interrupt callback;
 // it takes precedence over the single handler when set.
 func (n *NIC) SetQueueHandler(fn func(q int, now units.Time)) { n.raiseQueue = fn }
+
+// SetServiceScale installs a load-dependent service-time multiplier:
+// every tx/rx serialization cost is scaled by fn(dispatchTime). The
+// hybrid workload engine uses it to let analytic background flows slow
+// this NIC without materializing their frames. fn must be ≥ 1,
+// deterministic, and depend only on this node's state (layout
+// invariance). nil restores the fixed-cost path.
+func (n *NIC) SetServiceScale(fn func(now units.Time) float64) { n.svcScale = fn }
+
+// serialize submits one wire transfer to a port serializer, applying
+// the service-scale hook when installed. The classic path (no hook)
+// stays on the fixed-cost Submit so its event pattern — and therefore
+// every byte of classic-run output — is untouched.
+func (n *NIC) serialize(port *sim.Server, wire units.Bytes, done sim.Event) {
+	base := n.cfg.Rate.TimeFor(wire)
+	if n.svcScale == nil {
+		port.Submit(base, done)
+		return
+	}
+	port.SubmitFunc(func(start units.Time) units.Time {
+		return units.Time(float64(base) * n.svcScale(start))
+	}, done)
+}
 
 // buildHeader marshals an IPv4 header carrying the hint into buf
 // (reusing a recycled frame's Header capacity); the simulator treats
@@ -340,7 +369,7 @@ func (n *NIC) sendFrame(f *Frame) {
 	n.stats.TxWire += wire
 	n.stats.TxPayload += f.Payload
 	port := n.pickPort(n.egress, f.Dst, &n.txNext)
-	port.Submit(n.cfg.Rate.TimeFor(wire), func(units.Time) {
+	n.serialize(port, wire, func(units.Time) {
 		n.fab.forward(f, wire)
 	})
 }
@@ -349,7 +378,7 @@ func (n *NIC) sendFrame(f *Frame) {
 // the ingress server models this NIC's port serialization.
 func (n *NIC) receive(f *Frame, wire units.Bytes) {
 	port := n.pickPort(n.ingress, f.Src, &n.rxNext)
-	port.Submit(n.cfg.Rate.TimeFor(wire), func(now units.Time) {
+	n.serialize(port, wire, func(now units.Time) {
 		n.deliver(f, now)
 	})
 }

@@ -74,6 +74,11 @@ type Server struct {
 	stall func() units.Time
 	// down makes the server drop all traffic (crash injection).
 	down bool
+	// cpuScale, when set, multiplies every CPU charge by a
+	// load-dependent factor sampled at dispatch time — analytic
+	// background requests contending for this server's CPU (hybrid
+	// workload engine, DESIGN.md §14).
+	cpuScale func(now units.Time) float64
 	// spans, when non-nil, records the service phase of every strip.
 	spans *trace.SpanLog
 }
@@ -129,6 +134,25 @@ func (s *Server) Down() bool { return s.down }
 // SetSpanLog attaches the lifecycle span recorder; nil disables.
 func (s *Server) SetSpanLog(l *trace.SpanLog) { s.spans = l }
 
+// SetCPUScale installs a load-dependent CPU service-time multiplier:
+// every request/strip CPU charge is scaled by fn(dispatchTime). fn must
+// be ≥ 1, deterministic, and depend only on this node's state. nil
+// restores the fixed-cost path.
+func (s *Server) SetCPUScale(fn func(now units.Time) float64) { s.cpuScale = fn }
+
+// chargeCPU submits one unit of request-processing work, applying the
+// CPU-scale hook when installed. Without a hook the classic fixed-cost
+// Submit runs, keeping classic-run output byte-identical.
+func (s *Server) chargeCPU(cost units.Time, done sim.Event) {
+	if s.cpuScale == nil {
+		s.cpu.Submit(cost, done)
+		return
+	}
+	s.cpu.SubmitFunc(func(start units.Time) units.Time {
+		return units.Time(float64(cost) * s.cpuScale(start))
+	}, done)
+}
+
 // defaultPlacement spreads files across the disk deterministically,
 // 1 MiB aligned, so different files force real seeks.
 func (s *Server) defaultPlacement(f FileID) units.Bytes {
@@ -166,7 +190,7 @@ func (s *Server) onInterrupt(units.Time) {
 // delivered to a particular client core, which is why the paper finds
 // no interrupt-locality issue on the write path.
 func (s *Server) handleWrite(w *StripWrite, hint netsim.AffHint) {
-	s.cpu.Submit(s.cfg.PerStripCPU, func(units.Time) {
+	s.chargeCPU(s.cfg.PerStripCPU, func(units.Time) {
 		s.stats.StripsWritten++
 		s.stats.BytesWritten += w.Size
 		echo := s.capsuler.Echo(hint)
@@ -212,12 +236,12 @@ func (s *Server) handle(req *ReadRequest, hint netsim.AffHint) {
 			s.spans.Begin(trace.PhaseService, now, int(req.Client), int(s.node), req.Tag, p.GlobalStrip, -1)
 		}
 	}
-	s.cpu.Submit(s.cfg.RequestCPU+extra, func(units.Time) {
+	s.chargeCPU(s.cfg.RequestCPU+extra, func(units.Time) {
 		echo := s.capsuler.Echo(hint)
 		for _, p := range req.Pieces {
 			p := p
 			s.readPiece(req.File, p, req.LocalEOF, func(units.Time) {
-				s.cpu.Submit(s.cfg.PerStripCPU, func(now units.Time) {
+				s.chargeCPU(s.cfg.PerStripCPU, func(now units.Time) {
 					s.stats.StripsSent++
 					s.stats.BytesSent += p.Size
 					if s.spans != nil {

@@ -63,10 +63,10 @@ var metricFns = map[string]func(*cluster.Result) float64{
 		}
 		return float64(d) / float64(units.Millisecond)
 	},
-	"recovery_ms":         func(r *cluster.Result) float64 { return float64(r.Faults.RecoveryTime) / float64(units.Millisecond) },
-	"latency_mean_ms":     func(r *cluster.Result) float64 { return float64(r.LatencyMean) / float64(units.Millisecond) },
-	"latency_p50_ms":      func(r *cluster.Result) float64 { return float64(r.LatencyP50) / float64(units.Millisecond) },
-	"latency_p99_ms":      func(r *cluster.Result) float64 { return float64(r.LatencyP99) / float64(units.Millisecond) },
+	"recovery_ms":     func(r *cluster.Result) float64 { return float64(r.Faults.RecoveryTime) / float64(units.Millisecond) },
+	"latency_mean_ms": func(r *cluster.Result) float64 { return float64(r.LatencyMean) / float64(units.Millisecond) },
+	"latency_p50_ms":  func(r *cluster.Result) float64 { return float64(r.LatencyP50) / float64(units.Millisecond) },
+	"latency_p99_ms":  func(r *cluster.Result) float64 { return float64(r.LatencyP99) / float64(units.Millisecond) },
 	"write_latency_p99_ms": func(r *cluster.Result) float64 {
 		return float64(r.WriteLatencyP99) / float64(units.Millisecond)
 	},
@@ -77,6 +77,18 @@ var metricFns = map[string]func(*cluster.Result) float64{
 	"client_nic_busy": func(r *cluster.Result) float64 { return r.ClientNICBusy },
 	"disk_busy":       func(r *cluster.Result) float64 { return r.DiskBusy },
 	"server_cpu_busy": func(r *cluster.Result) float64 { return r.ServerCPUBusy },
+	"background_offered_bytes": func(r *cluster.Result) float64 {
+		return float64(r.BackgroundOfferedBytes)
+	},
+	"background_served_bytes": func(r *cluster.Result) float64 {
+		return float64(r.BackgroundServedBytes)
+	},
+	"background_served_fraction": func(r *cluster.Result) float64 {
+		if r.BackgroundOfferedBytes == 0 {
+			return 0
+		}
+		return float64(r.BackgroundServedBytes) / float64(r.BackgroundOfferedBytes)
+	},
 }
 
 // MetricNames returns the assertion vocabulary, sorted — for error

@@ -1,0 +1,109 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+
+	"sais/cluster"
+	"sais/internal/flowsim"
+	"sais/internal/units"
+)
+
+// hybridCfg is quickCfg carrying an analytic background population.
+func hybridCfg() cluster.Config {
+	cfg := quickCfg()
+	cfg.BackgroundUsers = 50000
+	cfg.TenantMix = []flowsim.TenantShare{
+		{Name: "stream", Share: 0.7, PerUserRate: 4000, Colocate: 0.2},
+		{Name: "burst", Share: 0.3, PerUserRate: 6000, Shape: "burst",
+			Period: 5 * units.Millisecond, Duty: 0.4, HotServers: 2},
+	}
+	return cfg
+}
+
+// TestHybridRunPassesInvariants: a healthy hybrid scenario satisfies
+// every invariant — including the new background-conservation rule —
+// on one engine and on four.
+func TestHybridRunPassesInvariants(t *testing.T) {
+	for _, shards := range []int{0, 4} {
+		cfg := hybridCfg()
+		cfg.Shards = shards
+		s := &Scenario{
+			Name:   "hybrid",
+			Config: cfg,
+			Assertions: []Assertion{
+				{Metric: "background_offered_bytes", Op: ">", Value: 0},
+				{Metric: "background_served_fraction", Op: ">", Value: 0.5},
+			},
+		}
+		rep, err := Run(context.Background(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Passed() {
+			t.Fatalf("shards=%d: hybrid scenario failed:\n%s", shards, rep.Summary())
+		}
+	}
+}
+
+// TestBadBackgroundConservationFails is the satellite-1 seeded
+// fixture: doctored Results that drop or invent analytic load must be
+// caught by the background-conservation invariant — the checker proves
+// it can actually fail, not just that healthy runs pass.
+func TestBadBackgroundConservationFails(t *testing.T) {
+	cfg := hybridCfg()
+	res, err := cluster.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := CheckInvariants(cfg, res, nil); len(vs) != 0 {
+		t.Fatalf("honest hybrid result flagged: %+v", vs)
+	}
+
+	expectViolation := func(name string, doctor func(*cluster.Result)) {
+		t.Helper()
+		bad := *res
+		doctor(&bad)
+		found := false
+		for _, v := range CheckInvariants(cfg, &bad, nil) {
+			if v.Invariant == "background-conservation" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: doctored result passed the checker", name)
+		}
+	}
+	// Served bytes invented out of nothing.
+	expectViolation("served exceeds offered", func(r *cluster.Result) {
+		r.BackgroundServedBytes = r.BackgroundOfferedBytes + units.MiB
+	})
+	// A megabyte of offered load silently dropped from the books.
+	expectViolation("dropped load", func(r *cluster.Result) {
+		r.BackgroundServedBytes -= units.MiB
+	})
+	// Hybrid run reporting no offered load at all.
+	expectViolation("nothing offered", func(r *cluster.Result) {
+		r.BackgroundOfferedBytes = 0
+		r.BackgroundServedBytes = 0
+		r.BackgroundBacklogBytes = 0
+	})
+
+	// And the inverse fixture: a classic config whose result claims
+	// background bytes.
+	classic := quickCfg()
+	classicRes, err := cluster.Run(classic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classicRes.BackgroundOfferedBytes = units.MiB
+	found := false
+	for _, v := range CheckInvariants(classic, classicRes, nil) {
+		if v.Invariant == "background-conservation" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("classic result with background bytes passed the checker")
+	}
+}

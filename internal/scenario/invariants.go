@@ -6,6 +6,7 @@ import (
 
 	"sais/cluster"
 	"sais/internal/faults"
+	"sais/internal/flowsim"
 	"sais/internal/trace"
 	"sais/internal/units"
 )
@@ -78,6 +79,34 @@ func CheckInvariants(cfg cluster.Config, res *cluster.Result, log *trace.SpanLog
 	if healthy && res.Faults.RingDrops == 0 && res.Faults.GoodputBytes != res.Faults.OfferedBytes {
 		add("conservation", "healthy run delivered %v of %v offered",
 			res.Faults.GoodputBytes, res.Faults.OfferedBytes)
+	}
+
+	// background-conservation: analytic load cannot be silently
+	// dropped. Served never exceeds offered; offered balances served
+	// plus backlog (fluid truncation leaves at most one byte per
+	// station plus float rounding); a hybrid run whose mix carries any
+	// mean rate must have offered something; and a classic run must
+	// report no background bytes at all.
+	if cfg.BackgroundUsers > 0 {
+		off, srv, bck := res.BackgroundOfferedBytes, res.BackgroundServedBytes, res.BackgroundBacklogBytes
+		if srv > off {
+			add("background-conservation", "background served %v exceeds offered %v", srv, off)
+		}
+		// One truncated byte per station (bounded by nodes) plus float
+		// rounding on the cumulative sums.
+		slack := units.KiB + off/1000000
+		if gap := off - srv - bck; gap < -slack || gap > slack {
+			add("background-conservation", "offered %v != served %v + backlog %v (gap %v, slack %v)",
+				off, srv, bck, gap, slack)
+		}
+		if res.Duration > 0 && off == 0 &&
+			flowsim.MixMeanRate(cfg.TenantMix, cfg.BackgroundUsers) > 0 {
+			add("background-conservation", "%d background users with a live mix offered no bytes over %v",
+				cfg.BackgroundUsers, res.Duration)
+		}
+	} else if res.BackgroundOfferedBytes != 0 || res.BackgroundServedBytes != 0 || res.BackgroundBacklogBytes != 0 {
+		add("background-conservation", "classic run reports background bytes: offered %v served %v backlog %v",
+			res.BackgroundOfferedBytes, res.BackgroundServedBytes, res.BackgroundBacklogBytes)
 	}
 
 	// clean-run.

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race race-short bench bench-record bench-check experiments figures chaos scenarios chaos-soak cover clean
+.PHONY: all build vet lint test race race-short bench bench-record bench-check experiments figures chaos policymatrix scenarios chaos-soak cover clean
 
 all: build vet lint test race-short scenarios bench-check
 
@@ -82,6 +82,11 @@ figures:
 # policies (see also `-degraded` for the loss-rate sweep).
 chaos:
 	$(GO) run ./cmd/experiments -chaos
+
+# Policy × workload matrix: strip-latency percentiles and the reorder
+# metric for every policy in the irqsched registry.
+policymatrix:
+	$(GO) run ./cmd/experiments -policymatrix -parallel 8
 
 # Tier-1 scenario gate: run every committed scenario file, on one
 # engine and on four shards, evaluating assertions and the runtime

@@ -426,6 +426,20 @@ type Result struct {
 	NetDrops    uint64 // frames lost in the fabric (loss injection)
 	HeaderDrops uint64 // frames rejected by IPv4 validation (corruption)
 
+	// Packet-reordering metric (the Wu et al. Flow Director pathology):
+	// strip frames whose per-(transfer, server) sequence went backwards
+	// at softirq completion, and the deepest regression seen. Both
+	// omitempty — zero for every in-order policy — so classic-run JSON
+	// stays byte-identical.
+	ReorderedFrames uint64 `json:",omitempty"`
+	ReorderDepthMax uint64 `json:",omitempty"`
+
+	// PolicyStats carries the steering policy's self-describing
+	// counters (irqsched.CounterReporter), summed over clients. Only
+	// the literature-baseline policies export counters, so it is empty
+	// (and omitted from JSON) for the classic comparison set.
+	PolicyStats map[string]uint64 `json:",omitempty"`
+
 	// Recovery path (loss injection with retries enabled).
 	Retries         uint64
 	FailedTransfers uint64
@@ -904,6 +918,19 @@ func collect(cfg Config, end units.Time, net netTotals, nodes []*client.Node,
 		res.Faults.PartialOps += st.PartialTransfers
 		res.Faults.PartialBytes += st.PartialBytes
 		res.Faults.OpErrors = append(res.Faults.OpErrors, n.OpErrors()...)
+		res.ReorderedFrames += st.ReorderedFrames
+		if st.ReorderDepthMax > res.ReorderDepthMax {
+			res.ReorderDepthMax = st.ReorderDepthMax
+		}
+		if len(st.PolicyCounters) > 0 {
+			if res.PolicyStats == nil {
+				res.PolicyStats = make(map[string]uint64, len(st.PolicyCounters))
+			}
+			//lint:maporder summed merge is order-independent
+			for k, v := range st.PolicyCounters {
+				res.PolicyStats[k] += v
+			}
+		}
 
 		agg := n.Caches().Aggregate()
 		res.LineAccesses += agg.Accesses

@@ -146,18 +146,36 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestAllPoliciesRun(t *testing.T) {
-	for _, p := range []irqsched.PolicyKind{
-		irqsched.PolicyRoundRobin, irqsched.PolicyDedicated,
-		irqsched.PolicyIrqbalance, irqsched.PolicySourceAware,
-		irqsched.PolicyFlowHash, irqsched.PolicyHybrid,
-		irqsched.PolicySocketAware, irqsched.PolicyHardwareRSS,
-	} {
+	for _, p := range irqsched.Kinds() {
 		res, err := Run(quickCfg().WithPolicy(p))
 		if err != nil {
 			t.Fatalf("%v: %v", p, err)
 		}
 		if res.TotalBytes != 16*units.MiB {
 			t.Errorf("%v: bytes = %v", p, res.TotalBytes)
+		}
+	}
+}
+
+// TestReorderMetricZeroForInOrderPolicies pins the reorder counters to
+// zero for every policy that keeps each flow's frames on one core while
+// they are in flight: per-core FIFO softirq processing then preserves
+// send order, so any nonzero count would be a steering or accounting
+// bug. Flow Director is excluded — its mid-stream table updates are the
+// one sanctioned source of reordering (scenarios/flow-director-reorder
+// asserts the positive case).
+func TestReorderMetricZeroForInOrderPolicies(t *testing.T) {
+	for _, p := range irqsched.Kinds() {
+		if p == irqsched.PolicyFlowDirector {
+			continue
+		}
+		res, err := Run(quickCfg().WithPolicy(p))
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if res.ReorderedFrames != 0 || res.ReorderDepthMax != 0 {
+			t.Errorf("%v: reordered=%d depth=%d, want 0/0",
+				p, res.ReorderedFrames, res.ReorderDepthMax)
 		}
 	}
 }

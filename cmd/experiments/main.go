@@ -12,6 +12,7 @@
 //	experiments -timeout 2m  # bound the whole regeneration
 //	experiments -degraded    # latency vs frame loss per policy (faults)
 //	experiments -chaos       # crash-and-recover scenario per policy
+//	experiments -policymatrix # strip latency and reordering per policy × workload
 //
 // Ctrl-C (SIGINT) cancels in-flight simulations promptly and the
 // figures completed (or partially completed) so far are still printed.
@@ -53,6 +54,7 @@ func main() {
 		chaos     = flag.Bool("chaos", false, "run the crash-and-recover chaos scenario and exit")
 		graceful  = flag.Bool("graceful", false, "run the graceful-degradation study (permanent server loss, hard-fail vs per-transfer deadlines) and exit")
 		noisy     = flag.Bool("noisy", false, "run the noisy-neighbor study (background load vs foreground strip latency per policy) and exit")
+		matrix    = flag.Bool("policymatrix", false, "run the policy × workload matrix (strip latency percentiles and reordering per registered policy) and exit")
 		faultPlan = flag.String("fault-plan", "", "with -chaos: load the scenario's fault plan from a JSON file")
 		loss      = flag.Float64("loss", 0, "with -degraded: run only this loss rate instead of the default grid")
 		crashAt   = flag.Duration("crash-at", 0, "with -chaos: override the crash time (revive stays 30ms later)")
@@ -85,6 +87,7 @@ func main() {
 		fmt.Printf("%-12s %s\n", "-chaos", experiments.CrashAndRecover().Title)
 		fmt.Printf("%-12s %s\n", "-graceful", experiments.GracefulDegradation().Title)
 		fmt.Printf("%-12s %s\n", "-noisy", experiments.NoisyNeighbor().Title)
+		fmt.Printf("%-12s %s\n", "-policymatrix", experiments.PolicyMatrix().Title)
 		return
 	}
 
@@ -124,6 +127,20 @@ func main() {
 	}
 	if *noisy {
 		sweep := experiments.NoisyNeighbor()
+		sweep.Parallel = *par
+		rep, err := sweep.RunContext(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			fmt.Print(rep.CSV())
+		} else {
+			fmt.Println(rep.Table())
+		}
+		return
+	}
+	if *matrix {
+		sweep := experiments.PolicyMatrix()
 		sweep.Parallel = *par
 		rep, err := sweep.RunContext(ctx)
 		if err != nil {

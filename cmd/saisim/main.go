@@ -35,6 +35,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,7 +62,7 @@ func main() {
 		}
 	}
 	var (
-		policyName = flag.String("policy", "sais", "scheduling policy: roundrobin|dedicated|irqbalance|sais")
+		policyName = flag.String("policy", "sais", "scheduling policy: "+strings.Join(irqsched.Names(), "|"))
 		servers    = flag.Int("servers", 16, "number of PVFS I/O server nodes")
 		clients    = flag.Int("clients", 1, "number of client nodes")
 		procs      = flag.Int("procs", 2, "IOR processes per client")

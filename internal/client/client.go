@@ -13,6 +13,7 @@ package client
 
 import (
 	"fmt"
+	"sort"
 
 	"sais/internal/apic"
 	"sais/internal/cache"
@@ -241,8 +242,11 @@ func (c Config) validate() error {
 	if c.Cores <= 0 {
 		return fmt.Errorf("client: cores %d must be positive", c.Cores)
 	}
-	if (c.Policy == irqsched.PolicySourceAware || c.Policy == irqsched.PolicySocketAware ||
-		c.Policy == irqsched.PolicyHybrid) && c.Cores > netsim.MaxCores {
+	desc, ok := irqsched.Describe(c.Policy)
+	if !ok {
+		return fmt.Errorf("client: %w", &irqsched.UnknownPolicyError{Kind: c.Policy})
+	}
+	if desc.UsesHints && c.Cores > netsim.MaxCores {
 		return fmt.Errorf("client: SAIs addresses at most %d cores, got %d", netsim.MaxCores, c.Cores)
 	}
 	if c.CachePerCore <= 0 || c.LineSize <= 0 {
@@ -302,6 +306,15 @@ type Stats struct {
 	// BytesRead/BytesWritten — they reached the application.
 	PartialTransfers uint64
 	PartialBytes     units.Bytes
+	// ReorderedFrames counts strip-data frames that completed softirq
+	// processing with a per-(transfer, server) sequence lower than one
+	// already seen — the Wu et al. Flow Director pathology made visible.
+	// ReorderDepthMax is the largest observed sequence regression.
+	ReorderedFrames uint64
+	ReorderDepthMax uint64
+	// PolicyCounters carries the router's self-describing counters
+	// (CounterReporter); nil for policies that export none.
+	PolicyCounters map[string]uint64
 }
 
 // OpError is the typed per-operation record of a transfer that did not
@@ -344,14 +357,21 @@ func (e OpError) Error() string {
 
 // read tracks one in-flight transfer.
 type read struct {
-	proc      *Proc
-	issuedAt  units.Time
-	file      pfs.FileID
-	tag       uint64
-	plans     []pfs.ServerPlan
-	hint      netsim.AffHint
-	localEOF  func(serverIdx int) units.Bytes
-	got       map[int]bool // arrived strips, for dedupe and resend
+	proc     *Proc
+	issuedAt units.Time
+	file     pfs.FileID
+	tag      uint64
+	plans    []pfs.ServerPlan
+	hint     netsim.AffHint
+	localEOF func(serverIdx int) units.Bytes
+	got      map[int]bool // arrived strips, for dedupe and resend
+	// lastSeq is the highest Frame.FlowSeq accepted per server within
+	// this transfer — the receive-side reorder detector.
+	lastSeq map[netsim.NodeID]uint64
+	// srvLeft counts this transfer's outstanding strips per server, for
+	// the flow-idle bookkeeping (maintained only when the router wants
+	// NoteFlowIdle callbacks).
+	srvLeft   map[netsim.NodeID]int
 	remaining int
 	bytes     units.Bytes
 	blocks    []blockRef
@@ -415,6 +435,19 @@ type Node struct {
 	router apic.Router
 	msgr   irqsched.HintMessager
 	rnd    *rng.Source
+	// txObs/idleObs are the router's optional learning hooks (Flow
+	// Director, A-TFC); nil for static policies.
+	txObs   irqsched.TxObserver
+	idleObs irqsched.FlowIdleObserver
+	// flowOut counts outstanding read strips per server across all
+	// transfers; a flow's drop to zero fires NoteFlowIdle. Allocated
+	// only when idleObs is set.
+	flowOut map[netsim.NodeID]int
+	// reorderIssue enables straggler-aware issue scheduling: srvLat is
+	// the per-server EWMA of strip issue→arrival latency (ns) and
+	// sendReadRequests issues slowest-first.
+	reorderIssue bool
+	srvLat       map[netsim.NodeID]float64
 
 	layouts   map[pfs.FileID]pfs.Layout
 	opening   map[pfs.FileID][]pendingOpen
@@ -491,8 +524,9 @@ func New(eng *sim.Engine, fab *netsim.Fabric, cfg Config) (*Node, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	desc, _ := irqsched.Describe(cfg.Policy) // validate() vouched for the kind
 	rssQueues := 0
-	if cfg.Policy == irqsched.PolicyHardwareRSS {
+	if desc.MSIX {
 		rssQueues = cfg.RSSQueues
 		if rssQueues < 1 {
 			rssQueues = cfg.Cores
@@ -537,30 +571,38 @@ func New(eng *sim.Engine, fab *netsim.Fabric, cfg Config) (*Node, error) {
 	if len(cfg.AllowedIRQCores) > 0 {
 		n.ioapic.Program(DataVector, cfg.AllowedIRQCores)
 	}
-	if rssQueues > 0 {
-		// Hardware RSS: one vector per queue, statically pinned.
-		table := make(map[apic.Vector]int, rssQueues)
+	router, err := irqsched.New(cfg.Policy, irqsched.Options{
+		Loads:         loadAdapter{n.cpu},
+		Period:        cfg.IrqbalancePeriod,
+		DedicatedCore: cfg.DedicatedCore,
+		SocketSize:    cfg.Costs.SocketSize,
+		Cores:         cfg.Cores,
+		RSSQueues:     rssQueues,
+		RSSBaseVector: DataVector,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	n.router = router
+	if desc.MSIX {
+		// Hardware RSS: one vector per queue, statically pinned via the
+		// redirection table — the same map the StaticTable router holds.
 		for q := 0; q < rssQueues; q++ {
-			vec := DataVector + apic.Vector(q)
-			core := q % cfg.Cores
-			table[vec] = core
-			n.ioapic.Program(vec, []int{core})
+			n.ioapic.Program(DataVector+apic.Vector(q), []int{q % cfg.Cores})
 		}
-		n.router = irqsched.NewStaticTable(table, nil)
-	} else {
-		n.router = irqsched.New(cfg.Policy, irqsched.Options{
-			Loads:         loadAdapter{n.cpu},
-			Period:        cfg.IrqbalancePeriod,
-			DedicatedCore: cfg.DedicatedCore,
-			SocketSize:    cfg.Costs.SocketSize,
-		})
 	}
 	n.ioapic.SetRouter(n.router)
-	hinted := cfg.Policy == irqsched.PolicySourceAware ||
-		cfg.Policy == irqsched.PolicyHybrid ||
-		cfg.Policy == irqsched.PolicySocketAware
-	n.msgr = irqsched.HintMessager{Enabled: hinted}
-	if rssQueues > 0 {
+	n.msgr = irqsched.HintMessager{Enabled: desc.UsesHints}
+	n.txObs, _ = n.router.(irqsched.TxObserver)
+	n.idleObs, _ = n.router.(irqsched.FlowIdleObserver)
+	if n.idleObs != nil {
+		n.flowOut = make(map[netsim.NodeID]int)
+	}
+	n.reorderIssue = desc.ReorderIssue
+	if n.reorderIssue {
+		n.srvLat = make(map[netsim.NodeID]float64)
+	}
+	if desc.MSIX {
 		n.nic.SetQueueHandler(n.onNICQueueInterrupt)
 	} else {
 		n.nic.SetInterruptHandler(n.onNICInterrupt)
@@ -596,8 +638,11 @@ func (n *Node) Config() Config { return n.cfg }
 func (n *Node) Stats() Stats {
 	s := n.stats
 	s.Interrupts = n.nic.Stats().Interrupts
-	if sa, ok := n.router.(*irqsched.SourceAware); ok {
-		s.HintedIRQs = sa.Hinted()
+	if h, ok := n.router.(interface{ Hinted() uint64 }); ok {
+		s.HintedIRQs = h.Hinted()
+	}
+	if cr, ok := n.router.(irqsched.CounterReporter); ok {
+		s.PolicyCounters = cr.Counters()
 	}
 	return s
 }
@@ -754,6 +799,9 @@ func (n *Node) sendWriteStrips(w *writeOp, plans []pfs.ServerPlan) {
 				Size: piece.Size,
 			})
 		}
+		if n.txObs != nil {
+			n.txObs.NoteTransmit(uint64(plan.Server), w.proc.core)
+		}
 	}
 }
 
@@ -872,6 +920,14 @@ func (n *Node) issue(p *Proc, file pfs.FileID, offset, length units.Bytes, done 
 	for _, plan := range plans {
 		rd.remaining += len(plan.Pieces)
 	}
+	if n.idleObs != nil {
+		// Count the expected strips once, at issue: retries re-request
+		// strips that are still outstanding, so they add nothing.
+		for _, plan := range plans {
+			rd.srvLeft[plan.Server] += len(plan.Pieces)
+			n.flowOut[plan.Server] += len(plan.Pieces)
+		}
+	}
 	if n.spans != nil {
 		// The issue span opens here (post-migration, so the recorded core
 		// is the one the request actually left from) and is closed by the
@@ -888,13 +944,28 @@ func (n *Node) issue(p *Proc, file pfs.FileID, offset, length units.Bytes, done 
 	n.armReadTimer(rd)
 }
 
-// sendReadRequests issues the per-server requests covering plans.
+// sendReadRequests issues the per-server requests covering plans. With
+// straggler-aware scheduling the requests go out slowest-server-first
+// (by the EWMA of observed strip latency), so the straggler's service
+// time overlaps the faster servers. The transmit observer, when set,
+// samples each request's (flow, core) — the NIC tx path Flow Director
+// and A-TFC learn from.
 func (n *Node) sendReadRequests(rd *read, plans []pfs.ServerPlan) {
+	if n.reorderIssue && len(plans) > 1 {
+		ordered := append(make([]pfs.ServerPlan, 0, len(plans)), plans...)
+		sort.SliceStable(ordered, func(i, j int) bool {
+			return n.srvLat[ordered[i].Server] > n.srvLat[ordered[j].Server]
+		})
+		plans = ordered
+	}
 	for _, plan := range plans {
 		n.nic.Send(plan.Server, pfs.RequestSize, rd.hint, &pfs.ReadRequest{
 			File: rd.file, Tag: rd.tag, Client: n.cfg.Node, Pieces: plan.Pieces,
 			LocalEOF: rd.localEOF(plan.ServerIdx),
 		})
+		if n.txObs != nil {
+			n.txObs.NoteTransmit(uint64(plan.Server), rd.proc.core)
+		}
 	}
 }
 
@@ -921,6 +992,9 @@ func (n *Node) retryRead(rd *read) {
 	pastDeadline := n.cfg.TransferDeadline > 0 && now-rd.issuedAt >= n.cfg.TransferDeadline
 	if rd.retries >= n.cfg.MaxRetries || pastDeadline {
 		delete(n.reads, rd.tag)
+		// The missing strips will never be accepted (the tag is gone):
+		// release their flow-idle accounting now.
+		n.releaseFlows(rd)
 		if n.cfg.TransferDeadline > 0 && len(rd.blocks) > 0 {
 			rd.partial = true
 			n.tracef("client", "read tag=%d degrading to partial: %v arrived, %d strips missing after %d retries",
@@ -944,6 +1018,26 @@ func (n *Node) retryRead(rd *read) {
 	n.tracef("client", "read tag=%d retry %d: %d servers incomplete", rd.tag, rd.retries, len(missing))
 	n.sendReadRequests(rd, missing)
 	n.armReadTimer(rd)
+}
+
+// releaseFlows zeroes a resolving transfer's outstanding-strip counts,
+// firing NoteFlowIdle for flows that drain to zero. It iterates the
+// plan list (not the map) so the callback order is deterministic.
+func (n *Node) releaseFlows(rd *read) {
+	if n.idleObs == nil {
+		return
+	}
+	for _, plan := range rd.plans {
+		rem := rd.srvLeft[plan.Server]
+		if rem <= 0 {
+			continue
+		}
+		rd.srvLeft[plan.Server] = 0
+		n.flowOut[plan.Server] -= rem
+		if n.flowOut[plan.Server] == 0 {
+			n.idleObs.NoteFlowIdle(uint64(plan.Server))
+		}
+	}
 }
 
 // abandon records a transfer that exhausted its retries: the typed
@@ -1089,8 +1183,9 @@ func (n *Node) handleIRQ(core int, now units.Time) {
 			n.spans.Begin(trace.PhaseIRQ, now, cl, int(f.Src), body.Tag, body.GlobalStrip, core)
 		}
 		cost := units.Time(float64(f.Payload) * n.cfg.Costs.SoftirqPerByte)
+		src, seq := f.Src, f.FlowSeq // captured: the frame is freed below
 		c.Submit(cpu.PrioSoftirq, cpu.CatSoftirq, cost, func(now units.Time) {
-			n.stripArrived(core, body, now)
+			n.stripArrived(core, src, seq, body, now)
 		})
 	case *pfs.WriteAck:
 		c.Submit(cpu.PrioSoftirq, cpu.CatSoftirq, units.Microsecond, func(now units.Time) {
@@ -1114,8 +1209,12 @@ func (n *Node) handleIRQ(core int, now units.Time) {
 // stripArrived deposits the strip into the handling core's cache and
 // completes the transfer when it was the last one. The block size is
 // the strip's declared size: in Fragment wire mode the descriptor rides
-// the final fragment, but the whole strip has landed by then.
-func (n *Node) stripArrived(core int, sd *pfs.StripData, now units.Time) {
+// the final fragment, but the whole strip has landed by then. src and
+// seq identify the delivering frame's flow and sender-side sequence;
+// a sequence regression within one (transfer, server) stream means two
+// frames of the flow completed softirq processing out of send order —
+// the reordering the Flow Director pathology produces.
+func (n *Node) stripArrived(core int, src netsim.NodeID, seq uint64, sd *pfs.StripData, now units.Time) {
 	rd, ok := n.reads[sd.Tag]
 	if !ok {
 		return // transfer already complete or abandoned
@@ -1125,10 +1224,34 @@ func (n *Node) stripArrived(core int, sd *pfs.StripData, now units.Time) {
 		return // duplicate from a retry race
 	}
 	rd.got[sd.GlobalStrip] = true
+	if last, ok := rd.lastSeq[src]; ok && seq < last {
+		n.stats.ReorderedFrames++
+		if depth := last - seq; depth > n.stats.ReorderDepthMax {
+			n.stats.ReorderDepthMax = depth
+		}
+	} else {
+		rd.lastSeq[src] = seq
+	}
 	if n.spans != nil {
 		n.spans.End(trace.PhaseIRQ, now, int(n.cfg.Node), sd.Tag, sd.GlobalStrip, core)
 	}
 	n.stripHist.Add(float64(now - rd.issuedAt))
+	if n.reorderIssue {
+		// Per-server latency EWMA for straggler-aware issue ordering.
+		sample := float64(now - rd.issuedAt)
+		if prev, ok := n.srvLat[src]; ok {
+			n.srvLat[src] = 0.8*prev + 0.2*sample
+		} else {
+			n.srvLat[src] = sample
+		}
+	}
+	if n.idleObs != nil {
+		rd.srvLeft[src]--
+		n.flowOut[src]--
+		if n.flowOut[src] == 0 {
+			n.idleObs.NoteFlowIdle(uint64(src))
+		}
+	}
 	n.nextBlock++
 	id := n.nextBlock
 	n.caches.Fill(core, id, sd.Size)
@@ -1205,7 +1328,11 @@ func (n *Node) newRead() *read {
 		n.freeReads = n.freeReads[:k-1]
 		return rd
 	}
-	return &read{got: make(map[int]bool)}
+	return &read{
+		got:     make(map[int]bool),
+		lastSeq: make(map[netsim.NodeID]uint64),
+		srvLeft: make(map[netsim.NodeID]int),
+	}
 }
 
 // freeRead recycles a finished read record, keeping its map and slice
@@ -1214,8 +1341,10 @@ func (n *Node) newRead() *read {
 // or been cancelled.
 func (n *Node) freeRead(rd *read) {
 	clear(rd.got)
-	got, blocks := rd.got, rd.blocks[:0]
-	*rd = read{got: got, blocks: blocks}
+	clear(rd.lastSeq)
+	clear(rd.srvLeft)
+	got, lastSeq, srvLeft, blocks := rd.got, rd.lastSeq, rd.srvLeft, rd.blocks[:0]
+	*rd = read{got: got, lastSeq: lastSeq, srvLeft: srvLeft, blocks: blocks}
 	n.freeReads = append(n.freeReads, rd)
 }
 

@@ -1,8 +1,13 @@
-// Package irqsched implements the four interrupt-scheduling policies
-// the paper compares (Figure 1 and §III): round-robin, dedicated-core,
-// irqbalance-style load balancing, and SAIs' source-aware scheduling.
-// Each policy is an apic.Router; the I/O APIC consults it per raised
-// interrupt.
+// Package irqsched implements the interrupt-scheduling policies the
+// paper compares (Figure 1 and §III) — round-robin, dedicated-core,
+// irqbalance-style load balancing, and SAIs' source-aware scheduling —
+// plus the steering baselines from the related literature: Toeplitz
+// RSS, Intel Flow Director (with its packet-reordering pathology),
+// A-TFC transport-friendly steering, and client-side straggler-aware
+// issue scheduling. Each policy is an apic.Router registered in a
+// descriptor registry (see registry.go); the I/O APIC consults the
+// router per raised interrupt, and every consumer — cluster, scenario,
+// sweep, saisim -policy — resolves policies through the one registry.
 //
 // The package also houses the SAIs protocol components that live
 // outside the APIC: HintMessager (client request side), HintCapsuler
@@ -21,9 +26,11 @@ import (
 type PolicyKind int
 
 // Policies. The first four are the paper's comparison set; FlowHash is
-// an RSS/RFS-style static flow-affinity baseline (the closest modern
-// comparator to SAIs), and Hybrid is the paper's future-work
-// integration of source-aware placement with load-aware fallback.
+// an RSS/RFS-style static flow-affinity baseline, Hybrid is the
+// paper's future-work integration of source-aware placement with
+// load-aware fallback, and the kinds past PolicyHardwareRSS are the
+// literature baselines (Wu et al. on Flow Director and A-TFC,
+// Microsoft's Toeplitz RSS, Tavakoli et al.'s straggler-aware client).
 const (
 	PolicyRoundRobin PolicyKind = iota
 	PolicyDedicated
@@ -32,39 +39,47 @@ const (
 	PolicyFlowHash
 	PolicyHybrid
 	PolicySocketAware
-	// PolicyHardwareRSS is not a software router at all: the client
-	// wires MSI-X queues with statically-pinned vectors (StaticTable)
-	// when this kind is selected.
+	// PolicyHardwareRSS steers with MSI-X queues whose vectors are
+	// statically pinned via the redirection table; New builds the
+	// matching StaticTable router (the client additionally programs the
+	// I/O APIC vectors and enables per-queue NIC interrupts).
 	PolicyHardwareRSS
+	// PolicyFlowDirector models Intel Flow Director's per-flow
+	// last-transmitting-core table, whose immediate table updates
+	// reproduce the Wu et al. packet-reordering pathology.
+	PolicyFlowDirector
+	// PolicyToeplitz is receive-side scaling with the real Microsoft
+	// Toeplitz hash and a 128-entry indirection table.
+	PolicyToeplitz
+	// PolicyATFC is the A-TFC transport-friendly NIC: affinity updates
+	// are staged and applied only at flow-idle boundaries, so an
+	// in-flight stream never splits across cores.
+	PolicyATFC
+	// PolicyStragglerAware is SAIs steering plus Tavakoli et al.'s
+	// client-side issue scheduling: the client reorders per-server strip
+	// requests so the slowest server receives its request first.
+	PolicyStragglerAware
 )
 
-var policyNames = map[PolicyKind]string{
-	PolicyRoundRobin:  "roundrobin",
-	PolicyDedicated:   "dedicated",
-	PolicyIrqbalance:  "irqbalance",
-	PolicySourceAware: "sais",
-	PolicyFlowHash:    "flowhash",
-	PolicyHybrid:      "hybrid",
-	PolicySocketAware: "sais-socket",
-	PolicyHardwareRSS: "rss",
-}
-
+// String returns the policy's registered name.
 func (k PolicyKind) String() string {
-	if n, ok := policyNames[k]; ok {
-		return n
+	if d, ok := registry[k]; ok {
+		return d.Name
 	}
 	return fmt.Sprintf("PolicyKind(%d)", int(k))
 }
 
-// ParsePolicy resolves a policy name (as used by command-line tools).
+// ParsePolicy resolves a policy name (as used by command-line tools)
+// against the registry. The error's want-list is derived from the
+// registered names, sorted, so new policies can never drift out of it.
 func ParsePolicy(name string) (PolicyKind, error) {
 	//lint:maporder order-independent lookup: names are unique, at most one key matches
-	for k, n := range policyNames {
-		if n == name {
+	for k, d := range registry {
+		if d.Name == name {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("irqsched: unknown policy %q (want roundrobin|dedicated|irqbalance|sais|flowhash|hybrid|sais-socket|rss)", name)
+	return 0, fmt.Errorf("irqsched: unknown policy %q (want %s)", name, nameList())
 }
 
 // LoadReader exposes the per-core load information irqbalance samples.
@@ -303,6 +318,7 @@ type SocketAware struct {
 	loads      LoadReader
 	socketSize int
 	fallback   apic.Router
+	rr         int
 }
 
 // NewSocketAware builds the policy. socketSize is cores per socket.
@@ -324,7 +340,12 @@ func (s *SocketAware) Route(vec apic.Vector, hint int, flow uint64, allowed []in
 	if hint != apic.NoHint {
 		socket := hint / s.socketSize
 		best, bestQ := -1, 0
-		for _, c := range allowed {
+		// Rotate the scan start like Irqbalance.rr: with equal queue
+		// depths (always, when loads is nil) a fixed scan order would
+		// pin every intra-socket interrupt to the lowest core id.
+		n := len(allowed)
+		for k := 0; k < n; k++ {
+			c := allowed[(k+s.rr)%n]
 			if c/s.socketSize != socket {
 				continue
 			}
@@ -337,6 +358,7 @@ func (s *SocketAware) Route(vec apic.Vector, hint int, flow uint64, allowed []in
 			}
 		}
 		if best >= 0 {
+			s.rr++
 			return best
 		}
 	}
@@ -376,47 +398,27 @@ func (s *StaticTable) Route(vec apic.Vector, hint int, flow uint64, allowed []in
 }
 
 // Options collects the policy constructor inputs; zero values are valid
-// for policies that do not use them.
+// for policies that do not use them — every registry constructor
+// substitutes a safe default, so New is total over parseable kinds.
 type Options struct {
 	Loads         LoadReader
-	Period        units.Time // irqbalance/hybrid sampling period
+	Period        units.Time // irqbalance/hybrid sampling period (default 10 ms)
 	DedicatedCore int
-	SocketSize    int // sais-socket granularity (default 4)
-	HybridQueue   int // hybrid divert threshold (default 16)
+	SocketSize    int         // sais-socket granularity (default 4)
+	HybridQueue   int         // hybrid divert threshold (default 16)
+	Cores         int         // core count for table-building policies (rss/toeplitz)
+	RSSQueues     int         // MSI-X queue count for rss (default Cores)
+	RSSBaseVector apic.Vector // first per-queue vector for rss
+	FlowTable     int         // flowdirector table capacity (default 1024)
 }
 
-// New constructs a policy by kind.
-func New(kind PolicyKind, opts Options) apic.Router {
-	switch kind {
-	case PolicyRoundRobin:
-		return NewRoundRobin()
-	case PolicyDedicated:
-		return NewDedicated(opts.DedicatedCore)
-	case PolicyIrqbalance:
-		if opts.Loads == nil {
-			panic("irqsched: irqbalance needs a LoadReader")
-		}
-		return NewIrqbalance(opts.Loads, opts.Period)
-	case PolicySourceAware:
-		return NewSourceAware(nil)
-	case PolicyFlowHash:
-		return NewFlowHash()
-	case PolicyHybrid:
-		if opts.Loads == nil {
-			panic("irqsched: hybrid needs a LoadReader")
-		}
-		q := opts.HybridQueue
-		if q < 1 {
-			q = 16
-		}
-		return NewHybrid(opts.Loads, opts.Period, q)
-	case PolicySocketAware:
-		ss := opts.SocketSize
-		if ss < 1 {
-			ss = 4
-		}
-		return NewSocketAware(opts.Loads, ss, nil)
-	default:
-		panic(fmt.Sprintf("irqsched: unknown policy kind %d", kind))
+// New constructs a policy by kind through the registry. Every kind a
+// successful ParsePolicy can return constructs a usable router; an
+// unregistered kind yields *UnknownPolicyError, never a panic.
+func New(kind PolicyKind, opts Options) (apic.Router, error) {
+	d, ok := registry[kind]
+	if !ok {
+		return nil, &UnknownPolicyError{Kind: kind}
 	}
+	return d.New(opts)
 }

@@ -1,6 +1,7 @@
 package irqsched
 
 import (
+	"errors"
 	"testing"
 
 	"sais/internal/apic"
@@ -179,29 +180,37 @@ func TestParsePolicy(t *testing.T) {
 
 func TestNewConstructor(t *testing.T) {
 	loads := &fakeLoads{busy: []units.Time{0}, queue: []int{0}}
-	for _, k := range []PolicyKind{PolicyRoundRobin, PolicyDedicated, PolicyIrqbalance,
-		PolicySourceAware, PolicyFlowHash, PolicyHybrid, PolicySocketAware} {
-		r := New(k, Options{Loads: loads, Period: units.Millisecond})
-		if r == nil {
-			t.Errorf("New(%v) = nil", k)
+	for _, k := range Kinds() {
+		r, err := New(k, Options{Loads: loads, Period: units.Millisecond})
+		if err != nil || r == nil {
+			t.Errorf("New(%v) = %v, %v", k, r, err)
 		}
 	}
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("irqbalance without loads did not panic")
-			}
-		}()
-		New(PolicyIrqbalance, Options{Period: units.Millisecond})
-	}()
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("unknown kind did not panic")
-			}
-		}()
-		New(PolicyKind(42), Options{})
-	}()
+	// Zero-valued Options must still construct every parseable policy
+	// (nil loads, zero period, zero cores): New is total, no panics.
+	for _, name := range Names() {
+		k, err := ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", name, err)
+		}
+		r, err := New(k, Options{})
+		if err != nil || r == nil {
+			t.Errorf("New(%v, zero Options) = %v, %v", k, r, err)
+			continue
+		}
+		// The router must be immediately usable.
+		if got := r.Route(64, apic.NoHint, 7, allowed(4), 0); got < 0 || got > 3 {
+			t.Errorf("New(%v) router routed outside allowed: %d", k, got)
+		}
+	}
+	r, err := New(PolicyKind(42), Options{})
+	if r != nil || err == nil {
+		t.Fatalf("New(42) = %v, %v, want UnknownPolicyError", r, err)
+	}
+	var upe *UnknownPolicyError
+	if !errors.As(err, &upe) || upe.Kind != PolicyKind(42) {
+		t.Errorf("error = %v, want *UnknownPolicyError{42}", err)
+	}
 }
 
 func TestHintMessager(t *testing.T) {

@@ -1,0 +1,236 @@
+package irqsched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sais/internal/apic"
+	"sais/internal/units"
+)
+
+// Descriptor is a policy's registry entry: the parseable name, the
+// constructor, and the traits consumers need to wire the datapath
+// without kind-specific switches.
+type Descriptor struct {
+	Kind PolicyKind
+	// Name is the identifier accepted by ParsePolicy and printed by
+	// PolicyKind.String.
+	Name string
+	// New builds the router from Options. Constructors are total: every
+	// zero-valued Options field is replaced by a safe default.
+	New func(Options) (apic.Router, error)
+	// UsesHints means the client should attach SAIs affinity hints to
+	// requests (HintMessager) and size validation to MaxCores.
+	UsesHints bool
+	// MSIX means the client wires per-queue MSI-X vectors and programs
+	// the I/O APIC redirection table to match the router's static map.
+	MSIX bool
+	// TxSteered means the router learns from transmissions (implements
+	// TxObserver) rather than from a static function of the flow.
+	TxSteered bool
+	// ReorderIssue means the client reorders strip issue order by
+	// observed per-server latency (straggler-aware scheduling).
+	ReorderIssue bool
+}
+
+// TxObserver is implemented by routers that sample the transmit path —
+// Flow Director's last-transmitting-core table and A-TFC's staged
+// affinity. The client calls it from the send side of the datapath.
+type TxObserver interface {
+	NoteTransmit(flow uint64, core int)
+}
+
+// FlowIdleObserver is implemented by routers that defer affinity
+// updates to flow-idle boundaries (A-TFC). The client calls it when a
+// flow's outstanding strips drain to zero.
+type FlowIdleObserver interface {
+	NoteFlowIdle(flow uint64)
+}
+
+// CounterReporter lets a policy export self-describing counters into
+// the run Result (Result.PolicyStats). Keys should be short and
+// prefixed with the policy name (e.g. "fd_evictions").
+type CounterReporter interface {
+	Counters() map[string]uint64
+}
+
+var registry = map[PolicyKind]Descriptor{}
+
+// Register adds a policy descriptor. Duplicate kinds or names panic at
+// init time — registration is a build-time act, not a runtime one.
+func Register(d Descriptor) {
+	if d.New == nil {
+		panic("irqsched: Register with nil constructor")
+	}
+	if _, dup := registry[d.Kind]; dup {
+		panic(fmt.Sprintf("irqsched: duplicate policy kind %d", int(d.Kind)))
+	}
+	//lint:maporder order-independent duplicate-name check
+	for _, e := range registry {
+		if e.Name == d.Name {
+			panic(fmt.Sprintf("irqsched: duplicate policy name %q", d.Name))
+		}
+	}
+	registry[d.Kind] = d
+}
+
+// Describe returns the registry entry for kind.
+func Describe(kind PolicyKind) (Descriptor, bool) {
+	d, ok := registry[kind]
+	return d, ok
+}
+
+// Kinds returns all registered kinds in ascending order.
+func Kinds() []PolicyKind {
+	ks := make([]PolicyKind, 0, len(registry))
+	//lint:maporder sorted immediately below
+	for k := range registry {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+// Names returns all registered policy names, sorted.
+func Names() []string {
+	ns := make([]string, 0, len(registry))
+	//lint:maporder sorted immediately below
+	for _, d := range registry {
+		ns = append(ns, d.Name)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+func nameList() string { return strings.Join(Names(), "|") }
+
+// UnknownPolicyError reports a PolicyKind with no registry entry —
+// only reachable with a kind that ParsePolicy cannot produce.
+type UnknownPolicyError struct {
+	Kind PolicyKind
+}
+
+func (e *UnknownPolicyError) Error() string {
+	return fmt.Sprintf("irqsched: unknown policy kind %d (registered: %s)", int(e.Kind), nameList())
+}
+
+// zeroLoads is the nil-LoadReader default: a flat, idle machine. The
+// core count is an upper bound — routers index it only with core ids
+// from their allowed set, so oversizing is harmless.
+type zeroLoads struct{ n int }
+
+func (z zeroLoads) NumCores() int           { return z.n }
+func (z zeroLoads) CoreBusy(int) units.Time { return 0 }
+func (z zeroLoads) CoreQueue(int) int       { return 0 }
+
+func loadsOr(opts Options) LoadReader {
+	if opts.Loads != nil {
+		return opts.Loads
+	}
+	return zeroLoads{n: 1024}
+}
+
+func periodOr(opts Options) units.Time {
+	if opts.Period > 0 {
+		return opts.Period
+	}
+	return 10 * units.Millisecond
+}
+
+func coresOr(opts Options) int {
+	if opts.Cores > 0 {
+		return opts.Cores
+	}
+	return 1
+}
+
+// RSSTable builds the hardware-RSS redirection map: queue q's vector
+// (base+q) pins to core q mod cores. The client programs the I/O APIC
+// from the same map so router and hardware agree.
+func RSSTable(cores, queues int, base apic.Vector) map[apic.Vector]int {
+	if cores < 1 {
+		cores = 1
+	}
+	if queues < 1 {
+		queues = cores
+	}
+	table := make(map[apic.Vector]int, queues)
+	for q := 0; q < queues; q++ {
+		table[base+apic.Vector(q)] = q % cores
+	}
+	return table
+}
+
+func init() {
+	Register(Descriptor{
+		Kind: PolicyRoundRobin, Name: "roundrobin",
+		New: func(Options) (apic.Router, error) { return NewRoundRobin(), nil },
+	})
+	Register(Descriptor{
+		Kind: PolicyDedicated, Name: "dedicated",
+		New: func(o Options) (apic.Router, error) { return NewDedicated(o.DedicatedCore), nil },
+	})
+	Register(Descriptor{
+		Kind: PolicyIrqbalance, Name: "irqbalance",
+		New: func(o Options) (apic.Router, error) {
+			return NewIrqbalance(loadsOr(o), periodOr(o)), nil
+		},
+	})
+	Register(Descriptor{
+		Kind: PolicySourceAware, Name: "sais", UsesHints: true,
+		New: func(Options) (apic.Router, error) { return NewSourceAware(nil), nil },
+	})
+	Register(Descriptor{
+		Kind: PolicyFlowHash, Name: "flowhash",
+		New: func(Options) (apic.Router, error) { return NewFlowHash(), nil },
+	})
+	Register(Descriptor{
+		Kind: PolicyHybrid, Name: "hybrid", UsesHints: true,
+		New: func(o Options) (apic.Router, error) {
+			q := o.HybridQueue
+			if q < 1 {
+				q = 16
+			}
+			return NewHybrid(loadsOr(o), periodOr(o), q), nil
+		},
+	})
+	Register(Descriptor{
+		Kind: PolicySocketAware, Name: "sais-socket", UsesHints: true,
+		New: func(o Options) (apic.Router, error) {
+			ss := o.SocketSize
+			if ss < 1 {
+				ss = 4
+			}
+			return NewSocketAware(o.Loads, ss, nil), nil
+		},
+	})
+	Register(Descriptor{
+		Kind: PolicyHardwareRSS, Name: "rss", MSIX: true,
+		New: func(o Options) (apic.Router, error) {
+			return NewStaticTable(RSSTable(coresOr(o), o.RSSQueues, o.RSSBaseVector), nil), nil
+		},
+	})
+	Register(Descriptor{
+		Kind: PolicyFlowDirector, Name: "flowdirector", TxSteered: true,
+		New: func(o Options) (apic.Router, error) {
+			cap := o.FlowTable
+			if cap < 1 {
+				cap = 1024
+			}
+			return NewFlowDirector(cap), nil
+		},
+	})
+	Register(Descriptor{
+		Kind: PolicyToeplitz, Name: "toeplitz",
+		New: func(o Options) (apic.Router, error) { return NewToeplitz(coresOr(o)), nil },
+	})
+	Register(Descriptor{
+		Kind: PolicyATFC, Name: "atfc", TxSteered: true,
+		New: func(Options) (apic.Router, error) { return NewATFC(), nil },
+	})
+	Register(Descriptor{
+		Kind: PolicyStragglerAware, Name: "straggler", UsesHints: true, ReorderIssue: true,
+		New: func(Options) (apic.Router, error) { return NewStragglerAware(), nil },
+	})
+}

@@ -60,6 +60,7 @@ var deterministicPkgs = map[string]bool{
 	"sais/internal/pfs":        true,
 	"sais/internal/client":     true,
 	"sais/internal/irqsched":   true,
+	"sais/internal/toeplitz":   true,
 	"sais/internal/faults":     true,
 	"sais/internal/workload":   true,
 	"sais/internal/collective": true,

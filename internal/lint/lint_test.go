@@ -45,6 +45,13 @@ func TestSimDeterminismFlowsim(t *testing.T) {
 	analysistest.Run(t, lint.SimDeterminism, srcRoot, "simdeterminism_flowsim", "sais/internal/flowsim")
 }
 
+// TestSimDeterminismToeplitz pins the RSS hash into the strict scope:
+// toeplitz hashes pick interrupt destinations inside the event loop,
+// so the package must stay bit-reproducible like internal/sim.
+func TestSimDeterminismToeplitz(t *testing.T) {
+	analysistest.Run(t, lint.SimDeterminism, srcRoot, "simdeterminism_toeplitz", "sais/internal/toeplitz")
+}
+
 // TestSeedDerive checks the seed-arithmetic rule, including the
 // historical cfg.Seed+i fan-out bug, and the //lint:seedarith hatch.
 func TestSeedDerive(t *testing.T) {

@@ -1,0 +1,39 @@
+// Fixture proving the Toeplitz hash package is held to the strict rule
+// set: sais/internal/toeplitz is a deterministic package (its hashes
+// pick interrupt destinations inside the event loop), so wall clocks,
+// goroutines, and map-ordered iteration are findings here just as in
+// internal/sim.
+package toeplitz
+
+import "time"
+
+type table struct {
+	buckets map[uint32]int
+}
+
+// reseed is the hazard class that motivated the listing: deriving hash
+// state from the host clock would make steering layout-dependent.
+func reseed() int64 {
+	return time.Now().UnixNano() // want "wall clock"
+}
+
+// rebalance shows the strict rules compose: no concurrent bucket
+// updates, no map-ordered redistribution.
+func rebalance(t table) int {
+	go reseed() // want "go statement in deterministic package"
+	n := 0
+	for range t.buckets { // want "range over map in deterministic package"
+		n++
+	}
+	return n
+}
+
+// occupancy is the annotated commutative form, legal as everywhere.
+func occupancy(t table) int {
+	n := 0
+	//lint:maporder pure commutative count
+	for range t.buckets {
+		n++
+	}
+	return n
+}

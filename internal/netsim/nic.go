@@ -21,6 +21,13 @@ type Frame struct {
 	Hint     AffHint     // aff_core_id carried in the IP options
 	Header   []byte      // marshaled IPv4 header (wire truth for the hint)
 	Body     any         // opaque upper-layer descriptor (strip, request)
+	// FlowSeq is the sender-local per-destination sequence number,
+	// stamped at frame assembly. Receivers compare FlowSeq within one
+	// (source, stream) to detect out-of-order completion — the metric
+	// behind the Flow Director reordering pathology. Like fwdSeq it
+	// advances only with the sender's own progress, so it is identical
+	// across shard layouts.
+	FlowSeq uint64
 
 	// Lifecycle stamps for span tracing: when the frame entered the
 	// sender's egress queue and when it landed in the receiver's rx
@@ -153,6 +160,8 @@ type NIC struct {
 	// node's own progress only, so it is identical across shard
 	// layouts.
 	fwdSeq uint64
+	// txSeq numbers outbound frames per destination for Frame.FlowSeq.
+	txSeq map[NodeID]uint64
 	// Per-receive-queue state: descriptor ring and coalescing.
 	rings      [][]*Frame
 	pending    []int
@@ -178,7 +187,7 @@ func NewNIC(eng *sim.Engine, id NodeID, cfg NICConfig) *NIC {
 	if err := cfg.validate(); err != nil {
 		panic(err)
 	}
-	n := &NIC{id: id, cfg: cfg, eng: eng}
+	n := &NIC{id: id, cfg: cfg, eng: eng, txSeq: make(map[NodeID]uint64)}
 	for p := 0; p < cfg.ports(); p++ {
 		n.egress = append(n.egress, sim.NewServer(eng, fmt.Sprintf("nic%d-tx%d", id, p)))
 		n.ingress = append(n.ingress, sim.NewServer(eng, fmt.Sprintf("nic%d-rx%d", id, p)))
@@ -350,6 +359,8 @@ func (n *NIC) newFrame(dst NodeID, payload units.Bytes, hint AffHint, body any) 
 	f.Src, f.Dst, f.Payload, f.Hint, f.Body = n.id, dst, payload, hint, body
 	f.Header = n.buildHeader(f.Header[:0], payload, hint)
 	f.SentAt = n.eng.Now()
+	f.FlowSeq = n.txSeq[dst]
+	n.txSeq[dst]++
 	return f
 }
 

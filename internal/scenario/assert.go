@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"sais/cluster"
+	"sais/internal/irqsched"
 	"sais/internal/units"
 )
 
@@ -15,10 +16,15 @@ import (
 //
 //	{"Metric": "goodput_fraction", "Op": ">=", "Value": 0.99}
 //	{"Metric": "failed_ops", "Op": "==", "Value": 0}
+//
+// Policy, when set, scopes the assertion to the runs of that one policy
+// (by registered name) — the form a differential claim takes:
+// "reordered_frames > 0 under flowdirector, == 0 under sais".
 type Assertion struct {
 	Metric string
 	Op     string
 	Value  float64
+	Policy string `json:",omitempty"`
 }
 
 // metricFns maps assertion metric names onto Result fields. Times are
@@ -70,13 +76,15 @@ var metricFns = map[string]func(*cluster.Result) float64{
 	"write_latency_p99_ms": func(r *cluster.Result) float64 {
 		return float64(r.WriteLatencyP99) / float64(units.Millisecond)
 	},
-	"strip_count":     func(r *cluster.Result) float64 { return float64(r.StripCount) },
-	"strip_p50_us":    func(r *cluster.Result) float64 { return float64(r.StripLatencyP50) / float64(units.Microsecond) },
-	"strip_p95_us":    func(r *cluster.Result) float64 { return float64(r.StripLatencyP95) / float64(units.Microsecond) },
-	"strip_p99_us":    func(r *cluster.Result) float64 { return float64(r.StripLatencyP99) / float64(units.Microsecond) },
-	"client_nic_busy": func(r *cluster.Result) float64 { return r.ClientNICBusy },
-	"disk_busy":       func(r *cluster.Result) float64 { return r.DiskBusy },
-	"server_cpu_busy": func(r *cluster.Result) float64 { return r.ServerCPUBusy },
+	"reordered_frames":  func(r *cluster.Result) float64 { return float64(r.ReorderedFrames) },
+	"reorder_depth_max": func(r *cluster.Result) float64 { return float64(r.ReorderDepthMax) },
+	"strip_count":       func(r *cluster.Result) float64 { return float64(r.StripCount) },
+	"strip_p50_us":      func(r *cluster.Result) float64 { return float64(r.StripLatencyP50) / float64(units.Microsecond) },
+	"strip_p95_us":      func(r *cluster.Result) float64 { return float64(r.StripLatencyP95) / float64(units.Microsecond) },
+	"strip_p99_us":      func(r *cluster.Result) float64 { return float64(r.StripLatencyP99) / float64(units.Microsecond) },
+	"client_nic_busy":   func(r *cluster.Result) float64 { return r.ClientNICBusy },
+	"disk_busy":         func(r *cluster.Result) float64 { return r.DiskBusy },
+	"server_cpu_busy":   func(r *cluster.Result) float64 { return r.ServerCPUBusy },
 	"background_offered_bytes": func(r *cluster.Result) float64 {
 		return float64(r.BackgroundOfferedBytes)
 	},
@@ -103,10 +111,16 @@ func MetricNames() []string {
 	return names
 }
 
-// Validate checks the assertion names a known metric and operator.
+// Validate checks the assertion names a known metric, operator, and
+// (when scoped) a registered policy.
 func (a Assertion) Validate() error {
 	if _, ok := metricFns[a.Metric]; !ok {
 		return fmt.Errorf("assertion: unknown metric %q (want one of %v)", a.Metric, MetricNames())
+	}
+	if a.Policy != "" {
+		if _, err := irqsched.ParsePolicy(a.Policy); err != nil {
+			return fmt.Errorf("assertion: %w", err)
+		}
 	}
 	switch a.Op {
 	case "<=", ">=", "<", ">", "==", "!=":
@@ -114,6 +128,12 @@ func (a Assertion) Validate() error {
 	default:
 		return fmt.Errorf("assertion: unknown op %q (want <=, >=, <, >, ==, !=)", a.Op)
 	}
+}
+
+// Applies reports whether the assertion covers a run of the given
+// policy (unscoped assertions cover every run).
+func (a Assertion) Applies(policy string) bool {
+	return a.Policy == "" || a.Policy == policy
 }
 
 // Eval evaluates the assertion against res, returning the observed

@@ -88,6 +88,9 @@ func Run(ctx context.Context, s *Scenario) (*Report, error) {
 			run.Violations = CheckInvariants(cfg, res, log)
 		}
 		for _, a := range s.Assertions {
+			if !a.Applies(run.Policy) {
+				continue
+			}
 			got, ok, err := a.Eval(res)
 			if err != nil {
 				return nil, fmt.Errorf("scenario %s (%s): %w", s.Name, pol, err)

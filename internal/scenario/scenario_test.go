@@ -167,12 +167,12 @@ func TestAssertionEval(t *testing.T) {
 		a    Assertion
 		want bool
 	}{
-		{Assertion{"bandwidth_mbps", ">=", 99}, true},
-		{Assertion{"bandwidth_mbps", "<", 100}, false},
-		{Assertion{"retries", "==", 3}, true},
-		{Assertion{"retries", "!=", 3}, false},
-		{Assertion{"goodput_fraction", ">", 0.85}, true},
-		{Assertion{"goodput_fraction", "<=", 0.85}, false},
+		{Assertion{"bandwidth_mbps", ">=", 99, ""}, true},
+		{Assertion{"bandwidth_mbps", "<", 100, ""}, false},
+		{Assertion{"retries", "==", 3, ""}, true},
+		{Assertion{"retries", "!=", 3, ""}, false},
+		{Assertion{"goodput_fraction", ">", 0.85, ""}, true},
+		{Assertion{"goodput_fraction", "<=", 0.85, ""}, false},
 	}
 	for _, tc := range cases {
 		_, ok, err := tc.a.Eval(res)
@@ -183,7 +183,7 @@ func TestAssertionEval(t *testing.T) {
 			t.Errorf("%s = %v, want %v", tc.a, ok, tc.want)
 		}
 	}
-	if _, _, err := (Assertion{"vibes", ">=", 1}).Eval(res); err == nil {
+	if _, _, err := (Assertion{"vibes", ">=", 1, ""}).Eval(res); err == nil {
 		t.Error("unknown metric evaluated")
 	}
 }

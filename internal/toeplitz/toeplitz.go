@@ -1,0 +1,68 @@
+// Package toeplitz implements the Toeplitz hash used by receive-side
+// scaling (RSS) NICs, as specified in Microsoft's "RSS hashing types"
+// verification suite: a 32-bit sliding window over the secret key is
+// XORed into the result for every set bit of the input. Hardware
+// computes it over the packet 4-tuple; the simulator hashes the flow
+// identity the steering layer already carries.
+//
+// The hash is a pure function of (key, input) — no state, no
+// allocation — which is what lets the Toeplitz steering policy stay
+// bit-reproducible across shard layouts.
+package toeplitz
+
+import "encoding/binary"
+
+// KeySize is the RSS secret-key length in bytes (320 bits: enough
+// window for a 36-byte IPv6 4-tuple plus the 32-bit result width).
+const KeySize = 40
+
+// DefaultKey is the verification key from the Microsoft RSS
+// specification — the one every RSS-capable NIC ships its test vectors
+// against.
+var DefaultKey = [KeySize]byte{
+	0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2,
+	0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+	0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4,
+	0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+	0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+}
+
+// Hash computes the Toeplitz hash of data under key. The first 4 key
+// bytes seed the 32-bit window; each consumed input bit shifts the
+// window left by one, pulling the next key bit in from the right.
+// Inputs longer than key length minus 4 bytes wrap the key, matching
+// the common hardware behaviour for oversized inputs.
+func Hash(key, data []byte) uint32 {
+	if len(key) < 8 {
+		panic("toeplitz: key shorter than 8 bytes")
+	}
+	window := binary.BigEndian.Uint32(key)
+	var result uint32
+	next := 4 // index of the key byte feeding the window's right edge
+	var feed byte
+	var feedBits int
+	for _, b := range data {
+		for bit := 7; bit >= 0; bit-- {
+			if b&(1<<uint(bit)) != 0 {
+				result ^= window
+			}
+			if feedBits == 0 {
+				feed = key[next%len(key)]
+				next++
+				feedBits = 8
+			}
+			window = window<<1 | uint32(feed>>7)
+			feed <<= 1
+			feedBits--
+		}
+	}
+	return result
+}
+
+// HashUint64 hashes an 8-byte big-endian encoding of v under
+// DefaultKey — the form the steering policy uses for flow identities.
+func HashUint64(v uint64) uint32 {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	return Hash(DefaultKey[:], buf[:])
+}

@@ -1,0 +1,81 @@
+package toeplitz
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// The Microsoft RSS verification vectors (IPv4, with and without TCP
+// ports). Input layout: source address, destination address, then for
+// the TCP form source port, destination port — all big-endian.
+func ipv4Input(srcIP, dstIP [4]byte) []byte {
+	return append(append([]byte{}, srcIP[:]...), dstIP[:]...)
+}
+
+func tcpInput(srcIP, dstIP [4]byte, srcPort, dstPort uint16) []byte {
+	in := ipv4Input(srcIP, dstIP)
+	in = binary.BigEndian.AppendUint16(in, srcPort)
+	in = binary.BigEndian.AppendUint16(in, dstPort)
+	return in
+}
+
+func TestMicrosoftVectors(t *testing.T) {
+	cases := []struct {
+		name     string
+		srcIP    [4]byte
+		dstIP    [4]byte
+		srcPort  uint16
+		dstPort  uint16
+		wantIPv4 uint32
+		wantTCP  uint32
+	}{
+		{"vector1", [4]byte{66, 9, 149, 187}, [4]byte{161, 142, 100, 80}, 2794, 1766, 0x323e8fc2, 0x51ccc178},
+		{"vector2", [4]byte{199, 92, 111, 2}, [4]byte{65, 69, 140, 83}, 14230, 4739, 0xd718262a, 0xc626b0ea},
+		{"vector3", [4]byte{24, 19, 198, 95}, [4]byte{12, 22, 207, 184}, 12898, 38024, 0xd2d0a5de, 0x5c2b394a},
+		{"vector4", [4]byte{38, 27, 205, 30}, [4]byte{209, 142, 163, 6}, 48228, 2217, 0x82989176, 0xafc7327f},
+		{"vector5", [4]byte{153, 39, 163, 191}, [4]byte{202, 188, 127, 2}, 44251, 1303, 0x5d1809c5, 0x10e828a2},
+	}
+	for _, tc := range cases {
+		if got := Hash(DefaultKey[:], ipv4Input(tc.srcIP, tc.dstIP)); got != tc.wantIPv4 {
+			t.Errorf("%s ipv4: got %#08x want %#08x", tc.name, got, tc.wantIPv4)
+		}
+		if got := Hash(DefaultKey[:], tcpInput(tc.srcIP, tc.dstIP, tc.srcPort, tc.dstPort)); got != tc.wantTCP {
+			t.Errorf("%s tcp: got %#08x want %#08x", tc.name, got, tc.wantTCP)
+		}
+	}
+}
+
+func TestHashUint64Deterministic(t *testing.T) {
+	for v := uint64(0); v < 64; v++ {
+		a, b := HashUint64(v), HashUint64(v)
+		if a != b {
+			t.Fatalf("HashUint64(%d) unstable: %#x vs %#x", v, a, b)
+		}
+	}
+	if HashUint64(1) == HashUint64(2) && HashUint64(2) == HashUint64(3) {
+		t.Fatal("HashUint64 collapses adjacent flows — window feed is broken")
+	}
+}
+
+func TestHashWrapsKey(t *testing.T) {
+	// Inputs longer than key-4 bytes must not panic and must keep
+	// discriminating (the key wraps).
+	long := make([]byte, 2*KeySize)
+	for i := range long {
+		long[i] = byte(i * 7)
+	}
+	h1 := Hash(DefaultKey[:], long)
+	long[len(long)-1] ^= 1
+	if h2 := Hash(DefaultKey[:], long); h1 == h2 {
+		t.Fatal("trailing-bit change past the key length did not affect the hash")
+	}
+}
+
+func TestShortKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short key")
+		}
+	}()
+	Hash(make([]byte, 7), []byte{1})
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race race-short bench bench-record bench-check experiments figures chaos policymatrix scenarios chaos-soak cover clean
+.PHONY: all build vet lint lint-fixtures test race race-short bench bench-record bench-check experiments figures chaos policymatrix scenarios chaos-soak cover clean
 
 all: build vet lint test race-short scenarios bench-check
 
@@ -12,16 +12,29 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific static analysis (DESIGN.md §11): build the saisvet
-# multichecker once, then run its analyzers (simdeterminism, seedderive,
-# unitsafety, closecheck) over the whole module through the standard
-# `go vet -vettool` protocol. Keep this warn-free — CI fails hard on
-# any finding.
+# Project-specific static analysis (DESIGN.md §11 and §16): build the
+# saisvet facts engine, then run its nine analyzers (simdeterminism,
+# seedderive, unitsafety, closecheck, allocfree, shardsafety,
+# hookcontract, jsonstability, waiverhygiene) over the whole module
+# through the standard `go vet -vettool` protocol, with cross-package
+# facts riding the vetx channel. Keep this warn-free — CI fails hard on
+# any finding. The binary is a file target so an unchanged analyzer
+# tree (e.g. restored from the CI cache) skips the rebuild.
 SAISVET := .bin/saisvet
+SAISVET_SRC := $(shell find cmd/saisvet internal/lint -name '*.go' -not -name '*_test.go') go.mod
+LINTFLAGS ?= -strict-waivers
 
-lint:
+$(SAISVET): $(SAISVET_SRC)
 	$(GO) build -o $(SAISVET) ./cmd/saisvet
-	$(GO) vet -vettool=$(SAISVET) ./...
+
+lint: $(SAISVET)
+	$(GO) vet -vettool=$(SAISVET) $(LINTFLAGS) ./...
+
+# Analyzer self-tests: the per-analyzer fixture suites plus the driver's
+# protocol tests (facts round-trip, VetxOnly semantics, output formats,
+# and the real-vet cross-package run).
+lint-fixtures:
+	$(GO) test ./internal/lint/... ./cmd/saisvet
 
 test:
 	$(GO) test ./...

@@ -204,6 +204,7 @@ type Config struct {
 	// inflate the denominator of any progress estimate. It also counts
 	// cross-shard messages awaiting delivery. Not serialized with the
 	// config.
+	//saisvet:nilhook
 	Progress func(fired uint64, live int, now units.Time) `json:"-"`
 }
 
@@ -397,6 +398,7 @@ func (c Config) NodeLayout() (clients, servers []netsim.NodeID, mds netsim.NodeI
 }
 
 // Result is the roll-up of one run.
+//saisvet:jsonstable sig=26de1777
 type Result struct {
 	Policy   string
 	Duration units.Time
@@ -492,6 +494,7 @@ type Result struct {
 
 // FaultReport is the Result section accounting for injected faults and
 // the recovery they triggered.
+//saisvet:jsonstable sig=3f2fa37c
 type FaultReport struct {
 	// Wire damage: frames dropped in the fabric (loss injection or
 	// unroutable), frames whose headers were corrupted in flight, and

@@ -1,15 +1,26 @@
 // Command saisvet is the repository's static-analysis multichecker: it
 // runs the internal/lint analyzers (simdeterminism, seedderive,
-// unitsafety, closecheck) over one package at a time under the
-// `go vet -vettool` protocol:
+// unitsafety, closecheck, allocfree, shardsafety, hookcontract,
+// jsonstability, and — under -strict-waivers — waiverhygiene) over one
+// package at a time under the `go vet -vettool` protocol:
 //
 //	go build -o .bin/saisvet ./cmd/saisvet
 //	go vet -vettool=.bin/saisvet ./...
 //
-// (`make lint` does exactly that.) The go command hands the tool a JSON
-// config file describing a single type-checked package — source files
-// plus export data for every dependency — and the tool prints findings
-// to stderr in file:line:col form, exiting 2 when there are any.
+// (`make lint` does exactly that, with -strict-waivers on.) The go
+// command hands the tool a JSON config file describing a single
+// type-checked package — source files plus export data for every
+// dependency — and the tool prints findings to stderr in file:line:col
+// form (or GitHub Actions annotation form under -format=github),
+// exiting 2 when there are any.
+//
+// The vetx files the protocol threads between packages carry saisvet's
+// cross-package facts: per-function taint sets and allocation-freedom
+// proofs, plus annotated hook/mailbox fields and jsonstable types (see
+// internal/lint/analysis.PackageFacts). Facts are computed for every
+// package of the sais module — including pure dependency passes
+// (VetxOnly), which still parse and type-check so their exports are
+// real — while stdlib and foreign packages get a cheap no-facts marker.
 //
 // The protocol implementation mirrors x/tools' unitchecker but is
 // built purely on the standard library's go/importer, because this
@@ -19,6 +30,7 @@ package main
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/build"
@@ -60,6 +72,22 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// vetOptions are the analyzer flags saisvet accepts. The go command
+// learns about them through the -flags endpoint and forwards them ahead
+// of the .cfg argument.
+type vetOptions struct {
+	// StrictWaivers enables the waiverhygiene analyzer: every //lint:
+	// waiver must suppress at least one finding. On in CI and `make
+	// lint`; off by default so ad-hoc `go vet -vettool` runs during a
+	// refactor don't fail on transiently unused waivers.
+	StrictWaivers bool
+
+	// Format selects the diagnostic rendering: "text" (file:line:col:
+	// message) or "github" (::error ... GitHub Actions workflow
+	// annotations, which surface inline on pull-request diffs).
+	Format string
+}
+
 func main() {
 	args := os.Args[1:]
 
@@ -70,24 +98,39 @@ func main() {
 			printVersion()
 			return
 		case args[0] == "-flags":
-			// We accept no analyzer flags; report an empty flag set so
-			// `go vet -vettool` rejects any it is given.
-			fmt.Println("[]")
+			printFlagDefs()
 			return
 		}
 	}
 
-	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
-		fmt.Fprintf(os.Stderr, "usage: saisvet <package>.cfg\n\n"+
+	fs := flag.NewFlagSet("saisvet", flag.ContinueOnError)
+	opts := vetOptions{Format: "text"}
+	fs.BoolVar(&opts.StrictWaivers, "strict-waivers", false,
+		"report //lint: waivers that no longer suppress any finding")
+	fs.StringVar(&opts.Format, "format", "text",
+		"diagnostic output format: text or github")
+	usage := func() {
+		fmt.Fprintf(os.Stderr, "usage: saisvet [-strict-waivers] [-format=text|github] <package>.cfg\n\n"+
 			"saisvet is a go vet -vettool; run it through `make lint` or\n"+
-			"`go vet -vettool=$(go env GOPATH)/bin/saisvet ./...`.\n\nAnalyzers:\n")
+			"`go vet -vettool=.bin/saisvet ./...`.\n\nAnalyzers:\n")
 		for _, a := range lint.Analyzers {
 			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
 		}
+	}
+	fs.Usage = usage
+	if err := fs.Parse(args); err != nil {
+		os.Exit(1)
+	}
+	if fs.NArg() != 1 || !strings.HasSuffix(fs.Arg(0), ".cfg") {
+		usage()
+		os.Exit(1)
+	}
+	if opts.Format != "text" && opts.Format != "github" {
+		fmt.Fprintf(os.Stderr, "saisvet: unknown -format %q (want text or github)\n", opts.Format)
 		os.Exit(1)
 	}
 
-	diags, err := checkPackage(args[0])
+	diags, err := checkPackage(fs.Arg(0), opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "saisvet: %v\n", err)
 		os.Exit(1)
@@ -110,16 +153,45 @@ func printVersion() {
 	if err == nil {
 		if f, err := os.Open(exe); err == nil {
 			_, _ = io.Copy(h, f) // a short hash only weakens caching, not correctness
-			//lint:close (read-only executable handle)
-			_ = f.Close()
+			_ = f.Close()        // read-only executable handle: closecheck exempts os.Open
 		}
 	}
 	fmt.Printf("saisvet version devel buildID=%x\n", h.Sum(nil)[:16])
 }
 
+// printFlagDefs answers the -flags probe: a JSON array of the analyzer
+// flags the tool accepts, in the shape cmd/go parses ({Name, Bool,
+// Usage}). The go command validates `go vet -vettool` flags against
+// this list and forwards them before the .cfg argument.
+func printFlagDefs() {
+	type flagDef struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	defs := []flagDef{
+		{Name: "strict-waivers", Bool: true,
+			Usage: "report //lint: waivers that no longer suppress any finding"},
+		{Name: "format", Bool: false,
+			Usage: "diagnostic output format: text or github"},
+	}
+	out, _ := json.Marshal(defs) // closed struct shape; cannot fail
+	fmt.Println(string(out))
+}
+
+// saisModulePkg reports whether importPath belongs to the module whose
+// invariants the analyzers enforce — the packages that get real facts.
+// Everything else (stdlib, foreign modules) keeps the cheap no-facts
+// marker so dependency-only passes stay parse-free.
+func saisModulePkg(importPath string) bool {
+	return importPath == "sais" || strings.HasPrefix(importPath, "sais/")
+}
+
 // checkPackage loads one vet config, type-checks the package it
-// describes, and runs every analyzer, returning rendered diagnostics.
-func checkPackage(cfgPath string) ([]string, error) {
+// describes, runs every analyzer over it with the dependency facts
+// from PackageVetx decoded into the pass, writes the facts the package
+// exports to VetxOutput, and returns rendered diagnostics.
+func checkPackage(cfgPath string, opts vetOptions) ([]string, error) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		return nil, err
@@ -129,16 +201,19 @@ func checkPackage(cfgPath string) ([]string, error) {
 		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
 	}
 
-	// The go command caches our (empty) fact output and feeds it back
-	// via PackageVetx; writing it first keeps the cache primed even
-	// when the package is vetted only for its dependents (VetxOnly).
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("saisvet-no-facts\n"), 0o666); err != nil {
-			return nil, err
+	factsPkg := saisModulePkg(cfg.ImportPath)
+	if !factsPkg {
+		// Foreign package: no facts to compute. Write the marker so the
+		// go command's cache stays primed for dependents, and skip the
+		// parse entirely on dependency-only passes.
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte("saisvet-no-facts\n"), 0o666); err != nil {
+				return nil, err
+			}
 		}
-	}
-	if cfg.VetxOnly {
-		return nil, nil
+		if cfg.VetxOnly {
+			return nil, nil
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -192,25 +267,106 @@ func checkPackage(cfgPath string) ([]string, error) {
 		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
 	}
 
-	var diags []string
+	// Decode the facts of every dependency the go command handed us.
+	// Files with a foreign or marker prefix decode as absent, which the
+	// analyzers treat as "exports no facts".
+	deps := make(map[string]*analysis.PackageFacts)
+	for path, vetxFile := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetxFile)
+		if err != nil {
+			continue // a missing dependency vetx only costs precision
+		}
+		if pf, ok := analysis.DecodeFacts(data); ok {
+			deps[path] = pf
+		}
+	}
+
+	// One directive index and one facts record are shared by the whole
+	// suite: directive usage accumulates across analyzers (waiverhygiene
+	// reads the union), and facts exported by an earlier analyzer are
+	// visible to later ones.
+	dirs := analysis.NewDirectives(fset, files)
+	facts := &analysis.PackageFacts{}
+
+	var diags []diagnostic
 	for _, a := range lint.Analyzers {
+		if a == lint.WaiverHygiene && !opts.StrictWaivers {
+			continue
+		}
+		name := a.Name
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      fset,
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			Dirs:      dirs,
+			Deps:      deps,
+			Facts:     facts,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, diagnostic{pos: fset.Position(d.Pos), msg: d.Message, analyzer: name})
+			},
 		}
-		name := a.Name
-		pass.Report = func(d analysis.Diagnostic) {
-			diags = append(diags, fmt.Sprintf("%s: %s (%s)", fset.Position(d.Pos), d.Message, name))
+		if cfg.VetxOnly {
+			// Dependency-only pass: the dependents need this package's
+			// facts, not its findings (those are reported when the
+			// package is vetted in its own right).
+			pass.Report = func(analysis.Diagnostic) {}
 		}
 		if _, err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
 		}
 	}
-	sort.Strings(diags)
-	return diags, nil
+
+	if factsPkg && cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, analysis.EncodeFacts(facts), 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].less(diags[j]) })
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.render(opts.Format)
+	}
+	return out, nil
+}
+
+// diagnostic is one rendered-position finding.
+type diagnostic struct {
+	pos      token.Position
+	msg      string
+	analyzer string
+}
+
+func (d diagnostic) less(o diagnostic) bool {
+	if d.pos.Filename != o.pos.Filename {
+		return d.pos.Filename < o.pos.Filename
+	}
+	if d.pos.Line != o.pos.Line {
+		return d.pos.Line < o.pos.Line
+	}
+	if d.pos.Column != o.pos.Column {
+		return d.pos.Column < o.pos.Column
+	}
+	return d.msg < o.msg
+}
+
+// render formats the diagnostic. The github form is the GitHub Actions
+// workflow-command syntax, which the runner turns into inline
+// annotations on the pull-request diff; newlines in the message must be
+// URL-style escaped per the workflow-command spec.
+func (d diagnostic) render(format string) string {
+	if format == "github" {
+		msg := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").
+			Replace(fmt.Sprintf("%s (%s)", d.msg, d.analyzer))
+		return fmt.Sprintf("::error file=%s,line=%d,col=%d::%s",
+			d.pos.Filename, d.pos.Line, d.pos.Column, msg)
+	}
+	return fmt.Sprintf("%s: %s (%s)", d.pos, d.msg, d.analyzer)
 }
 
 // importerFunc adapts a function to types.Importer.

@@ -117,6 +117,7 @@ func (d DegradedSweep) RunContext(ctx context.Context) (*DegradedReport, error) 
 		seeds = 3
 	}
 	n := len(d.LossRates) * len(d.Policies)
+	//lint:goroutine runner.Map joins all workers and returns rows in point order; per-cell output is seed-deterministic
 	cells, err := runner.Map(ctx, n,
 		runner.Options{Workers: d.Parallel, OnProgress: d.Progress},
 		func(ctx context.Context, i int) (DegradedCell, error) {
@@ -257,6 +258,7 @@ func (c ChaosScenario) RunContext(ctx context.Context) (*ChaosReport, error) {
 	if len(c.Policies) == 0 {
 		return nil, fmt.Errorf("experiments: chaos scenario needs policies")
 	}
+	//lint:goroutine runner.Map joins all workers and returns rows in point order; per-cell output is seed-deterministic
 	rows, err := runner.Map(ctx, len(c.Policies),
 		runner.Options{Workers: c.Parallel},
 		func(ctx context.Context, i int) (ChaosRow, error) {

@@ -145,6 +145,7 @@ func (e Experiment) RunContext(ctx context.Context) (*Report, error) {
 		Treatment: e.Treatment.String(),
 		PaperNote: e.PaperNote,
 	}
+	//lint:goroutine runner.Map joins all workers and returns rows in point order; per-cell output is seed-deterministic
 	cells, err := runner.Map(ctx, len(e.Cells),
 		runner.Options{Workers: e.Parallel, OnProgress: e.Progress},
 		func(ctx context.Context, i int) (CellResult, error) {

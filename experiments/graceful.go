@@ -94,6 +94,7 @@ func (g GracefulSweep) RunContext(ctx context.Context) (*GracefulReport, error) 
 		return nil, fmt.Errorf("experiments: graceful sweep needs deadlines and policies")
 	}
 	n := len(g.Deadlines) * len(g.Policies)
+	//lint:goroutine runner.Map joins all workers and returns rows in point order; per-cell output is seed-deterministic
 	rows, err := runner.Map(ctx, n,
 		runner.Options{Workers: g.Parallel},
 		func(ctx context.Context, i int) (GracefulRow, error) {

@@ -93,6 +93,7 @@ func (n NoisySweep) RunContext(ctx context.Context) (*NoisyReport, error) {
 		return nil, fmt.Errorf("experiments: noisy sweep needs loads and policies")
 	}
 	cells := len(n.Loads) * len(n.Policies)
+	//lint:goroutine runner.Map joins all workers and returns rows in point order; per-cell output is seed-deterministic
 	rows, err := runner.Map(ctx, cells,
 		runner.Options{Workers: n.Parallel},
 		func(ctx context.Context, i int) (NoisyRow, error) {

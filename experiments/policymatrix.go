@@ -108,6 +108,7 @@ func (m PolicyMatrixSweep) RunContext(ctx context.Context) (*MatrixReport, error
 		return nil, fmt.Errorf("experiments: policy matrix needs policies and workloads")
 	}
 	n := len(m.Workloads) * len(m.Policies)
+	//lint:goroutine runner.Map joins all workers and returns rows in point order; per-cell output is seed-deterministic
 	cells, err := runner.Map(ctx, n,
 		runner.Options{Workers: m.Parallel, OnProgress: m.Progress},
 		func(ctx context.Context, i int) (MatrixCell, error) {

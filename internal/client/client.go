@@ -323,6 +323,7 @@ type Stats struct {
 // is silent: each record is surfaced through Node.OpErrors (and from
 // there into the cluster Result's fault rollup), and the operation's
 // elapsed time still lands in the latency distribution.
+//saisvet:jsonstable sig=e3566ab0
 type OpError struct {
 	Write bool
 	// Client is the node id of the issuing client; tags are unique only

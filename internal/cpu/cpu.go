@@ -98,6 +98,8 @@ type Core struct {
 	runTm       sim.Timer
 	ranAt       units.Time
 
+	// spanHook, when set, observes every completed execution span.
+	//saisvet:nilhook
 	spanHook SpanHook
 
 	stats CoreStats

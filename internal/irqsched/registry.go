@@ -72,6 +72,7 @@ func Register(d Descriptor) {
 			panic(fmt.Sprintf("irqsched: duplicate policy name %q", d.Name))
 		}
 	}
+	//lint:globalstate registration table is sealed by package init, before any engine runs
 	registry[d.Kind] = d
 }
 

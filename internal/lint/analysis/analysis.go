@@ -27,6 +27,11 @@ type Analyzer struct {
 	// invariant, the rest explains why it exists and how to suppress.
 	Doc string
 
+	// Directives lists the //lint: suppression names this analyzer
+	// honors. The union over a suite is the vocabulary waiverhygiene
+	// accepts; anything else is a typo.
+	Directives []string
+
 	// Run applies the check to a single package.
 	Run func(*Pass) (any, error)
 }
@@ -42,6 +47,32 @@ type Pass struct {
 
 	// Report delivers one diagnostic. The driver fills this in.
 	Report func(Diagnostic)
+
+	// Dirs is the package's //lint: suppression index. The driver
+	// builds one per package and shares it across every analyzer's
+	// Pass, so usage accumulates and stale waivers can be detected
+	// after the whole suite has run.
+	Dirs *Directives
+
+	// Deps holds the decoded facts of every imported package, keyed by
+	// package path. Entries exist only for packages analyzed by this
+	// driver (the go command supplies their .vetx files); stdlib and
+	// foreign packages are simply absent.
+	Deps map[string]*PackageFacts
+
+	// Facts accumulates the facts this package exports. Like Dirs it is
+	// shared across the suite: analyzers run in registry order, so a
+	// later analyzer may read facts an earlier one exported.
+	Facts *PackageFacts
+}
+
+// Directives returns the pass's suppression index, building a private
+// one on demand when the driver did not supply a shared index.
+func (p *Pass) Directives() *Directives {
+	if p.Dirs == nil {
+		p.Dirs = NewDirectives(p.Fset, p.Files)
+	}
+	return p.Dirs
 }
 
 // Diagnostic is one finding at a source position.

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Directives indexes every //lint: suppression directive in a package
+// and tracks which of them actually suppressed a finding. The driver
+// builds one Directives per package and shares it across every
+// analyzer's Pass, so after all analyzers have run, the entries that
+// were never consulted positively are exactly the stale waivers the
+// waiverhygiene analyzer reports.
+type Directives struct {
+	fset    *token.FileSet
+	entries []*directiveEntry
+	lines   map[string]map[int][]*directiveEntry // filename -> line -> entries
+	pkg     map[string][]*directiveEntry         // directive name -> package-wide entries
+}
+
+// directiveEntry is one //lint: occurrence in the source.
+type directiveEntry struct {
+	name     string // directive name ("wallclock", "close", ...)
+	pos      token.Pos
+	pkgWide  bool // declared via //lint:package <name> in a file header
+	used     bool // suppressed at least one finding
+	testFile bool // lives in a _test.go file (analyzers never report there)
+}
+
+// NewDirectives scans every comment in files for //lint:<name>
+// directives. The special name "package" declares a package-wide
+// waiver: "//lint:package <name> reason" in a file header (on or above
+// the package clause) suppresses <name> findings in every file of the
+// package. A //lint:package comment below the package clause is inert —
+// waivers must be visible where a reader looks for them.
+func NewDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	idx := &Directives{
+		fset:  fset,
+		lines: make(map[string]map[int][]*directiveEntry),
+		pkg:   make(map[string][]*directiveEntry),
+	}
+	for _, f := range files {
+		pkgLine := fset.Position(f.Package).Line
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, "//lint:") {
+					continue
+				}
+				rest := strings.TrimPrefix(text, "//lint:")
+				name := rest
+				if i := strings.IndexAny(name, " \t"); i >= 0 {
+					name = name[:i]
+				}
+				if name == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				isTest := strings.HasSuffix(pos.Filename, "_test.go")
+				if name == "package" {
+					if pos.Filename == fset.Position(f.Package).Filename && pos.Line <= pkgLine {
+						if fields := strings.Fields(rest); len(fields) >= 2 {
+							e := &directiveEntry{name: fields[1], pos: c.Pos(), pkgWide: true, testFile: isTest}
+							idx.entries = append(idx.entries, e)
+							idx.pkg[fields[1]] = append(idx.pkg[fields[1]], e)
+						}
+					}
+					continue
+				}
+				e := &directiveEntry{name: name, pos: c.Pos(), testFile: isTest}
+				idx.entries = append(idx.entries, e)
+				byLine := idx.lines[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]*directiveEntry)
+					idx.lines[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], e)
+			}
+		}
+	}
+	return idx
+}
+
+// Suppressed reports whether a finding of kind name at pos is waived by
+// a //lint:name directive on the same line or the line directly above,
+// or by a package-wide //lint:package name header waiver. A positive
+// answer marks the waiver as used for stale-waiver accounting.
+func (idx *Directives) Suppressed(pos token.Pos, name string) bool {
+	if es := idx.pkg[name]; len(es) > 0 {
+		for _, e := range es {
+			e.used = true
+		}
+		return true
+	}
+	p := idx.fset.Position(pos)
+	byLine := idx.lines[p.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{p.Line, p.Line - 1} {
+		for _, e := range byLine[line] {
+			if e.name == name {
+				e.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// StaleEntry is one waiver that suppressed nothing, or a directive
+// whose name no analyzer owns (usually a typo).
+type StaleEntry struct {
+	Pos     token.Pos
+	Name    string
+	PkgWide bool
+	Unknown bool // the name is not a registered directive
+}
+
+// Stale returns, in position order, every directive that never
+// suppressed a finding. known is the set of directive names the
+// analyzer suite owns; a directive outside it is reported as unknown
+// rather than stale (a typoed waiver suppresses nothing silently,
+// which is worse than a stale one). Directives inside _test.go files
+// are skipped: analyzers never report in tests, so waivers there are
+// always inert and handled by the same unknown/stale diagnostics when
+// they appear in shipped code instead.
+func (idx *Directives) Stale(known map[string]bool) []StaleEntry {
+	var out []StaleEntry
+	for _, e := range idx.entries {
+		if e.used || e.testFile {
+			continue
+		}
+		out = append(out, StaleEntry{Pos: e.pos, Name: e.name, PkgWide: e.pkgWide, Unknown: !known[e.name]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}

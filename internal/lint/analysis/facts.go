@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/types"
+	"sort"
+)
+
+// PackageFacts is the serializable analysis summary one package exports
+// for its dependents. It rides the `go vet -vettool` facts channel: the
+// driver encodes it into the package's .vetx output file, and the go
+// command hands every dependent the .vetx files of its imports
+// (vetConfig.PackageVetx), which the driver decodes into Pass.Deps.
+//
+// All analyzers of a package share one PackageFacts value (Pass.Facts),
+// each contributing its own fields, so a fact computed by one analyzer
+// (simdeterminism's taint sets) is visible to every dependent package's
+// passes regardless of which analyzer consumes it there.
+type PackageFacts struct {
+	// Functions maps a function's qualified name — types.Func.FullName,
+	// e.g. "sais/internal/runner.Map" or
+	// "(*sais/internal/sim.Engine).RunBefore" — to its per-function
+	// facts.
+	Functions map[string]*FunctionFact `json:"functions,omitempty"`
+
+	// HookFields records struct fields annotated //saisvet:nilhook,
+	// keyed by "pkgpath.Type.Field". The value is a short description of
+	// the declaration site for diagnostics.
+	HookFields map[string]string `json:"hookFields,omitempty"`
+
+	// JSONStable lists the qualified names ("pkgpath.Type") of struct
+	// types annotated //saisvet:jsonstable, so a dependent package can
+	// verify that the serialized structs it nests are themselves under
+	// the schema-stability contract.
+	JSONStable []string `json:"jsonStable,omitempty"`
+}
+
+// FunctionFact is the per-function slice of PackageFacts.
+type FunctionFact struct {
+	// Taints maps a nondeterminism kind (wallclock, globalrand,
+	// goroutine, maporder) to a human-readable provenance chain: how
+	// this function transitively reaches the hazard. A suppressed
+	// (//lint:-waived) hazard does not taint — the waiver is the audit
+	// that the invariant holds there.
+	Taints map[string]string `json:"taints,omitempty"`
+
+	// AllocFree reports that the function satisfies the allocation-
+	// freedom contract: either it was proven free of heap-allocating
+	// constructs by the allocfree analyzer, or it carries the
+	// //saisvet:allocfree annotation (in which case any violation is a
+	// diagnostic at its own definition, so a clean tree implies the
+	// contract holds).
+	AllocFree bool `json:"allocFree,omitempty"`
+
+	// AllocWhy describes the first allocation site of a non-AllocFree
+	// function, for diagnostics at the caller.
+	AllocWhy string `json:"allocWhy,omitempty"`
+}
+
+// Fact returns the fact record for fn, creating it if needed.
+func (pf *PackageFacts) Fact(name string) *FunctionFact {
+	if pf.Functions == nil {
+		pf.Functions = make(map[string]*FunctionFact)
+	}
+	f := pf.Functions[name]
+	if f == nil {
+		f = &FunctionFact{}
+		pf.Functions[name] = f
+	}
+	return f
+}
+
+// factsMagic is the first line of a saisvet facts file. Vetx files
+// whose content does not start with it (foreign tools, the pre-facts
+// "saisvet-no-facts" marker, stdlib packages) decode as absent facts.
+const factsMagic = "saisvet-facts-v1\n"
+
+// EncodeFacts serializes pf for a .vetx facts file. The JSON body is
+// deterministic (maps marshal in sorted key order, JSONStable is
+// sorted) so the go command's content-based caching is stable.
+func EncodeFacts(pf *PackageFacts) []byte {
+	if pf == nil {
+		pf = &PackageFacts{}
+	}
+	sort.Strings(pf.JSONStable)
+	var buf bytes.Buffer
+	buf.WriteString(factsMagic)
+	enc := json.NewEncoder(&buf)
+	// Encode cannot fail on this closed struct shape; a failure would
+	// surface as a decode miss, which dependents treat as no facts.
+	_ = enc.Encode(pf)
+	return buf.Bytes()
+}
+
+// DecodeFacts parses a .vetx facts file. ok is false when the content
+// is not a saisvet facts file (wrong magic or malformed body); callers
+// treat that as "dependency exports no facts".
+func DecodeFacts(data []byte) (*PackageFacts, bool) {
+	if !bytes.HasPrefix(data, []byte(factsMagic)) {
+		return nil, false
+	}
+	var pf PackageFacts
+	if err := json.Unmarshal(data[len(factsMagic):], &pf); err != nil {
+		return nil, false
+	}
+	return &pf, true
+}
+
+// DepFunctionFact looks up the exported fact for fn in the imported
+// dependency facts, or — when fn is declared in the package under
+// analysis — in the facts exported so far by earlier analyzers of this
+// pass.
+func (p *Pass) DepFunctionFact(fn *types.Func) (FunctionFact, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return FunctionFact{}, false
+	}
+	var pf *PackageFacts
+	if pkg == p.Pkg {
+		pf = p.Facts
+	} else if p.Deps != nil {
+		pf = p.Deps[pkg.Path()]
+	}
+	if pf == nil || pf.Functions == nil {
+		return FunctionFact{}, false
+	}
+	f, ok := pf.Functions[fn.FullName()]
+	if !ok || f == nil {
+		return FunctionFact{}, false
+	}
+	return *f, true
+}
+
+// DepHookField reports whether the qualified field name
+// ("pkgpath.Type.Field") is an annotated nil-contract hook in any
+// imported package (or in facts exported so far by this pass), and
+// returns its declaration description.
+func (p *Pass) DepHookField(qualified string) (string, bool) {
+	if p.Facts != nil {
+		if d, ok := p.Facts.HookFields[qualified]; ok {
+			return d, true
+		}
+	}
+	for _, pf := range p.Deps {
+		if pf == nil {
+			continue
+		}
+		if d, ok := pf.HookFields[qualified]; ok {
+			return d, true
+		}
+	}
+	return "", false
+}
+
+// DepJSONStable reports whether the qualified type name ("pkgpath.Type")
+// is under the jsonstable contract in imported facts or in facts
+// exported so far by this pass.
+func (p *Pass) DepJSONStable(qualified string) bool {
+	if p.Facts != nil {
+		for _, t := range p.Facts.JSONStable {
+			if t == qualified {
+				return true
+			}
+		}
+	}
+	for _, pf := range p.Deps {
+		if pf == nil {
+			continue
+		}
+		for _, t := range pf.JSONStable {
+			if t == qualified {
+				return true
+			}
+		}
+	}
+	return false
+}

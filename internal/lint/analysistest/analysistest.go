@@ -41,12 +41,27 @@ import (
 // deterministic simulator packages).
 func Run(t *testing.T, a *analysis.Analyzer, srcRoot, pkg, importPath string) {
 	t.Helper()
+	RunSuite(t, []*analysis.Analyzer{a}, srcRoot, pkg, importPath)
+}
+
+// RunSuite runs several analyzers over one fixture package the way the
+// saisvet driver does: a shared suppression-directive index (so a
+// waiver consumed by one analyzer counts as used when waiverhygiene
+// runs later) and a shared facts record. Fixture-local dependency
+// packages are put through the same suite first, with diagnostics
+// discarded, so their exported facts reach the package under test
+// through Pass.Deps exactly as dependency .vetx files would in a real
+// `go vet -vettool` run. Expectations from every analyzer share the
+// fixture's "// want" comments.
+func RunSuite(t *testing.T, suite []*analysis.Analyzer, srcRoot, pkg, importPath string) {
+	t.Helper()
 
 	fset := token.NewFileSet()
 	ld := &loader{
 		fset:     fset,
 		srcRoot:  srcRoot,
 		packages: make(map[string]*types.Package),
+		checked:  make(map[string]*checkedPkg),
 		fallback: importer.ForCompiler(fset, "source", nil),
 	}
 	files, tpkg, info, err := ld.check(filepath.Join(srcRoot, pkg), importPath)
@@ -54,17 +69,55 @@ func Run(t *testing.T, a *analysis.Analyzer, srcRoot, pkg, importPath string) {
 		t.Fatalf("loading fixture %s: %v", pkg, err)
 	}
 
-	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      fset,
-		Files:     files,
-		Pkg:       tpkg,
-		TypesInfo: info,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	// Compute the facts of every fixture-local dependency, transitively,
+	// dependencies first. The nil placeholder guards against import
+	// cycles (impossible in valid Go, but a corrupted fixture should not
+	// hang the test).
+	facts := make(map[string]*analysis.PackageFacts)
+	var factsFor func(p *types.Package)
+	factsFor = func(p *types.Package) {
+		path := p.Path()
+		if _, done := facts[path]; done {
+			return
+		}
+		c, ok := ld.checked[path]
+		if !ok {
+			return // stdlib: exports no facts
+		}
+		facts[path] = nil
+		for _, imp := range p.Imports() {
+			factsFor(imp)
+		}
+		pf := &analysis.PackageFacts{}
+		dirs := analysis.NewDirectives(fset, c.files)
+		for _, a := range suite {
+			pass := &analysis.Pass{
+				Analyzer: a, Fset: fset, Files: c.files, Pkg: c.pkg, TypesInfo: c.info,
+				Dirs: dirs, Deps: facts, Facts: pf,
+				Report: func(analysis.Diagnostic) {},
+			}
+			if _, err := a.Run(pass); err != nil {
+				t.Fatalf("analyzer %s on dependency %s: %v", a.Name, path, err)
+			}
+		}
+		facts[path] = pf
 	}
-	if _, err := a.Run(pass); err != nil {
-		t.Fatalf("analyzer %s: %v", a.Name, err)
+	for _, imp := range tpkg.Imports() {
+		factsFor(imp)
+	}
+
+	dirs := analysis.NewDirectives(fset, files)
+	shared := &analysis.PackageFacts{}
+	var diags []analysis.Diagnostic
+	for _, a := range suite {
+		pass := &analysis.Pass{
+			Analyzer: a, Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info,
+			Dirs: dirs, Deps: facts, Facts: shared,
+			Report: func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if _, err := a.Run(pass); err != nil {
+			t.Fatalf("analyzer %s: %v", a.Name, err)
+		}
 	}
 
 	checkExpectations(t, fset, files, diags)
@@ -84,7 +137,15 @@ func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, dia
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
+				// Both comment forms carry expectations. The block form
+				// (`/* want ... */`) exists for diagnostics reported *on a
+				// line comment itself* — e.g. waiverhygiene flagging a
+				// stale //lint: directive — where a trailing line comment
+				// cannot share the line.
 				text := strings.TrimPrefix(c.Text, "//")
+				if strings.HasPrefix(text, "/*") {
+					text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+				}
 				i := strings.Index(text, "want ")
 				if i < 0 || strings.TrimSpace(text[:i]) != "" {
 					continue
@@ -160,7 +221,16 @@ type loader struct {
 	fset     *token.FileSet
 	srcRoot  string
 	packages map[string]*types.Package
+	checked  map[string]*checkedPkg
 	fallback types.Importer
+}
+
+// checkedPkg retains the syntax and type information of a fixture-local
+// package so RunSuite can compute its exported facts.
+type checkedPkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
 }
 
 // Import implements types.Importer for fixture-local packages.
@@ -213,6 +283,9 @@ func (ld *loader) check(dir, importPath string) ([]*ast.File, *types.Package, *t
 	pkg, err := conf.Check(importPath, ld.fset, files, info)
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	if ld.checked != nil {
+		ld.checked[importPath] = &checkedPkg{files: files, pkg: pkg, info: info}
 	}
 	return files, pkg, info, nil
 }

@@ -21,14 +21,21 @@ import (
 // implements io.WriteCloser (for Flush: has Flush() error), and it is
 // not provably a read-only handle. A *os.File whose every definition in
 // the enclosing function comes from os.Open is read-only and exempt;
-// one from os.Create/os.OpenFile is not. Route the error through the
+// one from os.Create/os.OpenFile is not.
+//
+// Two laundering shapes are looked through: a Close wrapped in an
+// errors.Join chain that is itself discarded (`_ = errors.Join(err,
+// f.Close())`), and a Close returned from a deferred closure
+// (`defer func() error { return f.Close() }()` — a deferred call's
+// return values vanish). Route the error through the
 // `if cerr := f.Close(); err == nil { err = cerr }` pattern or a named
 // helper. Suppress with //lint:close and a reason.
 var CloseCheck = &analysis.Analyzer{
 	Name: "closecheck",
 	Doc: "Close/Flush errors on writers must be checked, not discarded " +
 		"(suppress: //lint:close)",
-	Run: runCloseCheck,
+	Directives: []string{"close"},
+	Run:        runCloseCheck,
 }
 
 // writeCloser is io.WriteCloser, constructed directly so the analyzer
@@ -56,64 +63,106 @@ var writeCloser = func() *types.Interface {
 }()
 
 func runCloseCheck(pass *analysis.Pass) (any, error) {
-	dirs := newDirectiveIndex(pass.Fset, pass.Files)
+	dirs := pass.Directives()
 
 	for _, f := range pass.Files {
 		if isTestFile(pass.Fset, f.Pos()) {
 			continue
 		}
 		file := f
-		ast.Inspect(f, func(n ast.Node) bool {
-			var call *ast.CallExpr
-			switch n := n.(type) {
-			case *ast.ExprStmt:
-				call, _ = n.X.(*ast.CallExpr)
-			case *ast.DeferStmt:
-				call = n.Call
-			case *ast.GoStmt:
-				call = n.Call
-			case *ast.AssignStmt:
-				if n.Tok == token.ASSIGN && len(n.Rhs) == 1 && allBlank(n.Lhs) {
-					call, _ = n.Rhs[0].(*ast.CallExpr)
-				}
-			}
-			if call == nil {
-				return true
-			}
+		checkCall := func(call *ast.CallExpr) {
 			sel, ok := call.Fun.(*ast.SelectorExpr)
 			if !ok {
-				return true
+				return
 			}
 			name := sel.Sel.Name
 			if name != "Close" && name != "Flush" {
-				return true
+				return
 			}
 			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
 			if !ok || !isErrOnlySignature(fn) {
-				return true
+				return
 			}
 			recv := pass.TypeOf(sel.X)
 			if recv == nil {
-				return true
+				return
 			}
 			if name == "Close" {
 				if !types.Implements(recv, writeCloser) &&
 					!types.Implements(types.NewPointer(recv), writeCloser) {
-					return true // read-side closer: error carries no data loss
+					return // read-side closer: error carries no data loss
 				}
 				if openedReadOnly(pass, file, sel.X) {
-					return true
+					return
 				}
 			}
-			if dirs.suppressed(n.Pos(), "close") {
-				return true
+			if dirs.Suppressed(call.Pos(), "close") {
+				return
 			}
 			pass.Reportf(call.Pos(), "%s error discarded on writer %s: a failed %s is silent data loss; capture it (if cerr := x.%s(); err == nil { err = cerr })",
 				name, types.ExprString(sel.X), name, name)
+		}
+		// collectDiscarded walks an expression whose value is discarded
+		// and feeds every Close/Flush candidate inside it to checkCall,
+		// looking through errors.Join chains (Join's result folds its
+		// arguments' errors, so discarding it discards them all).
+		var collectDiscarded func(e ast.Expr)
+		collectDiscarded = func(e ast.Expr) {
+			call, ok := ast.Unparen(e).(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if isErrorsJoinCall(pass, call) {
+				for _, arg := range call.Args {
+					collectDiscarded(arg)
+				}
+				return
+			}
+			checkCall(call)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				collectDiscarded(n.X)
+			case *ast.DeferStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					// A deferred closure's return values vanish: any
+					// error it returns is discarded at the defer site.
+					ast.Inspect(lit.Body, func(m ast.Node) bool {
+						if _, inner := m.(*ast.FuncLit); inner {
+							return false // nested closures return to their own callers
+						}
+						if ret, ok := m.(*ast.ReturnStmt); ok {
+							for _, r := range ret.Results {
+								collectDiscarded(r)
+							}
+						}
+						return true
+					})
+				} else {
+					collectDiscarded(n.Call)
+				}
+			case *ast.GoStmt:
+				collectDiscarded(n.Call)
+			case *ast.AssignStmt:
+				if n.Tok == token.ASSIGN && len(n.Rhs) == 1 && allBlank(n.Lhs) {
+					collectDiscarded(n.Rhs[0])
+				}
+			}
 			return true
 		})
 	}
 	return nil, nil
+}
+
+// isErrorsJoinCall reports whether call is errors.Join(...).
+func isErrorsJoinCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Join" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "errors"
 }
 
 // allBlank reports whether every expression is the blank identifier.

@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"hash/crc32"
+	"reflect"
+	"sort"
+	"strings"
+
+	"sais/internal/lint/analysis"
+)
+
+// JSONStability freezes the serialized schema of the result structs
+// downstream tooling parses. The repo's convention (DESIGN.md §16):
+// the untagged fields of cluster.Result are the baseline schema every
+// consumer may rely on; fields added later must carry `,omitempty` so
+// old outputs and new outputs only differ where the new feature is
+// actually exercised — that is what keeps classic-run JSON
+// byte-identical across PRs.
+//
+// A struct opts in with
+//
+//	//saisvet:jsonstable sig=HHHHHHHH
+//
+// where the signature is crc32(IEEE) over the sorted serialized names
+// of its *required* (non-omitempty, non-skipped) fields. The analyzer
+// recomputes the signature: a mismatch means a required field was
+// added, removed, or renamed (directly or via its json tag) — the
+// diagnostic prints the newly computed value, so an intentional schema
+// change is a one-token annotation update that a reviewer sees in the
+// diff. Adding an `,omitempty` field never changes the signature:
+// additions are free, mutations are loud.
+//
+// Two companion checks: an annotation missing its sig argument is
+// flagged with the computed value (bootstrap path), and a required
+// field whose type is itself a struct declared in this module must be
+// jsonstable too — otherwise schema drift sneaks in one nesting level
+// down. Suppress with //lint:jsonstability and a reason.
+var JSONStability = &analysis.Analyzer{
+	Name: "jsonstability",
+	Doc: "//saisvet:jsonstable structs keep their required serialized field set " +
+		"frozen under a recorded signature; new fields must be ,omitempty " +
+		"(suppress: //lint:jsonstability)",
+	Directives: []string{"jsonstability"},
+	Run:        runJSONStability,
+}
+
+// jsonStableDecl is one annotated struct declaration awaiting checks.
+type jsonStableDecl struct {
+	ts   *ast.TypeSpec
+	st   *ast.StructType
+	args string
+}
+
+func runJSONStability(pass *analysis.Pass) (any, error) {
+	dirs := pass.Directives()
+
+	// First pass: register every annotated struct in the package facts
+	// before any checking, so the nested-coverage rule sees a sibling
+	// declared later in the file (or a later file) as covered.
+	var decls []jsonStableDecl
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				args, ok := annotation([]*ast.CommentGroup{gd.Doc, ts.Doc}, "jsonstable")
+				if !ok {
+					continue
+				}
+				tn, _ := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if tn == nil {
+					continue
+				}
+				pass.Facts.JSONStable = append(pass.Facts.JSONStable,
+					tn.Pkg().Path()+"."+tn.Name())
+				decls = append(decls, jsonStableDecl{ts: ts, st: st, args: args})
+			}
+		}
+	}
+
+	for _, d := range decls {
+		ts, st := d.ts, d.st
+		required := requiredFieldNames(st)
+		sig := schemaSig(required)
+
+		declared := ""
+		for _, field := range strings.Fields(d.args) {
+			if v, ok := strings.CutPrefix(field, "sig="); ok {
+				declared = v
+			}
+		}
+		switch {
+		case declared == "":
+			if !dirs.Suppressed(ts.Pos(), "jsonstability") {
+				pass.Reportf(ts.Pos(), "//saisvet:jsonstable on %s is missing its signature: record the current required field set with `//saisvet:jsonstable sig=%s`", ts.Name.Name, sig)
+			}
+		case declared != sig:
+			if !dirs.Suppressed(ts.Pos(), "jsonstability") {
+				pass.Reportf(ts.Pos(), "required serialized fields of jsonstable struct %s drifted from recorded sig=%s (computed sig=%s over %s): new fields must carry `,omitempty` so old outputs stay byte-identical; if the required set changed intentionally, update the annotation to sig=%s", ts.Name.Name, declared, sig, strings.Join(required, ","), sig)
+			}
+		}
+
+		// Nested coverage: a required field whose type is a
+		// module-local struct must be under the contract too.
+		for _, field := range st.Fields.List {
+			_, opts, skip := jsonFieldInfo(field)
+			if skip || hasOption(opts, "omitempty") {
+				continue
+			}
+			nested := nestedModuleStruct(pass.TypeOf(field.Type))
+			if nested == nil {
+				continue
+			}
+			q := nested.Obj().Pkg().Path() + "." + nested.Obj().Name()
+			if pass.DepJSONStable(q) {
+				continue
+			}
+			if !dirs.Suppressed(field.Pos(), "jsonstability") {
+				pass.Reportf(field.Pos(), "required field of jsonstable struct %s nests %s, which is not itself //saisvet:jsonstable: schema drift one level down is invisible to the parent's signature (annotate %s or suppress with //lint:jsonstability)",
+					ts.Name.Name, q, nested.Obj().Name())
+			}
+		}
+	}
+	return nil, nil
+}
+
+// requiredFieldNames returns the sorted serialized names of the
+// struct's required fields: exported, not `json:"-"`, not omitempty.
+// The serialized name is the json tag name when present, else the Go
+// field name — so renaming either side of that mapping changes the
+// signature.
+func requiredFieldNames(st *ast.StructType) []string {
+	var names []string
+	for _, field := range st.Fields.List {
+		name, opts, skip := jsonFieldInfo(field)
+		if skip || hasOption(opts, "omitempty") {
+			continue
+		}
+		names = append(names, name...)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// jsonFieldInfo resolves one struct field declaration to its serialized
+// names, its tag options, and whether encoding/json skips it entirely
+// (unexported, or tagged json:"-").
+func jsonFieldInfo(field *ast.Field) (names []string, opts []string, skip bool) {
+	tagName := ""
+	if field.Tag != nil {
+		tag := reflect.StructTag(strings.Trim(field.Tag.Value, "`")).Get("json")
+		parts := strings.Split(tag, ",")
+		tagName = parts[0]
+		opts = parts[1:]
+		if tagName == "-" && len(opts) == 0 {
+			return nil, nil, true
+		}
+	}
+	if len(field.Names) == 0 {
+		// Embedded field: serialized under the (possibly tagged) type
+		// name; its inlining subtleties are out of scope, so treat the
+		// name as the schema handle.
+		name := tagName
+		if name == "" || name == "-" {
+			switch t := ast.Unparen(field.Type).(type) {
+			case *ast.Ident:
+				name = t.Name
+			case *ast.StarExpr:
+				if id, ok := t.X.(*ast.Ident); ok {
+					name = id.Name
+				}
+			case *ast.SelectorExpr:
+				name = t.Sel.Name
+			}
+		}
+		if name != "" {
+			names = append(names, name)
+		}
+		return names, opts, false
+	}
+	for _, n := range field.Names {
+		if !n.IsExported() {
+			continue
+		}
+		name := tagName
+		if name == "" || name == "-" {
+			name = n.Name
+		}
+		names = append(names, name)
+	}
+	return names, opts, len(names) == 0
+}
+
+// hasOption reports whether a json tag option list contains opt.
+func hasOption(opts []string, opt string) bool {
+	for _, o := range opts {
+		if o == opt {
+			return true
+		}
+	}
+	return false
+}
+
+// schemaSig hashes the sorted required field names into the 8-hex-digit
+// signature recorded in the annotation.
+func schemaSig(names []string) string {
+	return fmt.Sprintf("%08x", crc32.ChecksumIEEE([]byte(strings.Join(names, "\n"))))
+}
+
+// nestedModuleStruct unwraps pointers, slices, arrays, and maps (value
+// side) to a named struct type declared inside this module, or nil.
+func nestedModuleStruct(t types.Type) *types.Named {
+	for depth := 0; t != nil && depth < 8; depth++ {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Slice:
+			t = u.Elem()
+			continue
+		case *types.Array:
+			t = u.Elem()
+			continue
+		case *types.Map:
+			t = u.Elem()
+			continue
+		case *types.Named:
+			obj := u.Obj()
+			if obj.Pkg() == nil {
+				return nil
+			}
+			path := obj.Pkg().Path()
+			if path != "sais" && !strings.HasPrefix(path, "sais/") {
+				return nil // stdlib and foreign types are out of contract scope
+			}
+			if _, ok := u.Underlying().(*types.Struct); !ok {
+				return nil
+			}
+			return u
+		default:
+			return nil
+		}
+	}
+	return nil
+}

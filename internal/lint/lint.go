@@ -1,6 +1,7 @@
 // Package lint hosts the saisvet analyzers: mechanical enforcement of
-// the simulator's determinism, unit-safety, and error-handling
-// invariants. See DESIGN.md §11 for the rationale behind each check.
+// the simulator's determinism, allocation-freedom, sharding, hook,
+// schema-stability, unit-safety, and error-handling invariants. See
+// DESIGN.md §11 and §16 for the rationale behind each check.
 //
 // Every analyzer honors a line-scoped suppression directive of the form
 //
@@ -8,9 +9,12 @@
 //
 // placed on the flagged line or the line directly above it, where
 // <name> is the directive listed in the analyzer's Doc (wallclock,
-// maporder, goroutine, globalrand, seedarith, unitmix, close). The
-// reason is free text; write one — the annotation is the audit trail
-// for why the invariant does not apply at that site.
+// maporder, goroutine, globalrand, seedarith, unitmix, close, alloc,
+// shardsafety, globalstate, nilhook, jsonstability). The reason is free
+// text; write one — the annotation is the audit trail for why the
+// invariant does not apply at that site. The waiverhygiene analyzer
+// reports waivers that no longer suppress anything, so a stale reason
+// cannot linger.
 //
 // A package may waive one directive wholesale with
 //
@@ -24,30 +28,63 @@
 // sparingly: a package waiver removes the analyzer's leverage for the
 // whole package, so the reason must argue why the invariant holds
 // globally (typically with a DESIGN.md reference).
+//
+// Positive contracts are opted into with //saisvet: annotations on the
+// declaration they govern:
+//
+//	//saisvet:allocfree            — function must not allocate (allocfree)
+//	//saisvet:mailbox              — struct field writable only by its
+//	                                 owning type's methods (shardsafety)
+//	//saisvet:nilhook              — optional hook field; every call must
+//	                                 be nil-guarded (hookcontract)
+//	//saisvet:jsonstable sig=HHHH  — serialized struct whose required
+//	                                 field set is frozen (jsonstability)
 package lint
 
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 
 	"sais/internal/lint/analysis"
 )
 
 // Analyzers is the full saisvet suite, in the order the multichecker
-// runs them.
+// runs them. Fact-exporting analyzers come first so later analyzers of
+// the same package can read their exports; waiverhygiene must run last,
+// after every other analyzer has consulted the shared directive index.
 var Analyzers = []*analysis.Analyzer{
 	SimDeterminism,
 	SeedDerive,
 	UnitSafety,
 	CloseCheck,
+	AllocFree,
+	ShardSafety,
+	HookContract,
+	JSONStability,
+	WaiverHygiene,
+}
+
+// KnownDirectives returns the union of suppression-directive names the
+// suite owns — the vocabulary waiverhygiene accepts.
+func KnownDirectives() map[string]bool {
+	known := make(map[string]bool)
+	for _, a := range Analyzers {
+		for _, d := range a.Directives {
+			known[d] = true
+		}
+	}
+	return known
 }
 
 // deterministicPkgs are the packages whose observable behavior must be
 // a pure function of (Config, Seed): the discrete-event core, every
 // simulated component, and the experiment/sweep layers whose output
 // ordering feeds the paper's figures. simdeterminism applies its
-// strictest rules (no goroutines, no map-ordered iteration) only here.
+// strictest rules (no goroutines, no map-ordered iteration, no calls
+// to transitively tainted functions) only here, and shardsafety's
+// shared-mutable-global rule has the same scope.
 var deterministicPkgs = map[string]bool{
 	"sais/cluster":             true,
 	"sais/experiments":         true,
@@ -85,81 +122,74 @@ func isTestFile(fset *token.FileSet, pos token.Pos) bool {
 	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
 }
 
-// directiveIndex records, per line, the //lint: directive names present
-// on that line, plus the package-wide waivers declared in file headers.
-type directiveIndex struct {
-	fset  *token.FileSet
-	lines map[string]map[int][]string // filename -> line -> directives
-	pkg   map[string]bool             // directive names waived package-wide
-}
+// annotationPrefix introduces a positive-contract annotation. Unlike
+// //lint: waivers (which relax a check), //saisvet: annotations opt a
+// declaration into a stricter contract.
+const annotationPrefix = "//saisvet:"
 
-// newDirectiveIndex scans every comment in files for //lint:<name>
-// directives. The special name "package" declares a package-wide
-// waiver: "//lint:package <name> reason" in a file header (on or above
-// the package clause) suppresses <name> findings in every file of the
-// package. A //lint:package comment below the package clause is inert —
-// waivers must be visible where a reader looks for them.
-func newDirectiveIndex(fset *token.FileSet, files []*ast.File) *directiveIndex {
-	idx := &directiveIndex{
-		fset:  fset,
-		lines: make(map[string]map[int][]string),
-		pkg:   make(map[string]bool),
-	}
-	for _, f := range files {
-		pkgLine := fset.Position(f.Package).Line
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := c.Text
-				if !strings.HasPrefix(text, "//lint:") {
-					continue
-				}
-				rest := strings.TrimPrefix(text, "//lint:")
-				name := rest
-				if i := strings.IndexAny(name, " \t"); i >= 0 {
-					name = name[:i]
-				}
-				if name == "" {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				if name == "package" {
-					if pos.Filename == fset.Position(f.Package).Filename && pos.Line <= pkgLine {
-						if fields := strings.Fields(rest); len(fields) >= 2 {
-							idx.pkg[fields[1]] = true
-						}
-					}
-					continue
-				}
-				byLine := idx.lines[pos.Filename]
-				if byLine == nil {
-					byLine = make(map[int][]string)
-					idx.lines[pos.Filename] = byLine
-				}
-				byLine[pos.Line] = append(byLine[pos.Line], name)
+// annotation scans a declaration's doc/comment group for a
+// //saisvet:<name> annotation and returns its argument tail ("" when
+// the annotation is bare) and whether it was found.
+func annotation(groups []*ast.CommentGroup, name string) (args string, ok bool) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, annotationPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, annotationPrefix)
+			head := rest
+			if i := strings.IndexAny(head, " \t"); i >= 0 {
+				head = head[:i]
+			}
+			if head == name {
+				return strings.TrimSpace(rest[len(head):]), true
 			}
 		}
 	}
-	return idx
+	return "", false
 }
 
-// suppressed reports whether a finding of kind name at pos is waived by
-// a //lint:name directive on the same line or the line above, or by a
-// package-wide //lint:package name header waiver.
-func (idx *directiveIndex) suppressed(pos token.Pos, name string) bool {
-	if idx.pkg[name] {
-		return true
-	}
-	p := idx.fset.Position(pos)
-	byLine := idx.lines[p.Filename]
-	if byLine == nil {
-		return false
-	}
-	for _, line := range []int{p.Line, p.Line - 1} {
-		for _, d := range byLine[line] {
-			if d == name {
-				return true
+// funcDeclsByObject maps every declared function/method object in the
+// package to its declaration — the skeleton the fact-computing
+// analyzers walk.
+func funcDeclsByObject(pass *analysis.Pass) map[*ast.FuncDecl]*ast.File {
+	decls := make(map[*ast.FuncDecl]*ast.File)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls[fd] = f
 			}
 		}
 	}
-	return false
+	return decls
+}
+
+// staticCallee resolves the callee of a call expression to its
+// *types.Func: a named function or a method called through a concrete
+// (non-interface) receiver. It returns nil for builtins, conversions,
+// func values, and interface-method calls — the dynamic cases that have
+// no single static body to consult.
+func staticCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if types.IsInterface(sel.Recv()) {
+				return nil // dynamic dispatch
+			}
+		}
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	if fn == nil {
+		fn, _ = pass.TypesInfo.Defs[id].(*types.Func)
+	}
+	return fn
 }

@@ -85,3 +85,54 @@ func TestUnitSafety(t *testing.T) {
 func TestCloseCheck(t *testing.T) {
 	analysistest.Run(t, lint.CloseCheck, srcRoot, "closecheck", "sais/cmd/faketool")
 }
+
+// TestSimDeterminismTransitiveTaint checks the cross-package taint
+// channel: a goroutine spawn inside a dependency (legal there) must
+// surface as a finding at the deterministic call site, via the
+// dependency's exported facts.
+func TestSimDeterminismTransitiveTaint(t *testing.T) {
+	analysistest.Run(t, lint.SimDeterminism, srcRoot, "simdeterminism_taint", "sais/internal/sim")
+}
+
+// TestAllocFree checks every allocating construct the //saisvet:allocfree
+// contract forbids, the accepted evidence patterns (field-backed and
+// parameter-backed appends, whitelisted math/sync, panic-only failure
+// paths), intra-package proof propagation, and the //lint:alloc hatch.
+func TestAllocFree(t *testing.T) {
+	analysistest.Run(t, lint.AllocFree, srcRoot, "allocfree", "sais/internal/sim")
+}
+
+// TestAllocFreeCrossPackageFacts checks that a dependency's annotation
+// and allocation proof status arrive through the facts channel.
+func TestAllocFreeCrossPackageFacts(t *testing.T) {
+	analysistest.Run(t, lint.AllocFree, srcRoot, "allocfree_facts", "sais/internal/sim")
+}
+
+// TestShardSafety checks the mailbox-ownership rule (locally and via
+// dependency facts) and the no-runtime-global-writes rule under a
+// deterministic package path, plus both hatches.
+func TestShardSafety(t *testing.T) {
+	analysistest.Run(t, lint.ShardSafety, srcRoot, "shardsafety", "sais/internal/shard")
+}
+
+// TestHookContract checks the nil-guard obligation on //saisvet:nilhook
+// calls: the guarded shapes stay silent, unguarded calls are findings
+// (locally and via dependency facts), and //lint:nilhook suppresses.
+func TestHookContract(t *testing.T) {
+	analysistest.Run(t, lint.HookContract, srcRoot, "hookcontract", "sais/internal/cpu")
+}
+
+// TestJSONStability checks signature verification, the bootstrap
+// diagnostic, drift reporting, nested coverage (including a sibling
+// annotated later in the file), and the //lint:jsonstability hatch.
+func TestJSONStability(t *testing.T) {
+	analysistest.Run(t, lint.JSONStability, srcRoot, "jsonstability", "sais/cluster")
+}
+
+// TestWaiverHygiene runs the full analyzer suite the way the driver
+// does — shared directive index, waiverhygiene last — over a fixture
+// with one consumed waiver (silent), one stale line waiver, one stale
+// package waiver, and one typoed directive name.
+func TestWaiverHygiene(t *testing.T) {
+	analysistest.RunSuite(t, lint.Analyzers, srcRoot, "waiverhygiene", "sais/internal/sim")
+}

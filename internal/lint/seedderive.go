@@ -25,7 +25,8 @@ var SeedDerive = &analysis.Analyzer{
 	Name: "seedderive",
 	Doc: "derive child seeds with rng.Derive, never seed arithmetic like seed+i " +
 		"(suppress: //lint:seedarith)",
-	Run: runSeedDerive,
+	Directives: []string{"seedarith"},
+	Run:        runSeedDerive,
 }
 
 // seedArithOps are the operators that combine or perturb a seed value.
@@ -48,7 +49,7 @@ func runSeedDerive(pass *analysis.Pass) (any, error) {
 	if path == "rng" || strings.HasSuffix(path, "/rng") {
 		return nil, nil // the one place seed-mixing arithmetic is the point
 	}
-	dirs := newDirectiveIndex(pass.Fset, pass.Files)
+	dirs := pass.Directives()
 
 	seedish := func(e ast.Expr) (string, bool) {
 		for {
@@ -85,7 +86,7 @@ func runSeedDerive(pass *analysis.Pass) (any, error) {
 				}
 				for _, op := range []ast.Expr{n.X, n.Y} {
 					if name, ok := seedish(op); ok {
-						if !dirs.suppressed(n.Pos(), "seedarith") {
+						if !dirs.Suppressed(n.Pos(), "seedarith") {
 							pass.Reportf(n.Pos(), "arithmetic on seed value %s: derive child seeds with rng.Derive(seed, stream) so consecutive root seeds stay uncorrelated", name)
 						}
 						break
@@ -97,7 +98,7 @@ func runSeedDerive(pass *analysis.Pass) (any, error) {
 				}
 				for _, lhs := range n.Lhs {
 					if name, ok := seedish(lhs); ok {
-						if !dirs.suppressed(n.Pos(), "seedarith") {
+						if !dirs.Suppressed(n.Pos(), "seedarith") {
 							pass.Reportf(n.Pos(), "compound assignment mutates seed value %s: derive child seeds with rng.Derive instead", name)
 						}
 						break
@@ -105,7 +106,7 @@ func runSeedDerive(pass *analysis.Pass) (any, error) {
 				}
 			case *ast.IncDecStmt:
 				if name, ok := seedish(n.X); ok {
-					if !dirs.suppressed(n.Pos(), "seedarith") {
+					if !dirs.Suppressed(n.Pos(), "seedarith") {
 						pass.Reportf(n.Pos(), "%s on seed value %s: derive child seeds with rng.Derive instead", n.Tok, name)
 					}
 				}

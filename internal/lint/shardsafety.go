@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sais/internal/lint/analysis"
+)
+
+// ShardSafety enforces the sharded executor's ownership discipline —
+// the structural rules that make internal/shard's conservative
+// parallelism safe without locks:
+//
+//   - mailbox ownership: a struct field annotated //saisvet:mailbox is
+//     a cross-engine transfer buffer owned by its declaring type. Only
+//     methods of that type may write it (assign, append back, index
+//     store, delete); everything else must route cross-engine traffic
+//     through the sanctioned channels, sim.Engine.ScheduleRemote and
+//     the fabric's RemoteForward hook. The annotation travels as a
+//     fact, so a write from another package is flagged too. Suppress
+//     with //lint:shardsafety.
+//   - no runtime writes to package-level state in the deterministic
+//     packages: two engines running the same package's code in
+//     parallel shards must not communicate through a package global,
+//     and replay determinism forbids order-dependent global mutation.
+//     Writes inside init functions and package-level initializers are
+//     setup, not runtime, and stay legal. Suppress a reviewed site (a
+//     registration table that is sealed before any engine starts) with
+//     //lint:globalstate.
+var ShardSafety = &analysis.Analyzer{
+	Name: "shardsafety",
+	Doc: "mailbox fields are written only by their owning type's methods, and " +
+		"deterministic packages do not mutate package-level state at runtime " +
+		"(suppress: //lint:shardsafety, //lint:globalstate)",
+	Directives: []string{"shardsafety", "globalstate"},
+	Run:        runShardSafety,
+}
+
+func runShardSafety(pass *analysis.Pass) (any, error) {
+	dirs := pass.Directives()
+	deterministic := isDeterministicPkg(pass.Pkg.Path())
+
+	// Collect this package's annotated mailbox fields and export them.
+	mailbox := make(map[*types.Var]*types.TypeName)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				tn, _ := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if tn == nil {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					if _, ok := annotation([]*ast.CommentGroup{field.Doc, field.Comment}, "mailbox"); !ok {
+						continue
+					}
+					for _, name := range field.Names {
+						if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+							mailbox[v] = tn
+							if pass.Facts.HookFields == nil {
+								pass.Facts.HookFields = make(map[string]string)
+							}
+							pass.Facts.HookFields[qualifiedField(tn, name.Name)] = "mailbox"
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, isFunc := decl.(*ast.FuncDecl)
+			if !isFunc {
+				continue // package-level initializers are setup, not runtime
+			}
+			recv := receiverTypeName(pass, fd)
+			isInit := fd.Recv == nil && fd.Name.Name == "init"
+
+			checkWrite := func(lhs ast.Expr, pos token.Pos) {
+				root := writeRoot(lhs)
+				switch root := root.(type) {
+				case *ast.SelectorExpr:
+					sel, ok := pass.TypesInfo.Selections[root]
+					if !ok || sel.Kind() != types.FieldVal {
+						break
+					}
+					v, _ := sel.Obj().(*types.Var)
+					if v == nil {
+						break
+					}
+					ownerNamed := namedOwner(sel.Recv())
+					if ownerNamed == nil {
+						break
+					}
+					ownerName := ownerNamed.Obj()
+					isMailbox := false
+					if tn, ok := mailbox[v]; ok {
+						isMailbox = true
+						ownerName = tn
+					} else if kind, ok := pass.DepHookField(qualifiedField(ownerName, v.Name())); ok && kind == "mailbox" {
+						isMailbox = true
+					}
+					if !isMailbox {
+						break
+					}
+					if recv != nil && recv == ownerName {
+						return // the owning type's own method
+					}
+					if !dirs.Suppressed(pos, "shardsafety") {
+						pass.Reportf(pos, "write to mailbox field %s outside its owning type's methods: cross-engine traffic must go through sim.Engine.ScheduleRemote or the fabric RemoteForward hook (suppress a reviewed site with //lint:shardsafety)",
+							types.ExprString(root))
+					}
+				case *ast.Ident:
+					if !deterministic || isInit {
+						break
+					}
+					v, ok := pass.TypesInfo.ObjectOf(root).(*types.Var)
+					if !ok || v.Pkg() != pass.Pkg {
+						break
+					}
+					if v.Parent() != pass.Pkg.Scope() {
+						break // local or field shorthand, not package state
+					}
+					if !dirs.Suppressed(pos, "globalstate") {
+						pass.Reportf(pos, "runtime write to package-level %s in deterministic package %s: parallel shard engines and replay determinism forbid shared mutable globals; move the state onto the engine or node (suppress a reviewed setup-only site with //lint:globalstate)",
+							v.Name(), pass.Pkg.Path())
+					}
+				}
+			}
+
+			ast.Inspect(fd, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						checkWrite(lhs, n.Pos())
+					}
+				case *ast.IncDecStmt:
+					checkWrite(n.X, n.Pos())
+				case *ast.CallExpr:
+					// delete(m, k) mutates its map argument.
+					if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+						if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "delete" && len(n.Args) > 0 {
+							checkWrite(n.Args[0], n.Pos())
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// writeRoot unwraps an assignment target to the expression that names
+// the stored-into object: e.out[i][j] -> e.out, (*p).x -> x's selector,
+// registry[k] -> registry.
+func writeRoot(e ast.Expr) ast.Expr {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return x
+		}
+	}
+}
+
+// namedOwner returns the named type a field selection's receiver
+// resolves to, looking through one level of pointer.
+func namedOwner(recv types.Type) *types.Named {
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	n, _ := recv.(*types.Named)
+	return n
+}
+
+// receiverTypeName resolves a method declaration's receiver to its
+// *types.TypeName, or nil for plain functions.
+func receiverTypeName(pass *analysis.Pass, fd *ast.FuncDecl) *types.TypeName {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := ast.Unparen(t).(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			tn, _ := pass.TypesInfo.Uses[x].(*types.TypeName)
+			return tn
+		default:
+			return nil
+		}
+	}
+}
+
+// qualifiedField renders the facts key for a field: "pkgpath.Type.Field".
+func qualifiedField(tn *types.TypeName, field string) string {
+	return tn.Pkg().Path() + "." + tn.Name() + "." + field
+}

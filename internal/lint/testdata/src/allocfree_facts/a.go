@@ -1,0 +1,15 @@
+// Fixture for allocfree's cross-package facts: the dependency's
+// annotation and proof status arrive through Pass.Deps exactly as a
+// dependency .vetx file would carry them.
+package main
+
+import "sais/internal/afdep"
+
+//saisvet:allocfree
+func hot(x int) int {
+	afdep.Fast(x) // no finding: annotated allocation-free in its own package
+	afdep.Slow()  // want `call to sais/internal/afdep.Slow, which is not allocation-free .slice literal`
+	return x
+}
+
+func main() {}

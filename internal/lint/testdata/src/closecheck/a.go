@@ -5,6 +5,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"io"
 	"os"
 )
@@ -61,6 +62,33 @@ func readSide(r io.ReadCloser) {
 // flushReturned is checked by being returned.
 func flushReturned(bw *bufio.Writer) error {
 	return bw.Flush()
+}
+
+// deferredClosure launders the close through a deferred closure whose
+// return value vanishes at the defer site.
+func deferredClosure(w io.WriteCloser) {
+	defer func() error {
+		return w.Close() // want `Close error discarded on writer w`
+	}()
+}
+
+// joined: discarding the Join discards every error folded into it.
+func joined(w io.WriteCloser, err error) {
+	_ = errors.Join(err, w.Close()) // want `Close error discarded on writer w`
+}
+
+// joinKept returns the joined error — the sanctioned use of Join.
+func joinKept(w io.WriteCloser, err error) error {
+	return errors.Join(err, w.Close())
+}
+
+// deferredCapture folds the close error into a named result: the error
+// reaches the caller, so no finding.
+func deferredCapture(w io.WriteCloser) (err error) {
+	defer func() {
+		err = errors.Join(err, w.Close())
+	}()
+	return nil
 }
 
 // reviewed shows the escape hatch.

@@ -1,0 +1,69 @@
+// Fixture for the hookcontract analyzer: every call through a
+// //saisvet:nilhook field needs a dominating nil guard — the if-non-nil
+// block, a && chain led by the check, or an early-return == nil guard —
+// locally and across packages via facts.
+package main
+
+import "sais/internal/hdep"
+
+type Core struct {
+	// hook observes spans when installed; nil means the feature is off.
+	//saisvet:nilhook
+	hook func(int)
+}
+
+// guarded wraps the call in the canonical if-non-nil block.
+func (c *Core) guarded(x int) {
+	if c.hook != nil {
+		c.hook(x)
+	}
+}
+
+// guardedChain: the nil check may lead a && chain.
+func (c *Core) guardedChain(x int) {
+	if c.hook != nil && x > 0 {
+		c.hook(x)
+	}
+}
+
+// earlyReturn: a == nil guard whose body terminates covers the rest of
+// the enclosing block.
+func (c *Core) earlyReturn(x int) {
+	if c.hook == nil {
+		return
+	}
+	c.hook(x)
+}
+
+// unguarded calls straight through the hook.
+func (c *Core) unguarded(x int) {
+	c.hook(x) // want `call through nil-able hook c.hook without a dominating nil guard`
+}
+
+// wrongGuard checks an unrelated condition.
+func (c *Core) wrongGuard(x int) {
+	if x > 0 {
+		c.hook(x) // want `call through nil-able hook`
+	}
+}
+
+// fire calls a hook declared in another package; the contract arrives
+// through the dependency's exported facts.
+func fire(w *hdep.Widget) {
+	w.OnFire() // want `call through nil-able hook w.OnFire`
+}
+
+// fireGuarded is the sanctioned cross-package shape.
+func fireGuarded(w *hdep.Widget) {
+	if w.OnFire != nil {
+		w.OnFire()
+	}
+}
+
+// reviewed shows the hatch: the constructor guarantees the hook.
+func (c *Core) reviewed(x int) {
+	//lint:nilhook installed unconditionally by the only constructor
+	c.hook(x)
+}
+
+func main() {}

@@ -1,0 +1,65 @@
+// Fixture for the jsonstability analyzer: frozen required field sets
+// under recorded signatures, the bootstrap path, schema drift, nested
+// coverage, and the //lint:jsonstability hatch.
+package main
+
+// Good's required set is {Count, Name}: Extra is omitempty (additions
+// are free), hidden is unexported, Skip is json:"-".
+//
+//saisvet:jsonstable sig=2fb26bbe
+type Good struct {
+	Name   string
+	Count  int
+	Extra  int `json:",omitempty"`
+	hidden int
+	Skip   int `json:"-"`
+}
+
+// Tagged serializes Inner under its json tag name; the signature hashes
+// the wire name, so retagging is as loud as renaming.
+//
+//saisvet:jsonstable sig=6d310bc9
+type Tagged struct {
+	Inner string `json:"inner"`
+}
+
+//saisvet:jsonstable sig=00000000
+type Drifted struct { // want `required serialized fields of jsonstable struct Drifted drifted from recorded sig=00000000`
+	A int
+}
+
+//saisvet:jsonstable
+type Boot struct { // want `//saisvet:jsonstable on Boot is missing its signature`
+	A int
+}
+
+// Parent nests an unannotated module-local struct in a required field:
+// drift inside Naked would be invisible to Parent's signature.
+//
+//saisvet:jsonstable sig=e3727b2d
+type Parent struct {
+	Child Naked // want `required field of jsonstable struct Parent nests sais/cluster.Naked`
+}
+
+type Naked struct{ A int }
+
+// Parent2 nests Sibling, which is annotated *later in the file* — the
+// analyzer must register every annotation before checking nesting.
+//
+//saisvet:jsonstable sig=e3727b2d
+type Parent2 struct {
+	Child Sibling // no finding: Sibling is jsonstable below
+}
+
+//saisvet:jsonstable sig=4ad0cf31
+type Sibling struct{ B int }
+
+// Waived shows the escape hatch on an intentionally unrecorded schema.
+//
+//saisvet:jsonstable sig=ffffffff
+//lint:jsonstability schema under migration; re-freeze when PR lands
+type Waived struct {
+	A int
+}
+
+func main() {}

@@ -1,0 +1,11 @@
+// Package afdep is a fixture dependency for the allocfree
+// cross-package tests: one annotated allocation-free function and one
+// allocating function whose proof status travels as an AllocWhy fact.
+package afdep
+
+//saisvet:allocfree
+func Fast(x int) int { return x + 1 }
+
+// Slow allocates. No finding here (it is unannotated), but annotated
+// callers in other packages must not call it.
+func Slow() []int { return []int{1} }

@@ -1,0 +1,11 @@
+// Package hdep is a fixture dependency for the hookcontract
+// cross-package tests: the nilhook annotation travels as a HookFields
+// fact and binds callers in other packages.
+package hdep
+
+// Widget carries an optional observer hook.
+type Widget struct {
+	// OnFire, when set, observes events; nil means the feature is off.
+	//saisvet:nilhook
+	OnFire func()
+}

@@ -1,0 +1,14 @@
+// Package sdep is a fixture dependency for the shardsafety
+// cross-package tests: its mailbox annotation is exported as a
+// HookFields fact and must bind writers in other packages.
+package sdep
+
+// Box owns a mailbox slice.
+type Box struct {
+	// Slots is written only by Box methods.
+	//saisvet:mailbox
+	Slots []int
+}
+
+// Put is the owning type's sanctioned writer.
+func (b *Box) Put(v int) { b.Slots = append(b.Slots, v) }

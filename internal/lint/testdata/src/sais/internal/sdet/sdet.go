@@ -1,0 +1,13 @@
+// Package sdet is a fixture dependency for simdeterminism's transitive
+// taint: it is outside the deterministic set, so the goroutine spawn is
+// legal here — but the taint is exported as a fact and must surface at
+// deterministic call sites.
+package sdet
+
+// Spawn runs fn on its own goroutine.
+func Spawn(fn func()) {
+	go fn()
+}
+
+// Pure is untainted.
+func Pure(x int) int { return x + 1 }

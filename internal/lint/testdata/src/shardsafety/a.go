@@ -1,0 +1,63 @@
+// Fixture for the shardsafety analyzer under a deterministic package
+// path: mailbox fields are writable only by their owning type's
+// methods (locally and across packages via facts), and package-level
+// mutable state must not be written at runtime.
+package main
+
+import "sais/internal/sdep"
+
+type Engine struct {
+	// inbox is the per-shard mailbox.
+	//saisvet:mailbox
+	inbox [][]int
+}
+
+// Deliver may write: it is a method of the owning type.
+func (e *Engine) Deliver(dst, v int) {
+	e.inbox[dst] = append(e.inbox[dst], v)
+}
+
+// poke is a free function, not an owner.
+func poke(e *Engine, dst int) {
+	e.inbox[dst] = nil // want `write to mailbox field e.inbox outside its owning type's methods`
+}
+
+type Other struct{}
+
+// Steal is a method — of the wrong type.
+func (o *Other) Steal(e *Engine) {
+	e.inbox = nil // want `write to mailbox field e.inbox`
+}
+
+// rob writes a mailbox field declared in another package; the contract
+// arrives through the dependency's exported facts.
+func rob(b *sdep.Box) {
+	b.Slots = nil // want `write to mailbox field b.Slots`
+}
+
+// fill uses the sanctioned cross-package writer.
+func fill(b *sdep.Box) {
+	b.Put(1)
+}
+
+// reviewed shows the hatch.
+func reviewed(e *Engine) {
+	//lint:shardsafety constructor wiring: the engine is not yet published
+	e.inbox = make([][]int, 4)
+}
+
+var counter int
+var seen = map[string]bool{}
+
+func init() {
+	counter = 0 // no finding: init-time setup is sealed before any run
+}
+
+func bump() {
+	counter++         // want `runtime write to package-level counter in deterministic package`
+	delete(seen, "x") // want `runtime write to package-level seen`
+	//lint:globalstate test-only reset hook, never reached during a run
+	counter = 0
+}
+
+func main() {}

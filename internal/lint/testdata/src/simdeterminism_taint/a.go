@@ -1,0 +1,23 @@
+// Fixture for simdeterminism's transitive taint analysis: a
+// deterministic package calling a function whose goroutine hazard lives
+// in a dependency — and is only visible through the dependency's
+// exported facts — plus an untainted dependency call and the
+// //lint:goroutine hatch.
+package main
+
+import "sais/internal/sdet"
+
+func tick() {
+	sdet.Spawn(func() {}) // want `call from deterministic package sais/internal/sim to goroutine-tainted sais/internal/sdet.Spawn`
+}
+
+func fine(x int) int {
+	return sdet.Pure(x) // no finding: the dependency function is untainted
+}
+
+func reviewed() {
+	//lint:goroutine fixture: the spawn joins before return
+	sdet.Spawn(func() {})
+}
+
+func main() {}

@@ -1,0 +1,30 @@
+// Fixture for the waiverhygiene analyzer, run under the full suite the
+// way the saisvet driver runs it: waivers consumed by earlier analyzers
+// are silent, waivers that suppress nothing are stale, and names
+// outside the registered vocabulary are typos. Expectations for
+// diagnostics on the //lint: comments themselves use the block-comment
+// expectation form, since a line comment consumes the rest of its line.
+//
+/* want `stale package waiver //lint:package goroutine` */ //lint:package goroutine legacy worker pool was removed in a refactor
+package main
+
+import "time"
+
+// used: the waiver below suppresses a real simdeterminism finding, so
+// waiverhygiene stays silent about it.
+func used() int64 {
+	//lint:wallclock fixture exercises a consumed waiver
+	return time.Now().UnixNano()
+}
+
+func clean() int {
+	/* want `stale waiver //lint:maporder` */ //lint:maporder the map range here was refactored away
+	return 1
+}
+
+func typo() int {
+	/* want `unknown lint directive //lint:wallclok` */ //lint:wallclok misspelled directive
+	return 2
+}
+
+func main() {}

@@ -32,7 +32,8 @@ var UnitSafety = &analysis.Analyzer{
 	Name: "unitsafety",
 	Doc: "no untyped arithmetic mixing units dimensions, and no raw division " +
 		"where a units converter exists (suppress: //lint:unitmix)",
-	Run: runUnitSafety,
+	Directives: []string{"unitmix"},
+	Run:        runUnitSafety,
 }
 
 // unitMixOps are the operators whose operands must share a dimension.
@@ -55,7 +56,7 @@ func runUnitSafety(pass *analysis.Pass) (any, error) {
 	if isUnitsPkgPath(pass.Pkg.Path()) {
 		return nil, nil // the converters themselves are built from raw math
 	}
-	dirs := newDirectiveIndex(pass.Fset, pass.Files)
+	dirs := pass.Directives()
 
 	for _, f := range pass.Files {
 		if isTestFile(pass.Fset, f.Pos()) {
@@ -71,7 +72,7 @@ func runUnitSafety(pass *analysis.Pass) (any, error) {
 			if dx == "" || dy == "" || dx == dy {
 				return true
 			}
-			if dirs.suppressed(bin.Pos(), "unitmix") {
+			if dirs.Suppressed(bin.Pos(), "unitmix") {
 				return true
 			}
 			if bin.Op == token.QUO {

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+
+	"sais/internal/lint/analysis"
+)
+
+// WaiverHygiene keeps the suppression vocabulary honest. A //lint:
+// waiver is an audit record — "a human reviewed this site and the
+// invariant holds for this stated reason" — and a waiver that no longer
+// suppresses anything is a stale audit record: the hazardous code it
+// covered was refactored away, or the directive name is a typo that
+// never matched a finding in the first place (the worst case, because a
+// typoed waiver silently fails to suppress and silently never expires).
+//
+// The analyzer must run last, over the same shared directive index
+// every other analyzer consulted; an entry nobody marked used is
+// reported as stale, and an entry whose name is outside the registered
+// vocabulary as unknown. The check runs under `saisvet -strict-waivers`
+// (on in CI and `make lint`); there is deliberately no suppression
+// directive for it — the fix for a stale waiver is deleting the waiver.
+var WaiverHygiene = &analysis.Analyzer{
+	Name: "waiverhygiene",
+	Doc: "//lint: waivers must suppress at least one finding and use a " +
+		"registered directive name (fix by deleting the stale waiver)",
+}
+
+// Run is attached in an init function: runWaiverHygiene consults
+// KnownDirectives, which ranges over Analyzers, which contains this
+// analyzer — a static initialization cycle if expressed as a literal.
+func init() { WaiverHygiene.Run = runWaiverHygiene }
+
+func runWaiverHygiene(pass *analysis.Pass) (any, error) {
+	known := KnownDirectives()
+	for _, e := range pass.Directives().Stale(known) {
+		switch {
+		case e.Unknown:
+			pass.Reportf(e.Pos, "unknown lint directive //lint:%s (known: %s): a typoed waiver suppresses nothing, silently", e.Name, knownDirectiveList(known))
+		case e.PkgWide:
+			pass.Reportf(e.Pos, "stale package waiver //lint:package %s: no %s finding in this package needed it; delete the waiver so the analyzer regains its leverage", e.Name, e.Name)
+		default:
+			pass.Reportf(e.Pos, "stale waiver //lint:%s: it no longer suppresses any finding; delete it so the audit trail stays truthful", e.Name)
+		}
+	}
+	return nil, nil
+}
+
+// knownDirectiveList renders the registered directive vocabulary for
+// the unknown-directive diagnostic.
+func knownDirectiveList(known map[string]bool) string {
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

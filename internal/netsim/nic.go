@@ -176,6 +176,7 @@ type NIC struct {
 	// load-dependent factor sampled at dispatch time — the hybrid
 	// engine's analytic background traffic contending for this NIC's
 	// ports (DESIGN.md §14). nil means the classic fixed-cost path.
+	//saisvet:nilhook
 	svcScale func(now units.Time) float64
 
 	nextIPID uint16

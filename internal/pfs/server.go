@@ -78,6 +78,7 @@ type Server struct {
 	// load-dependent factor sampled at dispatch time — analytic
 	// background requests contending for this server's CPU (hybrid
 	// workload engine, DESIGN.md §14).
+	//saisvet:nilhook
 	cpuScale func(now units.Time) float64
 	// spans, when non-nil, records the service phase of every strip.
 	spans *trace.SpanLog

@@ -132,6 +132,7 @@ func CheckInvariants(cfg cluster.Config, res *cluster.Result, log *trace.SpanLog
 		return vs
 	}
 	spans := log.Spans()
+	//lint:maporder PendingSpans sorts its snapshot by full span key before returning
 	pending := log.PendingSpans()
 
 	// monotonic-clock.

@@ -70,7 +70,11 @@ type Engine struct {
 	// during the current round. Each row is written only by the worker
 	// executing shard src, so no locking is needed; the coordinator
 	// moves rows into inbox at the barrier.
-	out   [][][]Msg
+	//saisvet:mailbox
+	out [][][]Msg
+	// inbox[dst] holds the messages collected for shard dst at the last
+	// barrier, drained into its engine at the top of the next round.
+	//saisvet:mailbox
 	inbox [][]Msg
 
 	stop    func() bool
@@ -105,6 +109,7 @@ func New(engs []*sim.Engine, lookahead units.Time, workers int) *Engine {
 		inbox:     make([][]Msg, len(engs)),
 	}
 	for i := range s.out {
+		//lint:shardsafety constructor wiring: the engine has not been published and no worker exists yet
 		s.out[i] = make([][]Msg, len(engs))
 	}
 	return s
@@ -114,6 +119,7 @@ func New(engs []*sim.Engine, lookahead units.Time, workers int) *Engine {
 // It must be called from an event executing on shard src during a
 // round (the fabric's remote hook). The delivery time must respect
 // the lookahead — the executor's safety rests on it.
+//saisvet:allocfree
 func (s *Engine) Post(src, dst int, m Msg) {
 	if m.Origin == 0 {
 		panic("shard: message without an origin")
@@ -192,10 +198,12 @@ func (s *Engine) Posted() uint64 { return s.posted }
 // Run executes rounds until every shard is idle and no messages are
 // in flight, or the stop condition fires. It returns the makespan
 // (latest shard clock).
+//saisvet:allocfree
 func (s *Engine) Run() units.Time {
 	s.stopped = false
 	for {
 		s.deliver()
+		//lint:alloc caller-supplied stop condition, polled once per round
 		if s.stop != nil && s.stop() {
 			s.stopped = true
 			return s.MaxNow()
@@ -214,11 +222,13 @@ func (s *Engine) Run() units.Time {
 // order. Injection order only matters for the engine's local seq,
 // which sits last in the compound key; sorting makes delivery
 // independent of which source shard posted first.
+//saisvet:allocfree
 func (s *Engine) deliver() {
 	for dst, box := range s.inbox {
 		if len(box) == 0 {
 			continue
 		}
+		//lint:alloc per-round mailbox sort: one closure per non-empty box, amortized over the round's events
 		sort.Slice(box, func(i, j int) bool { return msgLess(box[i], box[j]) })
 		eng := s.engs[dst]
 		for i := range box {
@@ -234,6 +244,7 @@ func (s *Engine) deliver() {
 // horizon returns the exclusive event-time bound of the next round:
 // the earliest pending event anywhere plus the lookahead. ok is false
 // when every shard is idle (mailboxes are empty here — deliver ran).
+//saisvet:allocfree
 func (s *Engine) horizon() (units.Time, bool) {
 	var tmin units.Time
 	found := false
@@ -262,6 +273,7 @@ func (s *Engine) horizon() (units.Time, bool) {
 // worker i%workers, each engine touched by exactly one goroutine, and
 // the WaitGroup barrier publishes all effects before collect reads
 // the out buffers.
+//saisvet:allocfree
 func (s *Engine) round(horizon units.Time) {
 	if s.workers == 1 {
 		for _, e := range s.engs {
@@ -273,6 +285,7 @@ func (s *Engine) round(horizon units.Time) {
 	for w := 0; w < s.workers; w++ {
 		w := w
 		wg.Add(1)
+		//lint:alloc one worker goroutine per round stripe, amortized over every event below the horizon
 		go func() {
 			defer wg.Done()
 			for i := w; i < len(s.engs); i += s.workers {
@@ -285,6 +298,7 @@ func (s *Engine) round(horizon units.Time) {
 
 // collect moves every out-buffer row into the destination mailboxes.
 // Append order (by source shard) is irrelevant: deliver sorts.
+//saisvet:allocfree
 func (s *Engine) collect() {
 	for src := range s.out {
 		for dst, row := range s.out[src] {

@@ -67,6 +67,7 @@ type Timer struct {
 // already-cancelled timer — or the zero Timer — is a no-op. It reports
 // whether the event was still pending. Cancellation is O(1): the arena
 // slot is marked dead and reaped lazily (or in bulk by compaction).
+//saisvet:allocfree
 func (t Timer) Cancel() bool {
 	e := t.eng
 	if e == nil {
@@ -158,6 +159,7 @@ func (e *Engine) Pending() int { return len(e.heap) + len(e.fifo) - e.fifoHead }
 func (e *Engine) Live() int { return e.Pending() - e.deadCount }
 
 // alloc claims an arena slot for (at, fn) and returns its index.
+//saisvet:allocfree
 func (e *Engine) alloc(at units.Time, fn Event) int32 {
 	var idx int32
 	if n := len(e.free); n > 0 {
@@ -180,6 +182,7 @@ func (e *Engine) alloc(at units.Time, fn Event) int32 {
 
 // release returns an arena slot to the free list, bumping its
 // generation so stale Timer handles can never touch the next tenant.
+//saisvet:allocfree
 func (e *Engine) release(idx int32) {
 	it := &e.arena[idx]
 	it.fn = nil
@@ -191,6 +194,7 @@ func (e *Engine) release(idx int32) {
 // At schedules fn to run at absolute time at. Scheduling in the past
 // panics: it always indicates a modelling bug, and silently clamping
 // would hide causality violations.
+//saisvet:allocfree
 func (e *Engine) At(at units.Time, fn Event) Timer {
 	if fn == nil {
 		panic("sim: nil event")
@@ -211,6 +215,7 @@ func (e *Engine) At(at units.Time, fn Event) Timer {
 }
 
 // After schedules fn to run d after the current time.
+//saisvet:allocfree
 func (e *Engine) After(d units.Time, fn Event) Timer {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", d))
@@ -233,6 +238,7 @@ func (e *Engine) Immediately(fn Event) Timer { return e.At(e.now, fn) }
 // the same-instant fifo ring: at equal (at, schedAt) the untagged
 // fifo events (origin 0) still fire first, preserving a single total
 // order.
+//saisvet:allocfree
 func (e *Engine) AtOrigin(at units.Time, origin uint64, fn Event) Timer {
 	if origin == 0 {
 		panic("sim: AtOrigin requires a nonzero origin")
@@ -256,6 +262,7 @@ func (e *Engine) AtOrigin(at units.Time, origin uint64, fn Event) Timer {
 // shared one engine. schedAt must not exceed at (causality) and
 // origin must be nonzero (remote events are never in the local
 // scheduling-order class).
+//saisvet:allocfree
 func (e *Engine) ScheduleRemote(at, schedAt units.Time, origin uint64, fn Event) Timer {
 	if origin == 0 {
 		panic("sim: ScheduleRemote requires a nonzero origin")
@@ -304,6 +311,7 @@ func (e *Engine) Stopped() bool { return e.stopped }
 // discarding cancelled entries at the queue fronts. It reports whether
 // the event sits in the fifo ring (true) or the heap (false), and
 // whether any live event exists at all.
+//saisvet:allocfree
 func (e *Engine) next() (fromFifo, ok bool) {
 	for e.fifoHead < len(e.fifo) {
 		idx := e.fifo[e.fifoHead]
@@ -346,6 +354,7 @@ func (e *Engine) next() (fromFifo, ok bool) {
 
 // nextAt returns the (at) of the live event next() located; call only
 // after next() reported ok.
+//saisvet:allocfree
 func (e *Engine) nextAt(fromFifo bool) units.Time {
 	if fromFifo {
 		return e.arena[e.fifo[e.fifoHead]].at
@@ -354,6 +363,7 @@ func (e *Engine) nextAt(fromFifo bool) units.Time {
 }
 
 // fire pops and executes the live event next() located.
+//saisvet:allocfree
 func (e *Engine) fire(fromFifo bool) {
 	var idx int32
 	if fromFifo {
@@ -376,11 +386,13 @@ func (e *Engine) fire(fromFifo bool) {
 	e.fired++
 	// The slot is already recycled: fn may schedule freely (growing the
 	// arena) without invalidating anything we still hold.
+	//lint:alloc event-callback invocation: the callback's allocations belong to its owner's budget, not the loop's
 	fn(e.now)
 }
 
 // Step pops and executes the single earliest pending event. It reports
 // whether an event was executed (false means no live event remained).
+//saisvet:allocfree
 func (e *Engine) Step() bool {
 	fromFifo, ok := e.next()
 	if !ok {
@@ -429,6 +441,7 @@ func (e *Engine) ProcessNextEvent() bool { return e.Step() }
 // ignores the Halt flag and stop condition — under sharded execution
 // those belong to the composing executor, which checks them between
 // rounds.
+//saisvet:allocfree
 func (e *Engine) RunBefore(horizon units.Time) int {
 	n := 0
 	for {
@@ -445,6 +458,7 @@ func (e *Engine) RunBefore(horizon units.Time) int {
 // stop condition installed by SetStop fires, or the clock passes
 // deadline (units.Forever for no deadline). It returns the time at
 // which the loop stopped.
+//saisvet:allocfree
 func (e *Engine) Run(deadline units.Time) units.Time {
 	e.halted = false
 	e.stopped = false
@@ -453,6 +467,7 @@ func (e *Engine) Run(deadline units.Time) units.Time {
 		if e.stop != nil && (sincePoll == 0 || e.pollNow) {
 			e.pollNow = false
 			sincePoll = 0
+			//lint:alloc caller-supplied stop condition, polled every 64 events — off the per-event path
 			if e.stop() {
 				e.stopped = true
 				return e.now
@@ -484,6 +499,7 @@ func (e *Engine) RunUntilIdle() units.Time { return e.Run(units.Forever) }
 // lazy). Retry- and fault-heavy runs cancel timers wholesale; without
 // compaction those corpses deepen the heap and linger until their
 // nominal expiry wanders to the front.
+//saisvet:allocfree
 func (e *Engine) maybeCompact() {
 	if e.deadCount < compactMin || e.deadCount*2 <= e.Pending() {
 		return
@@ -493,6 +509,7 @@ func (e *Engine) maybeCompact() {
 
 // compact removes every cancelled event from the heap and fifo in one
 // O(n) pass and restores the heap property.
+//saisvet:allocfree
 func (e *Engine) compact() {
 	live := e.heap[:0]
 	for _, idx := range e.heap {
@@ -542,6 +559,7 @@ func (e *Engine) less(a, b int32) bool {
 	return keyLess(&e.arena[a], &e.arena[b])
 }
 
+//saisvet:allocfree
 func (e *Engine) heapPush(idx int32) {
 	e.heap = append(e.heap, idx)
 	i := len(e.heap) - 1
@@ -555,6 +573,7 @@ func (e *Engine) heapPush(idx int32) {
 	}
 }
 
+//saisvet:allocfree
 func (e *Engine) heapPop() int32 {
 	top := e.heap[0]
 	last := len(e.heap) - 1
@@ -566,6 +585,7 @@ func (e *Engine) heapPop() int32 {
 	return top
 }
 
+//saisvet:allocfree
 func (e *Engine) siftDown(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2

@@ -210,6 +210,7 @@ func CSVHeader(dims []Dim) string {
 // (unfinished slots are empty strings), so interrupted sweeps can
 // print partial results.
 func Rows(ctx context.Context, dims []Dim, points []Point, parallel int) ([]string, error) {
+	//lint:goroutine runner.Map joins all workers and returns rows in point order; per-cell output is seed-deterministic
 	return runner.Map(ctx, len(points), runner.Options{Workers: parallel},
 		func(ctx context.Context, i int) (string, error) {
 			return csvRow(ctx, dims, points[i])
